@@ -1,0 +1,187 @@
+package classifier
+
+import (
+	"math"
+	"sort"
+
+	"oasis/internal/rng"
+)
+
+// stump is a single-feature decision stump: predicts +1 when
+// polarity*(x[feature] - threshold) > 0, else −1.
+type stump struct {
+	feature   int
+	threshold float64
+	polarity  float64
+	alpha     float64
+}
+
+func (s *stump) predict(x []float64) float64 {
+	if s.polarity*(x[s.feature]-s.threshold) > 0 {
+		return 1
+	}
+	return -1
+}
+
+// AdaBoost is a boosted ensemble of decision stumps, the from-scratch
+// counterpart of the AdaBoost classifier the paper evaluates in §6.3.4.
+// Score is the signed ensemble margin Σ α_m h_m(x) — an uncalibrated score.
+type AdaBoost struct {
+	stumps []stump
+}
+
+// AdaBoostConfig configures boosting.
+type AdaBoostConfig struct {
+	// Rounds is the number of boosting rounds / stumps (default 50).
+	Rounds int
+	// Candidates caps the number of candidate thresholds per feature per
+	// round for efficiency (default 64). Thresholds are midpoints of sorted
+	// unique feature values, subsampled evenly when there are more.
+	Candidates int
+}
+
+func (c *AdaBoostConfig) defaults() {
+	if c.Rounds <= 0 {
+		c.Rounds = 50
+	}
+	if c.Candidates <= 0 {
+		c.Candidates = 64
+	}
+}
+
+// TrainAdaBoost fits the ensemble on (X, y) with the standard discrete
+// AdaBoost reweighting scheme.
+func TrainAdaBoost(X [][]float64, y []bool, cfg AdaBoostConfig, r *rng.RNG) (*AdaBoost, error) {
+	d, err := validate(X, y)
+	if err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	n := len(X)
+	// Signed labels.
+	ys := make([]float64, n)
+	for i, v := range y {
+		if v {
+			ys[i] = 1
+		} else {
+			ys[i] = -1
+		}
+	}
+	// Candidate thresholds per feature.
+	thresholds := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		vals := make([]float64, n)
+		for i := range X {
+			vals[i] = X[i][j]
+		}
+		sort.Float64s(vals)
+		uniq := vals[:0]
+		for i, v := range vals {
+			if i == 0 || v != uniq[len(uniq)-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		var cands []float64
+		if len(uniq) < 2 {
+			cands = []float64{uniq[0]}
+		} else {
+			mids := make([]float64, len(uniq)-1)
+			for i := 0; i+1 < len(uniq); i++ {
+				mids[i] = (uniq[i] + uniq[i+1]) / 2
+			}
+			if len(mids) <= cfg.Candidates {
+				cands = mids
+			} else {
+				cands = make([]float64, cfg.Candidates)
+				for i := 0; i < cfg.Candidates; i++ {
+					cands[i] = mids[i*len(mids)/cfg.Candidates]
+				}
+			}
+		}
+		// A threshold below the minimum makes constant stumps available
+		// (predict-all-positive / predict-all-negative via polarity), which
+		// matters for heavily skewed or single-class data.
+		cands = append(cands, uniq[0]-1)
+		thresholds[j] = cands
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	model := &AdaBoost{}
+	preds := make([]float64, n)
+	for round := 0; round < cfg.Rounds; round++ {
+		best := stump{}
+		bestErr := math.Inf(1)
+		for j := 0; j < d; j++ {
+			for _, thr := range thresholds[j] {
+				for _, pol := range []float64{1, -1} {
+					s := stump{feature: j, threshold: thr, polarity: pol}
+					we := 0.0
+					for i := range X {
+						if s.predict(X[i]) != ys[i] {
+							we += w[i]
+						}
+					}
+					if we < bestErr {
+						bestErr = we
+						best = s
+					}
+				}
+			}
+		}
+		if bestErr >= 0.5 {
+			break // no weak learner better than chance remains
+		}
+		eps := math.Max(bestErr, 1e-12)
+		best.alpha = 0.5 * math.Log((1-eps)/eps)
+		model.stumps = append(model.stumps, best)
+		// Reweight.
+		sum := 0.0
+		for i := range X {
+			preds[i] = best.predict(X[i])
+			w[i] *= math.Exp(-best.alpha * ys[i] * preds[i])
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		if bestErr < 1e-12 {
+			break // perfect stump; further rounds are redundant
+		}
+	}
+	if len(model.stumps) == 0 {
+		// Degenerate data (e.g. one class): fall back to a constant stump
+		// voting for the majority class.
+		pos := 0
+		for _, v := range y {
+			if v {
+				pos++
+			}
+		}
+		pol := -1.0
+		if pos*2 >= n {
+			pol = 1.0
+		}
+		model.stumps = append(model.stumps, stump{feature: 0, threshold: math.Inf(-1), polarity: pol, alpha: 1})
+	}
+	return model, nil
+}
+
+// Rounds returns the number of fitted stumps.
+func (m *AdaBoost) Rounds() int { return len(m.stumps) }
+
+// Score returns the ensemble margin Σ α_m h_m(x).
+func (m *AdaBoost) Score(x []float64) float64 {
+	s := 0.0
+	for i := range m.stumps {
+		s += m.stumps[i].alpha * m.stumps[i].predict(x)
+	}
+	return s
+}
+
+// Predict returns true when the ensemble margin is positive.
+func (m *AdaBoost) Predict(x []float64) bool { return m.Score(x) > 0 }
+
+// Probabilistic reports false: boosting margins are uncalibrated.
+func (m *AdaBoost) Probabilistic() bool { return false }

@@ -1,0 +1,165 @@
+// Package classifier implements the record-pair classifiers that produce the
+// similarity scores OASIS consumes. It plays the role scikit-learn and LIBSVM
+// play in the paper's experiments (§6.1.2, §6.3.4): a linear SVM (the default
+// pipeline classifier), logistic regression, a one-hidden-layer neural
+// network, AdaBoost over decision stumps, an RBF-kernel SVM approximated with
+// random Fourier features, and Platt calibration in place of LIBSVM's
+// cross-validation calibration.
+//
+// All models implement the Model interface: Score returns a real-valued
+// similarity score (a margin for SVM-like models, a probability for
+// probabilistic models) and Predict thresholds it.
+package classifier
+
+import (
+	"errors"
+	"math"
+
+	"oasis/internal/rng"
+)
+
+// Model scores feature vectors. Higher scores indicate higher confidence
+// that a record pair is a match.
+type Model interface {
+	// Score returns the real-valued similarity score of x.
+	Score(x []float64) float64
+	// Predict returns the predicted binary label of x.
+	Predict(x []float64) bool
+	// Probabilistic reports whether Score is already a probability in [0,1].
+	Probabilistic() bool
+}
+
+// ErrNoData is returned by trainers invoked with an empty training set.
+var ErrNoData = errors.New("classifier: empty training set")
+
+// ErrDimMismatch is returned when feature vectors disagree in length.
+var ErrDimMismatch = errors.New("classifier: inconsistent feature dimensions")
+
+// validate checks a design matrix / label slice pair and returns the feature
+// dimension.
+func validate(X [][]float64, y []bool) (int, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return 0, ErrNoData
+	}
+	d := len(X[0])
+	if d == 0 {
+		return 0, ErrNoData
+	}
+	for _, row := range X {
+		if len(row) != d {
+			return 0, ErrDimMismatch
+		}
+	}
+	return d, nil
+}
+
+// Standardizer rescales features to zero mean and unit variance, as the
+// paper's scikit-learn pipelines do implicitly through preprocessing.
+type Standardizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitStandardizer computes per-feature means and standard deviations.
+// Constant features receive Std 1 so that transformation is a no-op for them.
+func FitStandardizer(X [][]float64) (*Standardizer, error) {
+	d, err := validate(X, make([]bool, len(X)))
+	if err != nil {
+		return nil, err
+	}
+	s := &Standardizer{Mean: make([]float64, d), Std: make([]float64, d)}
+	n := float64(len(X))
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			dv := v - s.Mean[j]
+			s.Std[j] += dv * dv
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] == 0 {
+			s.Std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Apply returns the standardised copy of x.
+func (s *Standardizer) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// ApplyAll standardises every row of X into a new matrix.
+func (s *Standardizer) ApplyAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Apply(row)
+	}
+	return out
+}
+
+// TrainTestSplit partitions indices [0, n) into a training set of size
+// round(n*trainFrac) and the complementary test set, shuffled by r.
+func TrainTestSplit(n int, trainFrac float64, r *rng.RNG) (train, test []int) {
+	perm := r.Perm(n)
+	k := int(math.Round(float64(n) * trainFrac))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return perm[:k], perm[k:]
+}
+
+// Accuracy returns the fraction of points where model.Predict matches y.
+func Accuracy(m Model, X [][]float64, y []bool) float64 {
+	if len(X) == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+// ConfusionCounts tallies true/false positives/negatives of m on (X, y).
+func ConfusionCounts(m Model, X [][]float64, y []bool) (tp, fp, fn, tn int) {
+	for i, x := range X {
+		pred := m.Predict(x)
+		switch {
+		case pred && y[i]:
+			tp++
+		case pred && !y[i]:
+			fp++
+		case !pred && y[i]:
+			fn++
+		default:
+			tn++
+		}
+	}
+	return tp, fp, fn, tn
+}
+
+func dot(w, x []float64) float64 {
+	s := 0.0
+	for i, v := range w {
+		s += v * x[i]
+	}
+	return s
+}

@@ -1,0 +1,359 @@
+package classifier
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"oasis/internal/rng"
+)
+
+// blobs generates a linearly separable-ish two-class Gaussian dataset.
+func blobs(n int, sep float64, r *rng.RNG) ([][]float64, []bool) {
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		pos := i%2 == 0
+		cx, cy := -sep/2, -sep/2
+		if pos {
+			cx, cy = sep/2, sep/2
+		}
+		X[i] = []float64{r.NormalScaled(cx, 1), r.NormalScaled(cy, 1)}
+		y[i] = pos
+	}
+	return X, y
+}
+
+// ring generates a non-linearly-separable dataset: positives inside a disc,
+// negatives on a surrounding ring.
+func ring(n int, r *rng.RNG) ([][]float64, []bool) {
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		pos := i%2 == 0
+		var rad float64
+		if pos {
+			rad = r.Float64() * 1.0
+		} else {
+			rad = 2 + r.Float64()*1.0
+		}
+		theta := 2 * math.Pi * r.Float64()
+		X[i] = []float64{rad * math.Cos(theta), rad * math.Sin(theta)}
+		y[i] = pos
+	}
+	return X, y
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := validate(nil, nil); err == nil {
+		t.Error("expected error on empty data")
+	}
+	if _, err := validate([][]float64{{1, 2}, {3}}, []bool{true, false}); err != ErrDimMismatch {
+		t.Error("expected dimension mismatch error")
+	}
+	if _, err := validate([][]float64{{1}}, []bool{true, false}); err == nil {
+		t.Error("expected error on X/y length mismatch")
+	}
+	if d, err := validate([][]float64{{1, 2}}, []bool{true}); err != nil || d != 2 {
+		t.Errorf("validate = %d, %v", d, err)
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	X := [][]float64{{1, 10, 5}, {3, 20, 5}, {5, 30, 5}}
+	s, err := FitStandardizer(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Z := s.ApplyAll(X)
+	for j := 0; j < 3; j++ {
+		mean, variance := 0.0, 0.0
+		for i := range Z {
+			mean += Z[i][j]
+		}
+		mean /= float64(len(Z))
+		for i := range Z {
+			d := Z[i][j] - mean
+			variance += d * d
+		}
+		variance /= float64(len(Z))
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("feature %d mean %v", j, mean)
+		}
+		if j < 2 && math.Abs(variance-1) > 1e-9 {
+			t.Errorf("feature %d variance %v", j, variance)
+		}
+		if j == 2 && variance != 0 {
+			t.Errorf("constant feature should stay constant, var %v", variance)
+		}
+	}
+	if _, err := FitStandardizer(nil); err == nil {
+		t.Error("expected error on empty input")
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	r := rng.New(1)
+	train, test := TrainTestSplit(100, 0.3, r)
+	if len(train) != 30 || len(test) != 70 {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	seen := make(map[int]bool)
+	for _, i := range append(append([]int{}, train...), test...) {
+		if seen[i] {
+			t.Fatalf("index %d duplicated across split", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("split does not cover population: %d", len(seen))
+	}
+}
+
+func TestLinearSVMSeparable(t *testing.T) {
+	r := rng.New(2)
+	X, y := blobs(400, 6, r)
+	m, err := TrainLinearSVM(X, y, LinearSVMConfig{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, X, y); acc < 0.97 {
+		t.Errorf("linear SVM accuracy on separable blobs = %v", acc)
+	}
+	if m.Probabilistic() {
+		t.Error("SVM must report uncalibrated scores")
+	}
+}
+
+func TestLinearSVMScoresOrderClasses(t *testing.T) {
+	r := rng.New(3)
+	X, y := blobs(400, 4, r)
+	m, err := TrainLinearSVM(X, y, LinearSVMConfig{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	posMean, negMean := 0.0, 0.0
+	nPos, nNeg := 0, 0
+	for i, x := range X {
+		if y[i] {
+			posMean += m.Score(x)
+			nPos++
+		} else {
+			negMean += m.Score(x)
+			nNeg++
+		}
+	}
+	if posMean/float64(nPos) <= negMean/float64(nNeg) {
+		t.Error("positive class should have higher mean margin")
+	}
+}
+
+func TestLinearSVMErrors(t *testing.T) {
+	r := rng.New(4)
+	if _, err := TrainLinearSVM(nil, nil, LinearSVMConfig{}, r); err == nil {
+		t.Error("expected error on empty data")
+	}
+}
+
+func TestLogisticRegression(t *testing.T) {
+	r := rng.New(5)
+	X, y := blobs(500, 5, r)
+	m, err := TrainLogisticRegression(X, y, LogisticRegressionConfig{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, X, y); acc < 0.97 {
+		t.Errorf("logreg accuracy = %v", acc)
+	}
+	if !m.Probabilistic() {
+		t.Error("logreg scores are probabilities")
+	}
+	for _, x := range X[:50] {
+		p := m.Score(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+	}
+}
+
+func TestMLPOnRing(t *testing.T) {
+	r := rng.New(6)
+	X, y := ring(600, r)
+	m, err := TrainMLP(X, y, MLPConfig{Hidden: 12, Epochs: 60}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, X, y); acc < 0.9 {
+		t.Errorf("MLP accuracy on ring = %v (linear models cannot solve this)", acc)
+	}
+}
+
+func TestMLPBeatsLinearOnRing(t *testing.T) {
+	r := rng.New(7)
+	X, y := ring(600, r)
+	lin, err := TrainLinearSVM(X, y, LinearSVMConfig{}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlp, err := TrainMLP(X, y, MLPConfig{Hidden: 12, Epochs: 60}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Accuracy(mlp, X, y) <= Accuracy(lin, X, y) {
+		t.Error("MLP should beat linear SVM on the ring dataset")
+	}
+}
+
+func TestAdaBoost(t *testing.T) {
+	r := rng.New(10)
+	X, y := ring(500, r)
+	m, err := TrainAdaBoost(X, y, AdaBoostConfig{Rounds: 60}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, X, y); acc < 0.9 {
+		t.Errorf("AdaBoost accuracy on ring = %v", acc)
+	}
+	if m.Rounds() == 0 {
+		t.Error("no stumps fitted")
+	}
+}
+
+func TestAdaBoostSingleClass(t *testing.T) {
+	r := rng.New(11)
+	X := [][]float64{{1}, {2}, {3}}
+	y := []bool{true, true, true}
+	m, err := TrainAdaBoost(X, y, AdaBoostConfig{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		if !m.Predict(x) {
+			t.Error("constant-positive data should predict positive")
+		}
+	}
+}
+
+func TestRBFSVMOnRing(t *testing.T) {
+	r := rng.New(12)
+	X, y := ring(600, r)
+	m, err := TrainRBFSVM(X, y, RBFSVMConfig{Gamma: 0.5, Features: 200}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, X, y); acc < 0.9 {
+		t.Errorf("RBF-SVM accuracy on ring = %v", acc)
+	}
+}
+
+func TestPlattCalibration(t *testing.T) {
+	r := rng.New(13)
+	X, y := blobs(2000, 3, r)
+	svm, err := TrainLinearSVM(X, y, LinearSVMConfig{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Calibrate(svm, X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cal.Probabilistic() {
+		t.Error("calibrated model must be probabilistic")
+	}
+	// Calibrated scores lie in (0,1) and preserve prediction rule.
+	for _, x := range X[:200] {
+		p := cal.Score(x)
+		if p <= 0 || p >= 1 {
+			t.Fatalf("calibrated score out of (0,1): %v", p)
+		}
+		if cal.Predict(x) != svm.Predict(x) {
+			t.Fatal("calibration must not change predictions")
+		}
+	}
+	// Reliability: bucket by predicted probability, compare with empirical.
+	bucketTotal := make([]int, 10)
+	bucketPos := make([]int, 10)
+	for i, x := range X {
+		p := cal.Score(x)
+		b := int(p * 10)
+		if b == 10 {
+			b = 9
+		}
+		bucketTotal[b]++
+		if y[i] {
+			bucketPos[b]++
+		}
+	}
+	for b := 0; b < 10; b++ {
+		if bucketTotal[b] < 50 {
+			continue
+		}
+		emp := float64(bucketPos[b]) / float64(bucketTotal[b])
+		mid := (float64(b) + 0.5) / 10
+		if math.Abs(emp-mid) > 0.25 {
+			t.Errorf("bucket %d: empirical %v vs predicted ~%v", b, emp, mid)
+		}
+	}
+}
+
+func TestPlattMonotoneProperty(t *testing.T) {
+	r := rng.New(14)
+	X, y := blobs(500, 4, r)
+	svm, _ := TrainLinearSVM(X, y, LinearSVMConfig{}, r)
+	scores := make([]float64, len(X))
+	for i, x := range X {
+		scores[i] = svm.Score(x)
+	}
+	scaler, err := FitPlatt(scores, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b int16) bool {
+		s1, s2 := float64(a)/100, float64(b)/100
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		// For a sensible fit A < 0, calibration is non-decreasing in score.
+		return scaler.Calibrate(s1) <= scaler.Calibrate(s2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitPlattErrors(t *testing.T) {
+	if _, err := FitPlatt(nil, nil); err == nil {
+		t.Error("expected error on empty data")
+	}
+	if _, err := FitPlatt([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("expected error on single-class data")
+	}
+}
+
+func TestConfusionCounts(t *testing.T) {
+	r := rng.New(15)
+	X, y := blobs(300, 5, r)
+	m, _ := TrainLinearSVM(X, y, LinearSVMConfig{}, r)
+	tp, fp, fn, tn := ConfusionCounts(m, X, y)
+	if tp+fp+fn+tn != len(X) {
+		t.Errorf("confusion counts don't sum: %d %d %d %d", tp, fp, fn, tn)
+	}
+	acc := Accuracy(m, X, y)
+	if math.Abs(acc-float64(tp+tn)/float64(len(X))) > 1e-12 {
+		t.Error("accuracy inconsistent with confusion counts")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	X, y := blobs(200, 4, rng.New(16))
+	m1, _ := TrainLinearSVM(X, y, LinearSVMConfig{}, rng.New(17))
+	m2, _ := TrainLinearSVM(X, y, LinearSVMConfig{}, rng.New(17))
+	for j := range m1.W {
+		if m1.W[j] != m2.W[j] {
+			t.Fatal("same seed must give identical models")
+		}
+	}
+	if m1.B != m2.B {
+		t.Fatal("same seed must give identical bias")
+	}
+}

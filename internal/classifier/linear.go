@@ -1,0 +1,202 @@
+package classifier
+
+import (
+	"math"
+
+	"oasis/internal/rng"
+	"oasis/internal/stats"
+)
+
+// LinearSVM is a linear support vector machine trained with the Pegasos
+// stochastic sub-gradient algorithm. Its Score is the signed distance-like
+// margin w·x + b, which — exactly as in the paper's L-SVM experiments — is an
+// *uncalibrated* similarity score (Definition 3).
+type LinearSVM struct {
+	W []float64
+	B float64
+}
+
+// LinearSVMConfig configures Pegasos training.
+type LinearSVMConfig struct {
+	// Lambda is the L2 regularisation strength (default 1e-4).
+	Lambda float64
+	// Epochs is the number of passes over the training data (default 20).
+	Epochs int
+	// ClassWeight scales the loss of positive examples; values > 1 push the
+	// model toward recall under class imbalance (default 1).
+	ClassWeight float64
+}
+
+func (c *LinearSVMConfig) defaults() {
+	if c.Lambda <= 0 {
+		c.Lambda = 1e-4
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 20
+	}
+	if c.ClassWeight <= 0 {
+		c.ClassWeight = 1
+	}
+}
+
+// TrainLinearSVM fits a linear SVM on (X, y) with the Pegasos update: at step
+// t the learning rate is 1/(λt); the weights shrink by (1 − 1/t), move along
+// the hinge sub-gradient for margin-violating examples, and are projected
+// onto the ball of radius 1/√λ. The bias is trained as an augmented
+// (regularised) constant feature so the Pegasos guarantees apply to it too,
+// and the returned model averages the iterates of the second half of
+// training (averaged Pegasos) for stability.
+func TrainLinearSVM(X [][]float64, y []bool, cfg LinearSVMConfig, r *rng.RNG) (*LinearSVM, error) {
+	d, err := validate(X, y)
+	if err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	// Augmented weight vector: w[0..d-1] features, w[d] bias.
+	w := make([]float64, d+1)
+	t := 0
+	order := make([]int, len(X))
+	for i := range order {
+		order[i] = i
+	}
+	totalSteps := cfg.Epochs * len(X)
+	avgStart := totalSteps / 2
+	avg := make([]float64, d+1)
+	avgCount := 0
+	maxNorm := 1 / math.Sqrt(cfg.Lambda)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.ShuffleInts(order)
+		for _, i := range order {
+			t++
+			eta := 1 / (cfg.Lambda * float64(t))
+			yi := -1.0
+			weight := 1.0
+			if y[i] {
+				yi = 1
+				weight = cfg.ClassWeight
+			}
+			x := X[i]
+			margin := yi * (dot(w[:d], x) + w[d])
+			shrink := 1 - eta*cfg.Lambda
+			if shrink < 0 {
+				shrink = 0
+			}
+			for j := range w {
+				w[j] *= shrink
+			}
+			if margin < 1 {
+				step := eta * weight
+				for j := 0; j < d; j++ {
+					w[j] += step * yi * x[j]
+				}
+				w[d] += step * yi
+			}
+			// Pegasos projection: ‖w‖ ≤ 1/√λ.
+			norm := 0.0
+			for _, v := range w {
+				norm += v * v
+			}
+			norm = math.Sqrt(norm)
+			if norm > maxNorm {
+				scale := maxNorm / norm
+				for j := range w {
+					w[j] *= scale
+				}
+			}
+			if t > avgStart {
+				avgCount++
+				inv := 1 / float64(avgCount)
+				for j := range avg {
+					avg[j] += (w[j] - avg[j]) * inv
+				}
+			}
+		}
+	}
+	if avgCount > 0 {
+		w = avg
+	}
+	return &LinearSVM{W: w[:d], B: w[d]}, nil
+}
+
+// Score returns the margin w·x + b.
+func (m *LinearSVM) Score(x []float64) float64 { return dot(m.W, x) + m.B }
+
+// Predict returns true when the margin is positive.
+func (m *LinearSVM) Predict(x []float64) bool { return m.Score(x) > 0 }
+
+// Probabilistic reports false: SVM margins are uncalibrated scores.
+func (m *LinearSVM) Probabilistic() bool { return false }
+
+// LogisticRegression is a binary logistic-regression model trained by
+// stochastic gradient descent on the regularised log-loss. Its Score is the
+// predicted match probability, i.e. a (near-)calibrated score.
+type LogisticRegression struct {
+	W []float64
+	B float64
+}
+
+// LogisticRegressionConfig configures SGD training.
+type LogisticRegressionConfig struct {
+	// Lambda is the L2 regularisation strength (default 1e-5).
+	Lambda float64
+	// Epochs is the number of passes over the data (default 30).
+	Epochs int
+	// LearningRate is the base step size, decayed as 1/sqrt(t) (default 0.5).
+	LearningRate float64
+}
+
+func (c *LogisticRegressionConfig) defaults() {
+	if c.Lambda <= 0 {
+		c.Lambda = 1e-5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 30
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.5
+	}
+}
+
+// TrainLogisticRegression fits the model on (X, y).
+func TrainLogisticRegression(X [][]float64, y []bool, cfg LogisticRegressionConfig, r *rng.RNG) (*LogisticRegression, error) {
+	d, err := validate(X, y)
+	if err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	m := &LogisticRegression{W: make([]float64, d)}
+	t := 0
+	order := make([]int, len(X))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.ShuffleInts(order)
+		for _, i := range order {
+			t++
+			eta := cfg.LearningRate / (1 + cfg.LearningRate*cfg.Lambda*float64(t))
+			p := stats.Sigmoid(dot(m.W, X[i]) + m.B)
+			target := 0.0
+			if y[i] {
+				target = 1
+			}
+			g := p - target
+			for j := range m.W {
+				m.W[j] -= eta * (g*X[i][j] + cfg.Lambda*m.W[j])
+			}
+			m.B -= eta * g
+		}
+	}
+	return m, nil
+}
+
+// Score returns the predicted probability of a match.
+func (m *LogisticRegression) Score(x []float64) float64 {
+	return stats.Sigmoid(dot(m.W, x) + m.B)
+}
+
+// Predict returns true when the probability exceeds 1/2.
+func (m *LogisticRegression) Predict(x []float64) bool { return m.Score(x) > 0.5 }
+
+// Probabilistic reports true.
+func (m *LogisticRegression) Probabilistic() bool { return true }

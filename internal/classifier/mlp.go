@@ -1,0 +1,125 @@
+package classifier
+
+import (
+	"math"
+
+	"oasis/internal/rng"
+	"oasis/internal/stats"
+)
+
+// MLP is a one-hidden-layer neural network with tanh hidden units and a
+// sigmoid output, matching the "neural network (multi-layer perceptron) with
+// one hidden layer" the paper evaluates in §6.3.4. Score is the output
+// probability.
+type MLP struct {
+	// W1 is hidden×input, B1 hidden; W2 hidden, B2 scalar.
+	W1 [][]float64
+	B1 []float64
+	W2 []float64
+	B2 float64
+}
+
+// MLPConfig configures backpropagation training.
+type MLPConfig struct {
+	// Hidden is the hidden layer width (default 16).
+	Hidden int
+	// Epochs is the number of passes over the data (default 30).
+	Epochs int
+	// LearningRate is the SGD step size, decayed as 1/(1+t·decay) (default 0.1).
+	LearningRate float64
+	// Lambda is the L2 weight decay (default 1e-5).
+	Lambda float64
+}
+
+func (c *MLPConfig) defaults() {
+	if c.Hidden <= 0 {
+		c.Hidden = 16
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 30
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 1e-5
+	}
+}
+
+// TrainMLP fits the network on (X, y) by stochastic backpropagation with
+// cross-entropy loss.
+func TrainMLP(X [][]float64, y []bool, cfg MLPConfig, r *rng.RNG) (*MLP, error) {
+	d, err := validate(X, y)
+	if err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	h := cfg.Hidden
+	m := &MLP{
+		W1: make([][]float64, h),
+		B1: make([]float64, h),
+		W2: make([]float64, h),
+	}
+	// Xavier-style initialisation.
+	scale1 := 1.0 / float64(d)
+	for k := 0; k < h; k++ {
+		m.W1[k] = make([]float64, d)
+		for j := 0; j < d; j++ {
+			m.W1[k][j] = r.NormalScaled(0, scale1)
+		}
+		m.W2[k] = r.NormalScaled(0, 1.0/float64(h))
+	}
+	order := make([]int, len(X))
+	for i := range order {
+		order[i] = i
+	}
+	hidden := make([]float64, h)
+	t := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.ShuffleInts(order)
+		for _, i := range order {
+			t++
+			eta := cfg.LearningRate / (1 + 1e-4*float64(t))
+			x := X[i]
+			// Forward pass.
+			for k := 0; k < h; k++ {
+				hidden[k] = tanh(dot(m.W1[k], x) + m.B1[k])
+			}
+			p := stats.Sigmoid(dot(m.W2, hidden) + m.B2)
+			target := 0.0
+			if y[i] {
+				target = 1
+			}
+			// Backward pass: dL/dz_out = p − target for sigmoid + CE.
+			gOut := p - target
+			for k := 0; k < h; k++ {
+				gHidden := gOut * m.W2[k] * (1 - hidden[k]*hidden[k])
+				m.W2[k] -= eta * (gOut*hidden[k] + cfg.Lambda*m.W2[k])
+				for j := range x {
+					m.W1[k][j] -= eta * (gHidden*x[j] + cfg.Lambda*m.W1[k][j])
+				}
+				m.B1[k] -= eta * gHidden
+			}
+			m.B2 -= eta * gOut
+		}
+	}
+	return m, nil
+}
+
+func tanh(x float64) float64 { return math.Tanh(x) }
+
+// Score returns the output probability of the network.
+func (m *MLP) Score(x []float64) float64 {
+	h := len(m.W2)
+	s := m.B2
+	for k := 0; k < h; k++ {
+		s += m.W2[k] * tanh(dot(m.W1[k], x)+m.B1[k])
+	}
+	return stats.Sigmoid(s)
+}
+
+// Predict thresholds the probability at 1/2.
+func (m *MLP) Predict(x []float64) bool { return m.Score(x) > 0.5 }
+
+// Probabilistic reports true.
+func (m *MLP) Probabilistic() bool { return true }

@@ -1,0 +1,158 @@
+package classifier
+
+import (
+	"errors"
+	"math"
+
+	"oasis/internal/stats"
+)
+
+// PlattScaler maps raw classifier scores to calibrated probabilities via the
+// sigmoid P(match | s) = 1 / (1 + exp(A·s + B)). It stands in for LIBSVM's
+// built-in cross-validation Platt calibration that the paper uses to obtain
+// "calibrated (probabilistic) scores" (§6.3.2).
+type PlattScaler struct {
+	A, B float64
+}
+
+// FitPlatt estimates (A, B) from held-out scores and labels by Newton's
+// method with backtracking on the regularised maximum-likelihood objective,
+// following Platt (1999) with the Lin–Lin–Weng numerical fixes: targets are
+// smoothed to t+ = (N+ + 1)/(N+ + 2) and t− = 1/(N− + 2).
+func FitPlatt(scores []float64, labels []bool) (*PlattScaler, error) {
+	n := len(scores)
+	if n == 0 || n != len(labels) {
+		return nil, ErrNoData
+	}
+	nPos, nNeg := 0, 0
+	for _, l := range labels {
+		if l {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return nil, errors.New("classifier: Platt calibration needs both classes")
+	}
+	hiTarget := (float64(nPos) + 1) / (float64(nPos) + 2)
+	loTarget := 1 / (float64(nNeg) + 2)
+	t := make([]float64, n)
+	for i, l := range labels {
+		if l {
+			t[i] = hiTarget
+		} else {
+			t[i] = loTarget
+		}
+	}
+	a := 0.0
+	b := math.Log((float64(nNeg) + 1) / (float64(nPos) + 1))
+	const (
+		maxIter = 100
+		minStep = 1e-10
+		sigma   = 1e-12
+		eps     = 1e-5
+	)
+	fval := 0.0
+	for i := 0; i < n; i++ {
+		fApB := scores[i]*a + b
+		if fApB >= 0 {
+			fval += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+		} else {
+			fval += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+		}
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		h11, h22 := sigma, sigma
+		h21, g1, g2 := 0.0, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			fApB := scores[i]*a + b
+			var p, q float64
+			if fApB >= 0 {
+				e := math.Exp(-fApB)
+				p = e / (1 + e)
+				q = 1 / (1 + e)
+			} else {
+				e := math.Exp(fApB)
+				p = 1 / (1 + e)
+				q = e / (1 + e)
+			}
+			d2 := p * q
+			h11 += scores[i] * scores[i] * d2
+			h22 += d2
+			h21 += scores[i] * d2
+			d1 := t[i] - p
+			g1 += scores[i] * d1
+			g2 += d1
+		}
+		if math.Abs(g1) < eps && math.Abs(g2) < eps {
+			break
+		}
+		det := h11*h22 - h21*h21
+		dA := -(h22*g1 - h21*g2) / det
+		dB := -(-h21*g1 + h11*g2) / det
+		gd := g1*dA + g2*dB
+		step := 1.0
+		for step >= minStep {
+			newA := a + step*dA
+			newB := b + step*dB
+			newF := 0.0
+			for i := 0; i < n; i++ {
+				fApB := scores[i]*newA + newB
+				if fApB >= 0 {
+					newF += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+				} else {
+					newF += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+				}
+			}
+			if newF < fval+1e-4*step*gd {
+				a, b, fval = newA, newB, newF
+				break
+			}
+			step /= 2
+		}
+		if step < minStep {
+			break
+		}
+	}
+	return &PlattScaler{A: a, B: b}, nil
+}
+
+// Calibrate maps a raw score to a probability in (0, 1).
+func (p *PlattScaler) Calibrate(score float64) float64 {
+	return stats.Sigmoid(-(p.A*score + p.B))
+}
+
+// CalibratedModel wraps a base model so that Score returns Platt-calibrated
+// probabilities while Predict still uses the base model's decision rule.
+type CalibratedModel struct {
+	Base   Model
+	Scaler *PlattScaler
+}
+
+// Calibrate fits a Platt scaler for base on held-out (X, y) and returns the
+// wrapped model.
+func Calibrate(base Model, X [][]float64, y []bool) (*CalibratedModel, error) {
+	scores := make([]float64, len(X))
+	for i, x := range X {
+		scores[i] = base.Score(x)
+	}
+	scaler, err := FitPlatt(scores, y)
+	if err != nil {
+		return nil, err
+	}
+	return &CalibratedModel{Base: base, Scaler: scaler}, nil
+}
+
+// Score returns the calibrated probability of a match.
+func (m *CalibratedModel) Score(x []float64) float64 {
+	return m.Scaler.Calibrate(m.Base.Score(x))
+}
+
+// Predict delegates to the base model's decision rule so that calibration
+// changes scores, not predictions — mirroring the paper's setup where Rhat is
+// fixed and only the score representation varies.
+func (m *CalibratedModel) Predict(x []float64) bool { return m.Base.Predict(x) }
+
+// Probabilistic reports true.
+func (m *CalibratedModel) Probabilistic() bool { return true }

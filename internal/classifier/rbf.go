@@ -1,0 +1,88 @@
+package classifier
+
+import (
+	"math"
+
+	"oasis/internal/rng"
+)
+
+// RBFSVM approximates a Gaussian-kernel SVM (the paper's R-SVM in §6.3.4)
+// by mapping inputs through D random Fourier features (Rahimi & Recht) and
+// training a linear SVM in the lifted space. Score is the margin in the
+// lifted space — an uncalibrated score, like LIBSVM decision values.
+type RBFSVM struct {
+	// omega is D×d frequency matrix, phase is D offsets.
+	omega [][]float64
+	phase []float64
+	norm  float64
+	lin   *LinearSVM
+}
+
+// RBFSVMConfig configures the approximation and the underlying linear SVM.
+type RBFSVMConfig struct {
+	// Gamma is the RBF kernel bandwidth exp(−γ‖x−x'‖²) (default 1).
+	Gamma float64
+	// Features is the number of random Fourier features D (default 128).
+	Features int
+	// Linear configures the SVM trained on the lifted features.
+	Linear LinearSVMConfig
+}
+
+func (c *RBFSVMConfig) defaults() {
+	if c.Gamma <= 0 {
+		c.Gamma = 1
+	}
+	if c.Features <= 0 {
+		c.Features = 128
+	}
+}
+
+// TrainRBFSVM fits the model on (X, y).
+func TrainRBFSVM(X [][]float64, y []bool, cfg RBFSVMConfig, r *rng.RNG) (*RBFSVM, error) {
+	d, err := validate(X, y)
+	if err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	m := &RBFSVM{
+		omega: make([][]float64, cfg.Features),
+		phase: make([]float64, cfg.Features),
+		norm:  math.Sqrt(2 / float64(cfg.Features)),
+	}
+	// ω ~ N(0, 2γ I): cos(ω·x + b) features approximate exp(−γ‖x−x'‖²).
+	sigma := math.Sqrt(2 * cfg.Gamma)
+	for k := 0; k < cfg.Features; k++ {
+		m.omega[k] = make([]float64, d)
+		for j := 0; j < d; j++ {
+			m.omega[k][j] = r.NormalScaled(0, sigma)
+		}
+		m.phase[k] = 2 * math.Pi * r.Float64()
+	}
+	lifted := make([][]float64, len(X))
+	for i, x := range X {
+		lifted[i] = m.lift(x)
+	}
+	lin, err := TrainLinearSVM(lifted, y, cfg.Linear, r)
+	if err != nil {
+		return nil, err
+	}
+	m.lin = lin
+	return m, nil
+}
+
+func (m *RBFSVM) lift(x []float64) []float64 {
+	out := make([]float64, len(m.omega))
+	for k := range m.omega {
+		out[k] = m.norm * math.Cos(dot(m.omega[k], x)+m.phase[k])
+	}
+	return out
+}
+
+// Score returns the margin in random-Fourier-feature space.
+func (m *RBFSVM) Score(x []float64) float64 { return m.lin.Score(m.lift(x)) }
+
+// Predict returns true when the margin is positive.
+func (m *RBFSVM) Predict(x []float64) bool { return m.Score(x) > 0 }
+
+// Probabilistic reports false.
+func (m *RBFSVM) Probabilistic() bool { return false }

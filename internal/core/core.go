@@ -1,0 +1,393 @@
+// Package core implements OASIS — Optimal Asymptotic Sequential Importance
+// Sampling — the paper's primary contribution (§4, Algorithms 2 and 3).
+//
+// OASIS estimates the F-measure of an ER system by adaptive importance
+// sampling over score strata:
+//
+//  1. The pool is stratified by similarity score (package strata,
+//     Algorithm 1).
+//  2. Each stratum k carries a latent match probability π_k with a Beta
+//     prior initialised from the stratum's mean (probability-mapped) score
+//     (Algorithm 2); oracle labels update independent Beta posteriors
+//     (Eqn. 10–11).
+//  3. Every iteration, the stratified asymptotically optimal instrumental
+//     distribution v* (the stratified Eqn. 5) is recomputed from the current
+//     estimates F̂ and π̂, mixed ε-greedily with the stratum weights ω for
+//     positivity (Eqn. 12), and one pair is drawn: stratum k* ~ v, pair
+//     uniform within P_k*.
+//  4. The F-measure is estimated by the bias-corrected AIS estimator
+//     (Eqn. 3) with importance weights w = ω_k / v_k (Algorithm 3 line 6).
+//
+// The ε-greedy mixture keeps every stratum reachable, which bounds the
+// importance weights by 1/ε and yields the consistency guarantee of
+// Theorem 3; this is checked empirically by the package tests.
+package core
+
+import (
+	"errors"
+	"math"
+
+	"oasis/internal/estimator"
+	"oasis/internal/oracle"
+	"oasis/internal/pool"
+	"oasis/internal/rng"
+	"oasis/internal/strata"
+)
+
+// Config holds the OASIS hyperparameters of Algorithm 3.
+type Config struct {
+	// Alpha is the F-measure weight α ∈ [0, 1]; 1/2 in the paper's
+	// experiments (§6.3).
+	Alpha float64
+	// Epsilon is the ε-greedy exploration weight in (0, 1]; the paper uses
+	// 1e-3. Default 1e-3.
+	Epsilon float64
+	// PriorStrength is η > 0, the weight of the score-based Beta prior; the
+	// paper uses 2K. Default 2K.
+	PriorStrength float64
+	// DisablePriorDecay turns off the practical modification of Remark 4
+	// (prior pseudo-counts of a stratum down-weighted by 1/(1+n_k) as labels
+	// arrive). Decay is ON by default, matching the released reference
+	// implementation; disabling it reproduces the bare Algorithm 3.
+	DisablePriorDecay bool
+	// PosteriorEstimate reports (and adapts on) the stratified posterior
+	// plug-in estimate F̂ = Σ ω_k π̂_k λ_k / (α Σ ω_k λ_k + (1−α) Σ ω_k π̂_k)
+	// instead of the importance-weighted ratio of Eqn. (3). After the
+	// pipeline's thresholding, strata are (near-)prediction-pure, so the
+	// within-stratum independence approximation of Algorithm 2 line 8 is
+	// essentially exact; the plug-in often has lower variance early. The
+	// default (false) is the estimator the paper analyses.
+	PosteriorEstimate bool
+}
+
+func (c *Config) defaults(k int) {
+	if c.Epsilon <= 0 {
+		c.Epsilon = 1e-3
+	}
+	if c.Epsilon > 1 {
+		c.Epsilon = 1
+	}
+	if c.PriorStrength <= 0 {
+		c.PriorStrength = 2 * float64(k)
+	}
+}
+
+// Sampler is the OASIS sampler/estimator. Create with New, then call Step
+// repeatedly; Estimate returns the current F̂ at any time.
+type Sampler struct {
+	pool *pool.Pool
+	str  *strata.Strata
+	cfg  Config
+	rng  *rng.RNG
+
+	// Bayesian model state: gamma0[k], gamma1[k] are the Beta posterior
+	// pseudo-counts of matches and non-matches (rows of Γ in Eqn. 9/10);
+	// labelsSeen[k] = n_k counts actual labels per stratum for prior decay.
+	prior0, prior1 []float64
+	count0, count1 []float64
+	labelsSeen     []int
+
+	// Initial estimates (Algorithm 2).
+	piInit []float64
+	fInit  float64
+
+	est *estimator.Weighted
+
+	// Scratch buffers reused across iterations.
+	piBuf []float64
+	vStar []float64
+	v     []float64
+
+	iterations int
+}
+
+// ErrNoStrata is returned when the stratification is empty.
+var ErrNoStrata = errors.New("core: empty stratification")
+
+// New builds an OASIS sampler over an already-stratified pool. The Strata
+// must partition exactly the pool's items (as produced by strata.CSF or
+// strata.EqualSize on the same pool).
+func New(p *pool.Pool, s *strata.Strata, cfg Config, r *rng.RNG) (*Sampler, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if s == nil || s.K() == 0 {
+		return nil, ErrNoStrata
+	}
+	if s.N() != p.N() {
+		return nil, errors.New("core: strata do not cover the pool")
+	}
+	k := s.K()
+	cfg.defaults(k)
+
+	o := &Sampler{
+		pool:       p,
+		str:        s,
+		cfg:        cfg,
+		rng:        r,
+		prior0:     make([]float64, k),
+		prior1:     make([]float64, k),
+		count0:     make([]float64, k),
+		count1:     make([]float64, k),
+		labelsSeen: make([]int, k),
+		piInit:     make([]float64, k),
+		est:        estimator.NewWeighted(cfg.Alpha),
+		piBuf:      make([]float64, k),
+		vStar:      make([]float64, k),
+		v:          make([]float64, k),
+	}
+
+	// ---- Algorithm 2: initialisation from scores ----
+	// π̂(0)_k ← mean probability-mapped score of stratum k (lines 2–5), kept
+	// strictly inside (0,1) so the Beta prior is proper.
+	const pad = 1e-4
+	for j := 0; j < k; j++ {
+		pi0 := s.MeanProbScore[j]
+		if pi0 < pad {
+			pi0 = pad
+		}
+		if pi0 > 1-pad {
+			pi0 = 1 - pad
+		}
+		o.piInit[j] = pi0
+	}
+	// F̂(0) from π̂(0) and λ (line 8).
+	var num, predMass, trueMass float64
+	for j := 0; j < k; j++ {
+		w := s.Weights[j]
+		num += w * o.piInit[j] * s.MeanPred[j]
+		predMass += w * s.MeanPred[j]
+		trueMass += w * o.piInit[j]
+	}
+	den := cfg.Alpha*predMass + (1-cfg.Alpha)*trueMass
+	if den > 0 {
+		o.fInit = num / den
+	} else {
+		o.fInit = 0
+	}
+	if o.fInit > 1 {
+		o.fInit = 1
+	}
+	// Γ(0) = η[π̂(0); 1−π̂(0)] (Algorithm 3 line 1).
+	for j := 0; j < k; j++ {
+		o.prior0[j] = cfg.PriorStrength * o.piInit[j]
+		o.prior1[j] = cfg.PriorStrength * (1 - o.piInit[j])
+	}
+	return o, nil
+}
+
+// Name identifies the method in reports.
+func (o *Sampler) Name() string { return "OASIS" }
+
+// K returns the number of strata.
+func (o *Sampler) K() int { return o.str.K() }
+
+// InitialF returns the score-based initial estimate F̂(0) of Algorithm 2.
+func (o *Sampler) InitialF() float64 { return o.fInit }
+
+// InitialPi returns π̂(0), the score-based initial oracle-probability
+// estimates (one per stratum).
+func (o *Sampler) InitialPi() []float64 {
+	return append([]float64(nil), o.piInit...)
+}
+
+// Iterations returns the number of Step calls made so far.
+func (o *Sampler) Iterations() int { return o.iterations }
+
+// PosteriorMean writes the current posterior mean π̂(t) (Eqn. 11) into dst,
+// applying the Remark 4 prior decay when configured, and returns dst.
+// A nil dst allocates.
+func (o *Sampler) PosteriorMean(dst []float64) []float64 {
+	k := o.str.K()
+	if dst == nil {
+		dst = make([]float64, k)
+	}
+	for j := 0; j < k; j++ {
+		p0, p1 := o.prior0[j], o.prior1[j]
+		if !o.cfg.DisablePriorDecay && o.labelsSeen[j] > 0 {
+			f := 1 / float64(1+o.labelsSeen[j])
+			p0 *= f
+			p1 *= f
+		}
+		a := p0 + o.count0[j]
+		b := p1 + o.count1[j]
+		dst[j] = a / (a + b)
+	}
+	return dst
+}
+
+// pluginF computes the stratified posterior plug-in estimate of F from the
+// current posterior means (Algorithm 2 line 8 with π̂(t) in place of π̂(0)).
+func (o *Sampler) pluginF() float64 {
+	pi := o.PosteriorMean(o.piBuf)
+	var num, predMass, trueMass float64
+	for j := range pi {
+		w := o.str.Weights[j]
+		num += w * pi[j] * o.str.MeanPred[j]
+		predMass += w * o.str.MeanPred[j]
+		trueMass += w * pi[j]
+	}
+	den := o.cfg.Alpha*predMass + (1-o.cfg.Alpha)*trueMass
+	if den <= 0 {
+		return o.fInit
+	}
+	f := num / den
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// currentF returns the working F̂ used to build v(t): the AIS estimate when
+// defined (or the posterior plug-in in PosteriorEstimate mode), otherwise
+// the initial score-based guess — the τ=0 term of Algorithm 3 line 11.
+func (o *Sampler) currentF() float64 {
+	if o.cfg.PosteriorEstimate {
+		return o.pluginF()
+	}
+	if o.est.Defined() {
+		return o.est.Estimate()
+	}
+	return o.fInit
+}
+
+// computeV fills o.v with the ε-greedy instrumental distribution of
+// Eqn. (12), normalised, using the current estimates.
+func (o *Sampler) computeV() {
+	k := o.str.K()
+	f := o.currentF()
+	pi := o.PosteriorMean(o.piBuf)
+	total := 0.0
+	for j := 0; j < k; j++ {
+		v := StratifiedOptimal(o.cfg.Alpha, f, pi[j], o.str.MeanPred[j], o.str.Weights[j])
+		o.vStar[j] = v
+		total += v
+	}
+	for j := 0; j < k; j++ {
+		q := o.cfg.Epsilon * o.str.Weights[j]
+		if total > 0 {
+			q += (1 - o.cfg.Epsilon) * o.vStar[j] / total
+		} else {
+			// Degenerate v*: fall back to proportional sampling.
+			q = o.str.Weights[j]
+		}
+		o.v[j] = q
+	}
+}
+
+// StratifiedOptimal evaluates one component of the stratified asymptotically
+// optimal instrumental distribution (§4.2.3), up to normalisation:
+//
+//	v*_k ∝ ω_k[(1−α)(1−λ_k)·F·√π_k + λ_k·√(α²F²(1−π_k) + (1−F)²π_k)]
+func StratifiedOptimal(alpha, f, pi, lambda, omega float64) float64 {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	if pi < 0 {
+		pi = 0
+	}
+	if pi > 1 {
+		pi = 1
+	}
+	nonPred := (1 - alpha) * (1 - lambda) * f * math.Sqrt(pi)
+	pred := lambda * math.Sqrt(alpha*alpha*f*f*(1-pi)+(1-f)*(1-f)*pi)
+	return omega * (nonPred + pred)
+}
+
+// Instrumental writes the current ε-greedy stratum distribution v(t) into
+// dst and returns it (diagnostics; Figure 4c–d). A nil dst allocates.
+func (o *Sampler) Instrumental(dst []float64) []float64 {
+	o.computeV()
+	if dst == nil {
+		dst = make([]float64, len(o.v))
+	}
+	copy(dst, o.v)
+	return dst
+}
+
+// Step performs one iteration of Algorithm 3: recompute v(t), draw a
+// stratum and a pair, query the oracle, update the Beta posterior and the
+// AIS estimate. It returns oracle.ErrBudgetExhausted if the draw required a
+// fresh label beyond the budget.
+func (o *Sampler) Step(b *oracle.Budgeted) error {
+	o.computeV()
+	kStar, err := o.rng.Categorical(o.v)
+	if err != nil {
+		return err
+	}
+	members := o.str.Items[kStar]
+	i := members[o.rng.Intn(len(members))]
+	label, err := b.TryLabel(i)
+	if err != nil {
+		return err
+	}
+	o.iterations++
+	// Importance weight w = ω_k / v_k (line 6).
+	w := o.str.Weights[kStar] / o.v[kStar]
+	// Posterior update (line 9): matches increment the match pseudo-count.
+	o.labelsSeen[kStar]++
+	if label {
+		o.count0[kStar]++
+	} else {
+		o.count1[kStar]++
+	}
+	// Estimate update (line 11).
+	o.est.Add(w, label, o.pool.Preds[i])
+	return nil
+}
+
+// Estimate returns the current F̂: the AIS estimate once defined (or the
+// posterior plug-in in PosteriorEstimate mode), otherwise the score-based
+// initial estimate (the τ=0 term of Algorithm 3 line 11).
+func (o *Sampler) Estimate() float64 {
+	return o.currentF()
+}
+
+// AISEstimate returns the importance-weighted estimate of Eqn. (3)
+// regardless of the configured reporting mode (NaN while undefined).
+func (o *Sampler) AISEstimate() float64 { return o.est.Estimate() }
+
+// TruePi computes the population per-stratum oracle probabilities π from the
+// pool's ground truth (diagnostics; Figure 4b).
+func TruePi(p *pool.Pool, s *strata.Strata) []float64 {
+	out := make([]float64, s.K())
+	for k, items := range s.Items {
+		sum := 0.0
+		for _, i := range items {
+			sum += p.TruthProb[i]
+		}
+		out[k] = sum / float64(len(items))
+	}
+	return out
+}
+
+// TrueOptimalV computes the population optimal stratified instrumental
+// distribution v* from ground truth: Eqn. (5) with the true F_α and true
+// π_k (diagnostics; Figure 4c–d). The result is normalised.
+func TrueOptimalV(p *pool.Pool, s *strata.Strata, alpha float64) []float64 {
+	f := p.TrueFMeasure(alpha)
+	if math.IsNaN(f) {
+		f = 0
+	}
+	pi := TruePi(p, s)
+	out := make([]float64, s.K())
+	total := 0.0
+	for k := range out {
+		out[k] = StratifiedOptimal(alpha, f, pi[k], s.MeanPred[k], s.Weights[k])
+		total += out[k]
+	}
+	if total > 0 {
+		for k := range out {
+			out[k] /= total
+		}
+		return out
+	}
+	// Degenerate pools (e.g. F = 1 with pure strata) have identically zero
+	// v*: the estimator has no asymptotic variance to minimise and any
+	// instrumental distribution is optimal. Return the proportional one.
+	copy(out, s.Weights)
+	return out
+}

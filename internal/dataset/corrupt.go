@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"strings"
+
+	"oasis/internal/rng"
+)
+
+// Corruption controls how strongly a duplicate record's fields are perturbed
+// relative to the original entity. Each probability is applied independently
+// per applicable unit (character, token or field), so higher values produce
+// duplicates that are harder to re-identify — this is the knob that tunes a
+// synthetic dataset's difficulty toward the paper's Table 2 operating points.
+type Corruption struct {
+	// Typo is the per-character probability of an edit (substitute, delete,
+	// insert or transpose) in short text fields.
+	Typo float64
+	// TokenDrop is the per-token probability of deleting a token.
+	TokenDrop float64
+	// TokenSwap is the probability of swapping one adjacent token pair.
+	TokenSwap float64
+	// Abbreviate is the per-token probability of truncating a token to a
+	// 1–3 character prefix.
+	Abbreviate float64
+	// Synonym is the per-token probability of replacing a token with an
+	// unrelated word (vocabulary drift between the two sources).
+	Synonym float64
+	// NumericJitter is the relative standard deviation applied to numeric
+	// fields (e.g. 0.05 = 5% multiplicative noise).
+	NumericJitter float64
+	// MissingField is the per-field probability of blanking a value.
+	MissingField float64
+	// Catastrophic is the per-record probability that a duplicate view is
+	// near-totally rewritten (most tokens replaced, numerics scrambled,
+	// fields dropped). Real ER benchmarks contain such pairs — e.g. the same
+	// product listed with an entirely different title and description — and
+	// they are what drives recall far below 1 in Table 2 (Abt-Buy 0.44,
+	// Amazon-GoogleProducts 0.185). Because their similarity signal is
+	// destroyed, these matches hide at the bottom of the score range, where
+	// only adaptive sampling can price them correctly.
+	Catastrophic float64
+}
+
+// catastrophicRewrite is the corruption applied to a duplicate view selected
+// for catastrophic rewriting.
+var catastrophicRewrite = Corruption{
+	Typo:          0.12,
+	TokenDrop:     0.35,
+	TokenSwap:     0.5,
+	Abbreviate:    0.2,
+	Synonym:       0.65,
+	NumericJitter: 1.2,
+	MissingField:  0.35,
+}
+
+// Scale returns a copy of c with every probability multiplied by f
+// (clamped to [0,1]).
+func (c Corruption) Scale(f float64) Corruption {
+	clamp := func(p float64) float64 {
+		p *= f
+		if p < 0 {
+			return 0
+		}
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	return Corruption{
+		Typo:          clamp(c.Typo),
+		TokenDrop:     clamp(c.TokenDrop),
+		TokenSwap:     clamp(c.TokenSwap),
+		Abbreviate:    clamp(c.Abbreviate),
+		Synonym:       clamp(c.Synonym),
+		NumericJitter: c.NumericJitter * f,
+		MissingField:  clamp(c.MissingField),
+	}
+}
+
+const typoAlphabet = "abcdefghijklmnopqrstuvwxyz"
+
+// corruptChars applies per-character edits to s.
+func corruptChars(s string, p float64, r *rng.RNG) string {
+	if p <= 0 || s == "" {
+		return s
+	}
+	runes := []rune(s)
+	out := make([]rune, 0, len(runes)+4)
+	for i := 0; i < len(runes); i++ {
+		if !r.Bernoulli(p) {
+			out = append(out, runes[i])
+			continue
+		}
+		switch r.Intn(4) {
+		case 0: // substitute
+			out = append(out, rune(typoAlphabet[r.Intn(len(typoAlphabet))]))
+		case 1: // delete
+		case 2: // insert
+			out = append(out, runes[i], rune(typoAlphabet[r.Intn(len(typoAlphabet))]))
+		default: // transpose with next
+			if i+1 < len(runes) {
+				out = append(out, runes[i+1], runes[i])
+				i++
+			} else {
+				out = append(out, runes[i])
+			}
+		}
+	}
+	return string(out)
+}
+
+// CorruptText perturbs a whitespace-tokenised string according to c, drawing
+// replacement words from lex (which may be nil to disable synonyms).
+func CorruptText(s string, c Corruption, lex *Lexicon, r *rng.RNG) string {
+	if s == "" {
+		return s
+	}
+	tokens := strings.Fields(s)
+	out := tokens[:0]
+	for _, tok := range tokens {
+		if c.TokenDrop > 0 && len(tokens) > 1 && r.Bernoulli(c.TokenDrop) {
+			continue
+		}
+		if c.Synonym > 0 && lex != nil && r.Bernoulli(c.Synonym) {
+			tok = lex.Word(r)
+		} else if c.Abbreviate > 0 && len(tok) > 3 && r.Bernoulli(c.Abbreviate) {
+			tok = tok[:1+r.Intn(3)]
+		}
+		out = append(out, tok)
+	}
+	if len(out) == 0 {
+		out = tokens[:1]
+	}
+	if c.TokenSwap > 0 && len(out) > 1 && r.Bernoulli(c.TokenSwap) {
+		i := r.Intn(len(out) - 1)
+		out[i], out[i+1] = out[i+1], out[i]
+	}
+	joined := strings.Join(out, " ")
+	return corruptChars(joined, c.Typo, r)
+}
+
+// CorruptNumber applies multiplicative Gaussian jitter to v.
+func CorruptNumber(v float64, c Corruption, r *rng.RNG) float64 {
+	if c.NumericJitter <= 0 {
+		return v
+	}
+	return v * (1 + r.NormalScaled(0, c.NumericJitter))
+}

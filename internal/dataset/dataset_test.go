@@ -1,0 +1,434 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oasis/internal/rng"
+)
+
+func TestLexiconDeterministicAndDistinct(t *testing.T) {
+	a := NewLexicon(1, 100, 1, 3)
+	b := NewLexicon(1, 100, 1, 3)
+	if a.Size() != 100 || b.Size() != 100 {
+		t.Fatalf("sizes %d %d", a.Size(), b.Size())
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		w1, w2 := a.WordAt(i), b.WordAt(i)
+		if w1 != w2 {
+			t.Fatalf("lexicon not deterministic at %d: %q vs %q", i, w1, w2)
+		}
+		if seen[w1] {
+			t.Fatalf("duplicate word %q", w1)
+		}
+		seen[w1] = true
+		if w1 == "" {
+			t.Fatal("empty word")
+		}
+	}
+}
+
+func TestLexiconPhrase(t *testing.T) {
+	l := NewLexicon(2, 50, 1, 2)
+	r := rng.New(3)
+	p := l.Phrase(r, 5)
+	if got := len(strings.Fields(p)); got != 5 {
+		t.Errorf("phrase has %d words: %q", got, p)
+	}
+}
+
+func TestModelCodeShape(t *testing.T) {
+	r := rng.New(4)
+	for i := 0; i < 100; i++ {
+		code := ModelCode(r)
+		if len(code) < 4 {
+			t.Errorf("code too short: %q", code)
+		}
+		hasDigit := false
+		for _, c := range code {
+			if c >= '0' && c <= '9' {
+				hasDigit = true
+			}
+		}
+		if !hasDigit {
+			t.Errorf("code without digits: %q", code)
+		}
+	}
+}
+
+func TestCorruptTextIdentityAtZero(t *testing.T) {
+	r := rng.New(5)
+	s := "canon powershot sx30"
+	if got := CorruptText(s, Corruption{}, nil, r); got != s {
+		t.Errorf("zero corruption changed text: %q", got)
+	}
+}
+
+func TestCorruptTextChangesAtHighLevels(t *testing.T) {
+	r := rng.New(6)
+	lex := NewLexicon(7, 100, 1, 2)
+	c := Corruption{Typo: 0.3, TokenDrop: 0.3, TokenSwap: 0.5, Abbreviate: 0.3, Synonym: 0.3}
+	s := "alpha bravo charlie delta echo foxtrot"
+	changed := 0
+	for i := 0; i < 50; i++ {
+		if CorruptText(s, c, lex, r) != s {
+			changed++
+		}
+	}
+	if changed < 45 {
+		t.Errorf("heavy corruption left text unchanged %d/50 times", 50-changed)
+	}
+}
+
+func TestCorruptTextNeverEmpty(t *testing.T) {
+	r := rng.New(8)
+	c := Corruption{TokenDrop: 0.99}
+	for i := 0; i < 100; i++ {
+		if CorruptText("word", c, nil, r) == "" {
+			t.Fatal("corruption produced empty text")
+		}
+	}
+}
+
+func TestCorruptionScale(t *testing.T) {
+	c := Corruption{Typo: 0.5, TokenDrop: 0.8, NumericJitter: 0.1}
+	half := c.Scale(0.5)
+	if half.Typo != 0.25 || half.TokenDrop != 0.4 || half.NumericJitter != 0.05 {
+		t.Errorf("Scale(0.5) = %+v", half)
+	}
+	capped := c.Scale(10)
+	if capped.Typo != 1 || capped.TokenDrop != 1 {
+		t.Errorf("Scale(10) should clamp probabilities: %+v", capped)
+	}
+}
+
+func TestCorruptNumber(t *testing.T) {
+	r := rng.New(9)
+	if got := CorruptNumber(42, Corruption{}, r); got != 42 {
+		t.Errorf("zero jitter changed number: %v", got)
+	}
+	c := Corruption{NumericJitter: 0.1}
+	var diff float64
+	for i := 0; i < 100; i++ {
+		d := CorruptNumber(100, c, r) - 100
+		if d < 0 {
+			d = -d
+		}
+		diff += d
+	}
+	if diff == 0 {
+		t.Error("jitter produced no change")
+	}
+}
+
+func TestGenerateTwoSourceShape(t *testing.T) {
+	cfg := GeneratorConfig{Name: "test", Domain: DomainProduct, Seed: 10,
+		Corruption: Corruption{Typo: 0.02, TokenDrop: 0.1}}
+	ds, err := GenerateTwoSource(cfg, 100, 150, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.D1) != 100 || len(ds.D2) != 150 {
+		t.Fatalf("sizes %d %d", len(ds.D1), len(ds.D2))
+	}
+	if ds.NumMatches() != 40 {
+		t.Errorf("matches %d", ds.NumMatches())
+	}
+	if ds.NumPairs() != 15000 {
+		t.Errorf("pairs %d", ds.NumPairs())
+	}
+	// Verify ground truth: matching EntityIDs appear once per source.
+	ids1 := make(map[int]int)
+	for _, rec := range ds.D1 {
+		ids1[rec.EntityID]++
+	}
+	shared := 0
+	for _, rec := range ds.D2 {
+		if ids1[rec.EntityID] > 0 {
+			shared++
+		}
+	}
+	if shared != 40 {
+		t.Errorf("shared entities %d, want 40", shared)
+	}
+	// Imbalance ratio = (15000-40)/40.
+	want := float64(15000-40) / 40
+	if ds.ImbalanceRatio() != want {
+		t.Errorf("imbalance %v, want %v", ds.ImbalanceRatio(), want)
+	}
+}
+
+func TestGenerateTwoSourceErrors(t *testing.T) {
+	cfg := GeneratorConfig{Seed: 11}
+	if _, err := GenerateTwoSource(cfg, 10, 10, 1000); err == nil {
+		t.Error("expected error: matched infeasible for sizes")
+	}
+	if _, err := GenerateTwoSource(cfg, 0, 10, 0); err == nil {
+		t.Error("expected error: empty source")
+	}
+}
+
+func TestGenerateTwoSourceNonBijective(t *testing.T) {
+	// More matches than either source has records (the Abt-Buy shape):
+	// extras are duplicate views, and ground-truth pair count must equal
+	// the requested match count exactly.
+	cfg := GeneratorConfig{Name: "nb", Domain: DomainProduct, Seed: 20,
+		Corruption: Corruption{Typo: 0.01}}
+	ds, err := GenerateTwoSource(cfg, 50, 52, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.D1) != 50 || len(ds.D2) != 52 {
+		t.Fatalf("sizes %d %d", len(ds.D1), len(ds.D2))
+	}
+	count1 := make(map[int]int)
+	for _, rec := range ds.D1 {
+		count1[rec.EntityID]++
+	}
+	pairs := 0
+	for _, rec := range ds.D2 {
+		pairs += count1[rec.EntityID]
+	}
+	if pairs != 55 || ds.NumMatches() != 55 {
+		t.Errorf("ground-truth pairs %d, NumMatches %d, want 55", pairs, ds.NumMatches())
+	}
+}
+
+func TestGenerateTwoSourceDeterministic(t *testing.T) {
+	cfg := GeneratorConfig{Name: "d", Domain: DomainCitation, Seed: 12,
+		Corruption: Corruption{Typo: 0.05}}
+	a, _ := GenerateTwoSource(cfg, 50, 50, 20)
+	b, _ := GenerateTwoSource(cfg, 50, 50, 20)
+	for i := range a.D1 {
+		if a.D1[i].EntityID != b.D1[i].EntityID ||
+			a.D1[i].Values[0].Text != b.D1[i].Values[0].Text {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateTwoSourceRecordFields(t *testing.T) {
+	for _, domain := range []Domain{DomainProduct, DomainCitation, DomainVenue} {
+		cfg := GeneratorConfig{Name: "f", Domain: domain, Seed: 13}
+		ds, err := GenerateTwoSource(cfg, 20, 20, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range append(append([]Record{}, ds.D1...), ds.D2...) {
+			if len(rec.Values) != len(ds.Schema) {
+				t.Fatalf("domain %d: record has %d values, schema %d", domain, len(rec.Values), len(ds.Schema))
+			}
+			for i, v := range rec.Values {
+				if v.Missing {
+					continue
+				}
+				if ds.Schema[i].Kind == Numeric {
+					if v.Num == 0 && ds.Schema[i].Name == "price" {
+						t.Errorf("zero price in %s", ds.Schema[i].Name)
+					}
+				} else if v.Text == "" {
+					t.Errorf("empty %s", ds.Schema[i].Name)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDedup(t *testing.T) {
+	cfg := GeneratorConfig{Name: "dedup", Domain: DomainCitation, Seed: 14,
+		Corruption: Corruption{Typo: 0.02}}
+	ds, err := GenerateDedup(cfg, 10, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != 50 {
+		t.Fatalf("records %d", len(ds.Records))
+	}
+	if ds.NumMatches() != 10*10 {
+		t.Errorf("matches %d, want %d", ds.NumMatches(), 10*10)
+	}
+	if ds.NumPairs() != 50*49/2 {
+		t.Errorf("pairs %d", ds.NumPairs())
+	}
+	// Count matches directly from EntityIDs.
+	counts := make(map[int]int)
+	for _, rec := range ds.Records {
+		counts[rec.EntityID]++
+	}
+	direct := 0
+	for _, c := range counts {
+		direct += c * (c - 1) / 2
+	}
+	if direct != ds.NumMatches() {
+		t.Errorf("NumMatches %d disagrees with direct count %d", ds.NumMatches(), direct)
+	}
+}
+
+func TestGenerateDedupJitterProperty(t *testing.T) {
+	f := func(seed uint64, clustersRaw, sizeRaw, jitterRaw uint8) bool {
+		clusters := int(clustersRaw%20) + 1
+		size := int(sizeRaw%10) + 1
+		jitter := int(jitterRaw % 5)
+		ds, err := GenerateDedup(GeneratorConfig{Seed: seed, Domain: DomainVenue}, clusters, size, jitter)
+		if err != nil {
+			return false
+		}
+		counts := make(map[int]int)
+		for _, rec := range ds.Records {
+			counts[rec.EntityID]++
+		}
+		direct := 0
+		for _, c := range counts {
+			direct += c * (c - 1) / 2
+		}
+		return direct == ds.NumMatches() && len(counts) <= clusters
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratePoints(t *testing.T) {
+	ds := GeneratePoints("pts", 15, 10000, 0.5, 1.0)
+	if len(ds.X) != 10000 || len(ds.Labels) != 10000 {
+		t.Fatal("size mismatch")
+	}
+	pos := ds.NumPositives()
+	if pos < 4700 || pos > 5300 {
+		t.Errorf("positives %d, want ~5000", pos)
+	}
+}
+
+func TestProfilesCoverPaperTable(t *testing.T) {
+	ps := Profiles(1)
+	if len(ps) != 6 {
+		t.Fatalf("profiles %d", len(ps))
+	}
+	wantNames := []string{"Amazon-GoogleProducts", "restaurant", "DBLP-ACM", "Abt-Buy", "cora", "tweets100k"}
+	for i, p := range ps {
+		if p.Name != wantNames[i] {
+			t.Errorf("profile %d = %q, want %q", i, p.Name, wantNames[i])
+		}
+		if p.Paper.PoolSize == 0 || p.Paper.F50 == 0 {
+			t.Errorf("profile %s missing paper reference", p.Name)
+		}
+	}
+	// Paper order is decreasing imbalance.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Paper.ImbalanceRatio > ps[i-1].Paper.ImbalanceRatio {
+			t.Errorf("profiles not in decreasing imbalance at %d", i)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("cora", 1)
+	if err != nil || p.Name != "cora" {
+		t.Errorf("ProfileByName: %v %v", p.Name, err)
+	}
+	if _, err := ProfileByName("nope", 1); err == nil {
+		t.Error("expected error for unknown profile")
+	}
+}
+
+func TestProfileGenerateShapes(t *testing.T) {
+	for _, p := range Profiles(2) {
+		got, err := p.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		switch ds := got.(type) {
+		case *TwoSourceDataset:
+			if len(ds.D1) != p.N1 || len(ds.D2) != p.N2 {
+				t.Errorf("%s: sizes %d/%d, want %d/%d", p.Name, len(ds.D1), len(ds.D2), p.N1, p.N2)
+			}
+			if ds.NumMatches() != p.Matched {
+				t.Errorf("%s: matches %d, want %d", p.Name, ds.NumMatches(), p.Matched)
+			}
+		case *DedupDataset:
+			if p.Name == "restaurant" {
+				if len(ds.Records) != 864 {
+					t.Errorf("restaurant records %d, want 864", len(ds.Records))
+				}
+				if ds.NumMatches() != 112 {
+					t.Errorf("restaurant matches %d, want 112", ds.NumMatches())
+				}
+			}
+			if p.Name == "cora" {
+				if ds.NumMatches() < 20000 || ds.NumMatches() > 50000 {
+					t.Errorf("cora matches %d, want ≈34k", ds.NumMatches())
+				}
+				if ds.ImbalanceRatio() < 30 || ds.ImbalanceRatio() > 70 {
+					t.Errorf("cora imbalance %v, want ≈48", ds.ImbalanceRatio())
+				}
+			}
+		case *PointsDataset:
+			if len(ds.X) != p.NumPoints {
+				t.Errorf("%s: points %d", p.Name, len(ds.X))
+			}
+		default:
+			t.Errorf("%s: unexpected type %T", p.Name, got)
+		}
+	}
+}
+
+func TestFieldKindString(t *testing.T) {
+	if ShortText.String() != "short_text" || LongText.String() != "long_text" ||
+		Numeric.String() != "numeric" || FieldKind(99).String() != "unknown" {
+		t.Error("FieldKind.String broken")
+	}
+}
+
+func TestMatchedRecordsMoreSimilarThanRandom(t *testing.T) {
+	// The whole premise of score-based evaluation: duplicate views of an
+	// entity should share more name tokens than unrelated records.
+	cfg := GeneratorConfig{Name: "sim", Domain: DomainProduct, Seed: 16,
+		Corruption: Corruption{Typo: 0.02, TokenDrop: 0.1}}
+	ds, err := GenerateTwoSource(cfg, 200, 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[int]Record)
+	for _, rec := range ds.D1 {
+		byID[rec.EntityID] = rec
+	}
+	overlap := func(a, b string) float64 {
+		ta := strings.Fields(a)
+		tb := make(map[string]bool)
+		for _, tok := range strings.Fields(b) {
+			tb[tok] = true
+		}
+		n := 0
+		for _, tok := range ta {
+			if tb[tok] {
+				n++
+			}
+		}
+		if len(ta) == 0 {
+			return 0
+		}
+		return float64(n) / float64(len(ta))
+	}
+	var matchSim, randSim float64
+	nMatch, nRand := 0, 0
+	for i, rec := range ds.D2 {
+		if orig, ok := byID[rec.EntityID]; ok {
+			matchSim += overlap(orig.Values[0].Text, rec.Values[0].Text)
+			nMatch++
+		}
+		other := ds.D1[(i*17+3)%len(ds.D1)]
+		if other.EntityID != rec.EntityID {
+			randSim += overlap(other.Values[0].Text, rec.Values[0].Text)
+			nRand++
+		}
+	}
+	if nMatch == 0 || nRand == 0 {
+		t.Fatal("no pairs compared")
+	}
+	if matchSim/float64(nMatch) <= randSim/float64(nRand)+0.2 {
+		t.Errorf("matched similarity %.3f not clearly above random %.3f",
+			matchSim/float64(nMatch), randSim/float64(nRand))
+	}
+}

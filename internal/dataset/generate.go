@@ -1,0 +1,396 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"oasis/internal/rng"
+)
+
+// Domain selects the surface form of generated entities.
+type Domain int
+
+const (
+	// DomainProduct generates e-commerce products: name (brand + line +
+	// model code), long description, price.
+	DomainProduct Domain = iota
+	// DomainCitation generates bibliographic records: title, authors,
+	// venue, year.
+	DomainCitation
+	// DomainVenue generates restaurant-style listings: name, address,
+	// cuisine type.
+	DomainVenue
+)
+
+// GeneratorConfig controls synthetic two-source or dedup dataset generation.
+type GeneratorConfig struct {
+	Name   string
+	Domain Domain
+	// Seed drives all randomness in the generator.
+	Seed uint64
+	// Corruption applied to duplicate records (the second view of an entity).
+	Corruption Corruption
+	// BaseNoise is a light corruption applied to *every* record, so that even
+	// the canonical view of an entity is imperfect.
+	BaseNoise Corruption
+	// FamilySize > 1 groups entities into families sharing brand/line tokens
+	// (product variants), which creates confusable non-matches and drags
+	// classifier precision down.
+	FamilySize int
+	// Vocabulary is the size of the description lexicon; smaller
+	// vocabularies increase spurious token overlap between entities.
+	Vocabulary int
+}
+
+// TwoSourceDataset is a synthetic counterpart of the paper's two-database ER
+// benchmarks. Records in D1 and D2 match when their EntityIDs agree; the
+// relation R is exactly the set of such cross-source pairs.
+type TwoSourceDataset struct {
+	Name    string
+	Schema  Schema
+	D1, D2  []Record
+	matches int
+}
+
+// NumMatches returns |R|, the number of matching cross-source record pairs.
+func (d *TwoSourceDataset) NumMatches() int { return d.matches }
+
+// NumPairs returns |D1|·|D2|, the total number of candidate pairs.
+func (d *TwoSourceDataset) NumPairs() int { return len(d.D1) * len(d.D2) }
+
+// ImbalanceRatio returns (#non-matches : #matches) as a single float.
+func (d *TwoSourceDataset) ImbalanceRatio() float64 {
+	if d.matches == 0 {
+		return 0
+	}
+	return float64(d.NumPairs()-d.matches) / float64(d.matches)
+}
+
+// schemaFor returns the field schema of a domain.
+func schemaFor(domain Domain) Schema {
+	switch domain {
+	case DomainCitation:
+		return Schema{
+			{Name: "title", Kind: ShortText},
+			{Name: "authors", Kind: ShortText},
+			{Name: "venue", Kind: ShortText},
+			{Name: "year", Kind: Numeric},
+		}
+	case DomainVenue:
+		return Schema{
+			{Name: "name", Kind: ShortText},
+			{Name: "address", Kind: ShortText},
+			{Name: "cuisine", Kind: ShortText},
+		}
+	default:
+		return Schema{
+			{Name: "name", Kind: ShortText},
+			{Name: "description", Kind: LongText},
+			{Name: "price", Kind: Numeric},
+		}
+	}
+}
+
+// entityFactory produces canonical field values for entity IDs.
+type entityFactory struct {
+	domain     Domain
+	schema     Schema
+	brands     *Lexicon
+	lines      *Lexicon
+	descWords  *Lexicon
+	people     *Lexicon
+	venues     *Lexicon
+	placeNames *Lexicon
+	streets    *Lexicon
+	cuisines   *Lexicon
+	family     int
+}
+
+func newEntityFactory(cfg GeneratorConfig) *entityFactory {
+	vocab := cfg.Vocabulary
+	if vocab <= 0 {
+		vocab = 2000
+	}
+	fam := cfg.FamilySize
+	if fam <= 0 {
+		fam = 1
+	}
+	return &entityFactory{
+		domain:     cfg.Domain,
+		schema:     schemaFor(cfg.Domain),
+		brands:     NewLexicon(cfg.Seed+101, 60, 1, 2),
+		lines:      NewLexicon(cfg.Seed+102, 400, 1, 3),
+		descWords:  NewLexicon(cfg.Seed+103, vocab, 1, 3),
+		people:     NewLexicon(cfg.Seed+104, 2000, 1, 3),
+		venues:     NewLexicon(cfg.Seed+105, 60, 1, 2),
+		placeNames: NewLexicon(cfg.Seed+108, 2500, 1, 3),
+		streets:    NewLexicon(cfg.Seed+106, 1200, 1, 2),
+		cuisines:   NewLexicon(cfg.Seed+107, 60, 1, 2),
+		family:     fam,
+	}
+}
+
+// canonical generates the canonical values of entity id. Entities in the
+// same family (id / familySize) share brand and line tokens and differ mainly
+// in the model code, which makes non-matching pairs genuinely confusable.
+func (f *entityFactory) canonical(id int, r *rng.RNG) []Value {
+	famID := id / f.family
+	switch f.domain {
+	case DomainCitation:
+		titleLen := 6 + r.Intn(7)
+		title := f.descWords.Phrase(r, titleLen)
+		nAuthors := 1 + r.Intn(4)
+		authors := make([]string, nAuthors)
+		for i := range authors {
+			authors[i] = f.people.Word(r) + " " + f.people.Word(r)
+		}
+		venue := "proc " + f.venues.WordAt(famID%f.venues.Size()) + " conf"
+		year := 1985 + r.Intn(32)
+		return []Value{
+			{Text: title},
+			{Text: strings.Join(authors, " ")},
+			{Text: venue},
+			{Num: float64(year)},
+		}
+	case DomainVenue:
+		// Two place-name words drawn deterministically per family keep venue
+		// names distinct across entities while duplicates still collide fully.
+		n1 := f.placeNames.WordAt(famID % f.placeNames.Size())
+		n2 := f.placeNames.WordAt((famID*31 + 7) % f.placeNames.Size())
+		name := n1 + " " + n2
+		addr := fmt.Sprintf("%d %s st %s", 1+r.Intn(999), f.streets.Word(r), f.streets.Word(r))
+		cuisine := f.cuisines.Word(r)
+		return []Value{{Text: name}, {Text: addr}, {Text: cuisine}}
+	default:
+		brand := f.brands.WordAt(famID % f.brands.Size())
+		line := f.lines.WordAt((famID / f.brands.Size()) % f.lines.Size())
+		name := brand + " " + line + " " + ModelCode(r)
+		descLen := 8 + r.Intn(20)
+		desc := name + " " + f.descWords.Phrase(r, descLen)
+		price := 5 + r.Exp()*120
+		return []Value{{Text: name}, {Text: desc}, {Num: price}}
+	}
+}
+
+// view derives a possibly-corrupted record view of canonical values. With
+// probability c.Catastrophic the whole record is rewritten with the much
+// harsher catastrophicRewrite corruption instead.
+func (f *entityFactory) view(id int, canon []Value, c Corruption, r *rng.RNG) Record {
+	if c.Catastrophic > 0 && r.Bernoulli(c.Catastrophic) {
+		c = catastrophicRewrite
+	}
+	vals := make([]Value, len(canon))
+	for i, v := range canon {
+		if c.MissingField > 0 && r.Bernoulli(c.MissingField) {
+			vals[i] = Value{Missing: true}
+			continue
+		}
+		switch f.schema[i].Kind {
+		case Numeric:
+			vals[i] = Value{Num: CorruptNumber(v.Num, c, r)}
+		default:
+			vals[i] = Value{Text: CorruptText(v.Text, c, f.descWords, r)}
+		}
+	}
+	return Record{EntityID: id, Values: vals}
+}
+
+// GenerateTwoSource builds a two-source dataset with n1 records in D1, n2 in
+// D2, and exactly `matched` matching cross-source record pairs. When matched
+// does not exceed min(n1, n2) every shared entity has one record per source;
+// when it does (as in the real Abt-Buy, whose 1097 matches exceed its 1081
+// Abt records), some shared entities receive an extra duplicate view in one
+// source, each contributing one additional matching pair. The remaining
+// records belong to entities unique to their source.
+func GenerateTwoSource(cfg GeneratorConfig, n1, n2, matched int) (*TwoSourceDataset, error) {
+	if n1 <= 0 || n2 <= 0 || matched < 0 {
+		return nil, fmt.Errorf("dataset: invalid sizes n1=%d n2=%d matched=%d", n1, n2, matched)
+	}
+	// base 1:1 shared entities; extras are additional single-source views of
+	// already-shared entities. Feasibility: matched ≤ n1 + n2 − base.
+	base := matched
+	if base > n1 {
+		base = n1
+	}
+	if base > n2 {
+		base = n2
+	}
+	if n1+n2-matched < base {
+		base = n1 + n2 - matched
+	}
+	if base < 0 {
+		return nil, fmt.Errorf("dataset: matched=%d infeasible for sizes (%d, %d)", matched, n1, n2)
+	}
+	extra := matched - base
+	extra2 := extra
+	if extra2 > n2-base {
+		extra2 = n2 - base
+	}
+	extra1 := extra - extra2
+	if extra1 > n1-base {
+		return nil, fmt.Errorf("dataset: matched=%d infeasible for sizes (%d, %d)", matched, n1, n2)
+	}
+	r := rng.New(cfg.Seed)
+	f := newEntityFactory(cfg)
+	ds := &TwoSourceDataset{
+		Name:    cfg.Name,
+		Schema:  f.schema,
+		D1:      make([]Record, 0, n1),
+		D2:      make([]Record, 0, n2),
+		matches: matched,
+	}
+	nextID := 0
+	// Shared entities: one view in each source, plus extra duplicate views
+	// for the first extra1/extra2 of them.
+	for i := 0; i < base; i++ {
+		canon := f.canonical(nextID, r)
+		ds.D1 = append(ds.D1, f.view(nextID, canon, cfg.BaseNoise, r))
+		ds.D2 = append(ds.D2, f.view(nextID, canon, cfg.Corruption, r))
+		if i < extra2 {
+			ds.D2 = append(ds.D2, f.view(nextID, canon, cfg.Corruption, r))
+		} else if i-extra2 < extra1 {
+			ds.D1 = append(ds.D1, f.view(nextID, canon, cfg.Corruption, r))
+		}
+		nextID++
+	}
+	// Source-exclusive entities.
+	for len(ds.D1) < n1 {
+		canon := f.canonical(nextID, r)
+		ds.D1 = append(ds.D1, f.view(nextID, canon, cfg.BaseNoise, r))
+		nextID++
+	}
+	for len(ds.D2) < n2 {
+		canon := f.canonical(nextID, r)
+		ds.D2 = append(ds.D2, f.view(nextID, canon, cfg.Corruption, r))
+		nextID++
+	}
+	// Shuffle so matched records are not aligned by index.
+	r.Shuffle(len(ds.D1), func(i, j int) { ds.D1[i], ds.D1[j] = ds.D1[j], ds.D1[i] })
+	r.Shuffle(len(ds.D2), func(i, j int) { ds.D2[i], ds.D2[j] = ds.D2[j], ds.D2[i] })
+	return ds, nil
+}
+
+// DedupDataset is a single-source dataset containing duplicate clusters,
+// the synthetic counterpart of cora (and the restaurant guidebook data). The
+// candidate pairs are the unordered pairs {i, j}, i < j, and a pair matches
+// when both records share an EntityID.
+type DedupDataset struct {
+	Name    string
+	Schema  Schema
+	Records []Record
+	matches int
+}
+
+// NumMatches returns the number of matching unordered pairs Σ C(c_i, 2).
+func (d *DedupDataset) NumMatches() int { return d.matches }
+
+// NumPairs returns C(n, 2).
+func (d *DedupDataset) NumPairs() int {
+	n := len(d.Records)
+	return n * (n - 1) / 2
+}
+
+// ImbalanceRatio returns (#non-matches : #matches) as a single float.
+func (d *DedupDataset) ImbalanceRatio() float64 {
+	if d.matches == 0 {
+		return 0
+	}
+	return float64(d.NumPairs()-d.matches) / float64(d.matches)
+}
+
+// GenerateDedup builds a dedup dataset of `clusters` entities whose cluster
+// sizes are meanSize ± jitter (minimum 1), e.g. cora's ~48 clusters of ~38
+// duplicate citations. Sizes are rebalanced after jittering so the total
+// record count is exactly clusters × meanSize, keeping pair counts (and
+// hence imbalance ratios) stable across seeds.
+func GenerateDedup(cfg GeneratorConfig, clusters, meanSize, jitter int) (*DedupDataset, error) {
+	if clusters <= 0 || meanSize <= 0 {
+		return nil, fmt.Errorf("dataset: invalid dedup shape clusters=%d meanSize=%d", clusters, meanSize)
+	}
+	r := rng.New(cfg.Seed)
+	f := newEntityFactory(cfg)
+	ds := &DedupDataset{Name: cfg.Name, Schema: f.schema}
+	sizes := make([]int, clusters)
+	total := 0
+	for id := range sizes {
+		size := meanSize
+		if jitter > 0 {
+			size += r.Intn(2*jitter+1) - jitter
+		}
+		if size < 1 {
+			size = 1
+		}
+		sizes[id] = size
+		total += size
+	}
+	// Redistribute the jitter residue so Σ sizes = clusters × meanSize.
+	target := clusters * meanSize
+	for i := 0; total != target; i = (i + 1) % clusters {
+		if total < target {
+			sizes[i]++
+			total++
+		} else if sizes[i] > 1 {
+			sizes[i]--
+			total--
+		}
+	}
+	for id, size := range sizes {
+		canon := f.canonical(id, r)
+		for v := 0; v < size; v++ {
+			c := cfg.Corruption
+			if v == 0 {
+				c = cfg.BaseNoise
+			}
+			ds.Records = append(ds.Records, f.view(id, canon, c, r))
+		}
+		ds.matches += size * (size - 1) / 2
+	}
+	r.Shuffle(len(ds.Records), func(i, j int) {
+		ds.Records[i], ds.Records[j] = ds.Records[j], ds.Records[i]
+	})
+	return ds, nil
+}
+
+// PointsDataset is a plain binary-classification dataset of feature vectors,
+// the stand-in for tweets100k (§6.1.1): no record pairs, no imbalance — it
+// exists to confirm the samplers tie in the balanced regime.
+type PointsDataset struct {
+	Name   string
+	X      [][]float64
+	Labels []bool
+}
+
+// GeneratePoints draws n points from two overlapping 2-D Gaussian classes
+// with the given positive fraction. `overlap` (≥0) shrinks the separation so
+// the Bayes error grows — tuned so classifiers land near F≈0.77 as in
+// Table 2's tweets100k row.
+func GeneratePoints(name string, seed uint64, n int, posFrac, overlap float64) *PointsDataset {
+	r := rng.New(seed)
+	sep := 2.0 / (1 + overlap)
+	ds := &PointsDataset{
+		Name:   name,
+		X:      make([][]float64, n),
+		Labels: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		pos := r.Bernoulli(posFrac)
+		c := -sep / 2
+		if pos {
+			c = sep / 2
+		}
+		ds.X[i] = []float64{r.NormalScaled(c, 1), r.NormalScaled(c*0.5, 1.2)}
+		ds.Labels[i] = pos
+	}
+	return ds
+}
+
+// NumPositives counts the positive labels.
+func (d *PointsDataset) NumPositives() int {
+	n := 0
+	for _, l := range d.Labels {
+		if l {
+			n++
+		}
+	}
+	return n
+}

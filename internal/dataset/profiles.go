@@ -1,0 +1,258 @@
+package dataset
+
+import "fmt"
+
+// Kind distinguishes the three dataset shapes used in the paper.
+type Kind int
+
+const (
+	// TwoSource datasets match records across two databases.
+	TwoSource Kind = iota
+	// Dedup datasets match records within one database.
+	Dedup
+	// Points datasets are plain classification data (tweets100k).
+	Points
+)
+
+// PaperReference records the values the paper reports for a dataset, used by
+// the benchmark harness to print paper-vs-measured tables.
+type PaperReference struct {
+	// Table 1 values (full dataset).
+	Pairs          int
+	ImbalanceRatio float64
+	Matches        int
+	// Table 2 values (experiment pool).
+	PoolSize      int
+	PoolMatches   int
+	PoolImbalance float64
+	Precision     float64
+	Recall        float64
+	F50           float64 // F-measure at alpha = 1/2
+}
+
+// Profile describes one synthetic dataset mirroring a paper benchmark.
+type Profile struct {
+	Name string
+	Kind Kind
+	// Two-source shape.
+	N1, N2, Matched int
+	// Dedup shape.
+	Clusters, MeanClusterSize, ClusterJitter int
+	// Points shape.
+	NumPoints int
+	PosFrac   float64
+	Overlap   float64
+	// Generator tuning.
+	Config GeneratorConfig
+	// Paper gives the reference values for comparison output.
+	Paper PaperReference
+}
+
+// Profiles returns the six dataset profiles of Table 1, in the paper's order
+// (decreasing class imbalance). Corruption levels are tuned so that a linear
+// SVM trained by the pipeline lands near the Table 2 operating points:
+// heavy corruption for Amazon-GoogleProducts (F≈0.28) and Abt-Buy (F≈0.60),
+// light corruption for DBLP-ACM (F≈0.95) and restaurant (F≈0.90).
+func Profiles(seed uint64) []Profile {
+	return []Profile{
+		{
+			Name: "Amazon-GoogleProducts",
+			Kind: TwoSource,
+			N1:   1363, N2: 3226, Matched: 1300,
+			Config: GeneratorConfig{
+				Name:      "Amazon-GoogleProducts",
+				Domain:    DomainProduct,
+				Seed:      seed + 1,
+				BaseNoise: Corruption{Typo: 0.004, TokenDrop: 0.02, NumericJitter: 0.01},
+				Corruption: Corruption{
+					Typo: 0.035, TokenDrop: 0.30, TokenSwap: 0.35,
+					Abbreviate: 0.12, Synonym: 0.22, NumericJitter: 0.35,
+					MissingField: 0.25, Catastrophic: 0.74,
+				},
+				FamilySize: 2,
+				Vocabulary: 500,
+			},
+			Paper: PaperReference{
+				Pairs: 4397038, ImbalanceRatio: 3381, Matches: 1300,
+				PoolSize: 676267, PoolMatches: 200, PoolImbalance: 3381,
+				Precision: 0.597, Recall: 0.185, F50: 0.282,
+			},
+		},
+		{
+			Name: "restaurant",
+			Kind: Dedup,
+			// 112 duplicated venues of 2 listings plus 640 singletons
+			// ≈ 864 records, 112 matched pairs — the guidebook shape.
+			Clusters: 752, MeanClusterSize: 1, ClusterJitter: 0,
+			Config: GeneratorConfig{
+				Name:      "restaurant",
+				Domain:    DomainVenue,
+				Seed:      seed + 2,
+				BaseNoise: Corruption{Typo: 0.003},
+				Corruption: Corruption{
+					Typo: 0.015, TokenDrop: 0.06, TokenSwap: 0.08,
+					Abbreviate: 0.08, NumericJitter: 0.02, MissingField: 0.02,
+					Catastrophic: 0.10,
+				},
+				FamilySize: 1,
+				Vocabulary: 800,
+			},
+			Paper: PaperReference{
+				Pairs: 745632, ImbalanceRatio: 3328, Matches: 224,
+				PoolSize: 149747, PoolMatches: 45, PoolImbalance: 3328,
+				Precision: 0.909, Recall: 0.888, F50: 0.899,
+			},
+		},
+		{
+			Name: "DBLP-ACM",
+			Kind: TwoSource,
+			N1:   2616, N2: 2294, Matched: 2224,
+			Config: GeneratorConfig{
+				Name:      "DBLP-ACM",
+				Domain:    DomainCitation,
+				Seed:      seed + 3,
+				BaseNoise: Corruption{Typo: 0.002},
+				Corruption: Corruption{
+					Typo: 0.012, TokenDrop: 0.05, TokenSwap: 0.10,
+					Abbreviate: 0.06, NumericJitter: 0.002, MissingField: 0.01,
+					Catastrophic: 0.08,
+				},
+				FamilySize: 3,
+				Vocabulary: 3000,
+			},
+			Paper: PaperReference{
+				Pairs: 5998880, ImbalanceRatio: 2697, Matches: 2224,
+				PoolSize: 53946, PoolMatches: 20, PoolImbalance: 2697,
+				Precision: 1.0, Recall: 0.9, F50: 0.947,
+			},
+		},
+		{
+			Name: "Abt-Buy",
+			Kind: TwoSource,
+			N1:   1081, N2: 1092, Matched: 1097,
+			Config: GeneratorConfig{
+				Name:      "Abt-Buy",
+				Domain:    DomainProduct,
+				Seed:      seed + 4,
+				BaseNoise: Corruption{Typo: 0.004, TokenDrop: 0.02},
+				Corruption: Corruption{
+					Typo: 0.025, TokenDrop: 0.22, TokenSwap: 0.25,
+					Abbreviate: 0.10, Synonym: 0.12, NumericJitter: 0.20,
+					MissingField: 0.15, Catastrophic: 0.55,
+				},
+				FamilySize: 2,
+				Vocabulary: 700,
+			},
+			Paper: PaperReference{
+				Pairs: 1180452, ImbalanceRatio: 1075, Matches: 1097,
+				PoolSize: 53753, PoolMatches: 50, PoolImbalance: 1075,
+				Precision: 0.916, Recall: 0.44, F50: 0.595,
+			},
+		},
+		{
+			Name: "cora",
+			Kind: Dedup,
+			// ~48 heavily cited papers with ~38 duplicate citations each:
+			// 1831 records, ≈34k matching pairs, imbalance ≈ 48.
+			Clusters: 48, MeanClusterSize: 38, ClusterJitter: 9,
+			Config: GeneratorConfig{
+				Name:      "cora",
+				Domain:    DomainCitation,
+				Seed:      seed + 5,
+				BaseNoise: Corruption{Typo: 0.003},
+				Corruption: Corruption{
+					Typo: 0.02, TokenDrop: 0.12, TokenSwap: 0.15,
+					Abbreviate: 0.18, NumericJitter: 0.004, MissingField: 0.06,
+					Catastrophic: 0.09,
+				},
+				FamilySize: 2,
+				Vocabulary: 450,
+			},
+			Paper: PaperReference{
+				Pairs: 1675730, ImbalanceRatio: 47.76, Matches: 34368,
+				PoolSize: 328291, PoolMatches: 6874, PoolImbalance: 47.76,
+				Precision: 0.841, Recall: 0.837, F50: 0.839,
+			},
+		},
+		{
+			Name:      "tweets100k",
+			Kind:      Points,
+			NumPoints: 100000,
+			PosFrac:   0.5,
+			Overlap:   0.70,
+			Config: GeneratorConfig{
+				Name: "tweets100k",
+				Seed: seed + 6,
+			},
+			Paper: PaperReference{
+				Pairs: 100000, ImbalanceRatio: 1, Matches: 50000,
+				PoolSize: 20000, PoolMatches: 10049, PoolImbalance: 0.9903,
+				Precision: 0.762, Recall: 0.778, F50: 0.770,
+			},
+		},
+	}
+}
+
+// ProfileByName returns the named profile or an error.
+func ProfileByName(name string, seed uint64) (Profile, error) {
+	for _, p := range Profiles(seed) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("dataset: unknown profile %q", name)
+}
+
+// restaurantDuplicated is the number of duplicated venues in the restaurant
+// profile; see Generate.
+const restaurantDuplicated = 112
+
+// Generate materialises a profile into its dataset. The returned value is a
+// *TwoSourceDataset, *DedupDataset or *PointsDataset depending on Kind.
+func (p Profile) Generate() (any, error) {
+	switch p.Kind {
+	case TwoSource:
+		return GenerateTwoSource(p.Config, p.N1, p.N2, p.Matched)
+	case Dedup:
+		if p.Name == "restaurant" {
+			// Restaurant: mostly singleton venues plus a duplicated minority,
+			// generated as clusters of variable size.
+			return generateRestaurant(p)
+		}
+		return GenerateDedup(p.Config, p.Clusters, p.MeanClusterSize, p.ClusterJitter)
+	case Points:
+		return GeneratePoints(p.Name, p.Config.Seed, p.NumPoints, p.PosFrac, p.Overlap), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown kind %d", p.Kind)
+	}
+}
+
+// generateRestaurant creates the guidebook-style dedup dataset: 112 venues
+// listed twice and the remainder listed once (864 records, 112 matching
+// pairs — the unordered-pair counterpart of the paper's 224 ordered matches).
+func generateRestaurant(p Profile) (*DedupDataset, error) {
+	cfg := p.Config
+	ds, err := GenerateDedup(cfg, restaurantDuplicated, 2, 0)
+	if err != nil {
+		return nil, err
+	}
+	singles, err := GenerateDedup(GeneratorConfig{
+		Name:       cfg.Name,
+		Domain:     cfg.Domain,
+		Seed:       cfg.Seed + 99,
+		BaseNoise:  cfg.BaseNoise,
+		Corruption: cfg.Corruption,
+		FamilySize: cfg.FamilySize,
+		Vocabulary: cfg.Vocabulary,
+	}, 640, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Offset entity IDs of the singleton block so they cannot collide.
+	offset := restaurantDuplicated
+	for i := range singles.Records {
+		singles.Records[i].EntityID += offset
+		ds.Records = append(ds.Records, singles.Records[i])
+	}
+	return ds, nil
+}

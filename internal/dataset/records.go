@@ -1,0 +1,54 @@
+package dataset
+
+// FieldKind classifies a record field for feature extraction: short text is
+// compared with trigram Jaccard, long text with tf-idf cosine, and numbers
+// with normalised absolute difference (paper §6.1.2).
+type FieldKind int
+
+const (
+	// ShortText fields (names, titles, addresses) use trigram Jaccard.
+	ShortText FieldKind = iota
+	// LongText fields (descriptions, abstracts) use tf-idf cosine.
+	LongText
+	// Numeric fields (prices, years) use normalised absolute difference.
+	Numeric
+)
+
+// String returns the kind name.
+func (k FieldKind) String() string {
+	switch k {
+	case ShortText:
+		return "short_text"
+	case LongText:
+		return "long_text"
+	case Numeric:
+		return "numeric"
+	default:
+		return "unknown"
+	}
+}
+
+// FieldSpec describes one field of a schema.
+type FieldSpec struct {
+	Name string
+	Kind FieldKind
+}
+
+// Schema is an ordered list of fields shared by both sources of a dataset.
+type Schema []FieldSpec
+
+// Value is one field value of a record. Missing values are explicit, mirroring
+// the paper's imputation step.
+type Value struct {
+	Text    string
+	Num     float64
+	Missing bool
+}
+
+// Record is a single database record: an entity reference plus field values.
+// EntityID identifies the underlying ground-truth entity — two records match
+// (are in the relation R) exactly when their EntityIDs are equal.
+type Record struct {
+	EntityID int
+	Values   []Value
+}

@@ -1,0 +1,170 @@
+// Package estimator implements the F-measure estimators of the paper: the
+// plain count-based statistic (Eqn. 1) used by passive sampling, the
+// importance-weighted AIS estimator (Eqn. 3, Definition 5) used by IS and
+// OASIS, and the stratified estimator used by the proportional stratified
+// baseline of Druck & McCallum (§6.2).
+//
+// All estimators expose the same convention: Estimate returns NaN while the
+// statistic is undefined (no predicted-positive or true-positive mass seen
+// yet), which the experiment harness uses to implement the paper's
+// "estimate is well-defined" plotting rule.
+package estimator
+
+import "math"
+
+// FMeasure returns TP / (α(TP+FP) + (1−α)(TP+FN)) — Eqn. (1) — or NaN when
+// the denominator is zero. α=1 gives precision, α=0 recall, α=1/2 the
+// balanced F-measure.
+func FMeasure(alpha, tp, fp, fn float64) float64 {
+	den := alpha*(tp+fp) + (1-alpha)*(tp+fn)
+	if den <= 0 {
+		return math.NaN()
+	}
+	return tp / den
+}
+
+// Weighted is the bias-corrected (adaptive) importance-sampling estimator of
+// Eqn. (3): F̂ = Σ w·l·l̂ / (α Σ w·l̂ + (1−α) Σ w·l). With all weights equal
+// to one it reduces to the plain estimator of Eqn. (1); hence the passive
+// baseline uses Weighted with w = 1. The zero value with Alpha set is ready
+// for use.
+type Weighted struct {
+	// Alpha is the F-measure weight α ∈ [0, 1].
+	Alpha float64
+
+	sumNum  float64 // Σ w_t l_t l̂_t
+	sumPred float64 // Σ w_t l̂_t
+	sumTrue float64 // Σ w_t l_t
+	n       int
+}
+
+// NewWeighted returns a Weighted estimator for the given α.
+func NewWeighted(alpha float64) *Weighted { return &Weighted{Alpha: alpha} }
+
+// Add incorporates one labelled sample with importance weight w.
+func (e *Weighted) Add(w float64, label, pred bool) {
+	e.n++
+	if label && pred {
+		e.sumNum += w
+	}
+	if pred {
+		e.sumPred += w
+	}
+	if label {
+		e.sumTrue += w
+	}
+}
+
+// N returns the number of samples incorporated.
+func (e *Weighted) N() int { return e.n }
+
+// Defined reports whether the estimate's denominator is positive.
+func (e *Weighted) Defined() bool {
+	return e.Alpha*e.sumPred+(1-e.Alpha)*e.sumTrue > 0
+}
+
+// Estimate returns the current F̂, or NaN when undefined.
+func (e *Weighted) Estimate() float64 {
+	den := e.Alpha*e.sumPred + (1-e.Alpha)*e.sumTrue
+	if den <= 0 {
+		return math.NaN()
+	}
+	f := e.sumNum / den
+	// Importance weighting keeps F̂ a ratio of non-negative sums; values can
+	// exceed 1 transiently only through α-weighting of disjoint sums, so
+	// clamp for interpretability.
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Sums exposes the three accumulated sums (numerator, predicted-positive,
+// true-positive) for diagnostics.
+func (e *Weighted) Sums() (num, pred, true_ float64) {
+	return e.sumNum, e.sumPred, e.sumTrue
+}
+
+// Stratified is the proportional stratified F-measure estimator used by the
+// Stratified baseline: strata have fixed weights ω_k and known mean
+// predictions λ_k; labels update per-stratum empirical match rates π̂_k, and
+//
+//	F̂ = Σ ω_k π̂λ_k / (α Σ ω_k λ_k + (1−α) Σ ω_k π̂_k)
+//
+// where π̂λ_k estimates E[l·l̂ | stratum k] and π̂_k estimates E[l | k].
+type Stratified struct {
+	// Alpha is the F-measure weight.
+	Alpha float64
+
+	weights []float64 // ω_k
+	lambda  []float64 // λ_k (mean prediction, known exactly)
+
+	labels  []int // labels seen per stratum
+	pos     []int // positive labels per stratum
+	posPred []int // positive labels with positive prediction per stratum
+	n       int
+}
+
+// NewStratified builds the estimator from stratum weights ω and mean
+// predictions λ.
+func NewStratified(alpha float64, weights, lambda []float64) *Stratified {
+	k := len(weights)
+	return &Stratified{
+		Alpha:   alpha,
+		weights: append([]float64(nil), weights...),
+		lambda:  append([]float64(nil), lambda...),
+		labels:  make([]int, k),
+		pos:     make([]int, k),
+		posPred: make([]int, k),
+	}
+}
+
+// Add incorporates a labelled sample drawn from stratum k.
+func (e *Stratified) Add(k int, label, pred bool) {
+	e.n++
+	e.labels[k]++
+	if label {
+		e.pos[k]++
+		if pred {
+			e.posPred[k]++
+		}
+	}
+}
+
+// N returns the number of samples incorporated.
+func (e *Stratified) N() int { return e.n }
+
+// Estimate returns the stratified F̂, or NaN when undefined. Strata without
+// labels contribute zero to the estimated match mass (their λ_k still counts
+// toward predicted positives, which is known exactly).
+func (e *Stratified) Estimate() float64 {
+	num, den := 0.0, 0.0
+	predMass := 0.0
+	trueMass := 0.0
+	for k, w := range e.weights {
+		predMass += w * e.lambda[k]
+		if e.labels[k] > 0 {
+			piHat := float64(e.pos[k]) / float64(e.labels[k])
+			piLamHat := float64(e.posPred[k]) / float64(e.labels[k])
+			num += w * piLamHat
+			trueMass += w * piHat
+		}
+	}
+	den = e.Alpha*predMass + (1-e.Alpha)*trueMass
+	if den <= 0 || num == 0 && trueMass == 0 && e.Alpha == 0 {
+		return math.NaN()
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	f := num / den
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Defined reports whether Estimate would return a finite value.
+func (e *Stratified) Defined() bool {
+	return !math.IsNaN(e.Estimate())
+}

@@ -1,0 +1,274 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"oasis/internal/rng"
+)
+
+func TestFMeasureSpecialCases(t *testing.T) {
+	// tp=2 fp=1 fn=2: precision 2/3, recall 1/2, F_1/2 = 2/(0.5*3+0.5*4).
+	if got := FMeasure(1, 2, 1, 2); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", got)
+	}
+	if got := FMeasure(0, 2, 1, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("recall = %v", got)
+	}
+	want := 2.0 / (0.5*3 + 0.5*4)
+	if got := FMeasure(0.5, 2, 1, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("F_1/2 = %v, want %v", got, want)
+	}
+	if !math.IsNaN(FMeasure(0.5, 0, 0, 0)) {
+		t.Error("empty confusion should give NaN")
+	}
+}
+
+func TestFMeasureRangeProperty(t *testing.T) {
+	f := func(a, tpR, fpR, fnR uint8) bool {
+		alpha := float64(a%101) / 100
+		tp, fp, fn := float64(tpR), float64(fpR), float64(fnR)
+		got := FMeasure(alpha, tp, fp, fn)
+		if math.IsNaN(got) {
+			return alpha*(tp+fp)+(1-alpha)*(tp+fn) == 0
+		}
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedReducesToPlain(t *testing.T) {
+	// With unit weights, Weighted must equal the count-based statistic.
+	labels := []bool{true, false, true, true, false, false, true}
+	preds := []bool{true, true, false, true, false, true, true}
+	e := NewWeighted(0.5)
+	var tp, fp, fn float64
+	for i := range labels {
+		e.Add(1, labels[i], preds[i])
+		if labels[i] && preds[i] {
+			tp++
+		}
+		if !labels[i] && preds[i] {
+			fp++
+		}
+		if labels[i] && !preds[i] {
+			fn++
+		}
+	}
+	want := FMeasure(0.5, tp, fp, fn)
+	if got := e.Estimate(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("weighted(1) = %v, plain = %v", got, want)
+	}
+	if e.N() != len(labels) {
+		t.Errorf("N = %d", e.N())
+	}
+}
+
+func TestWeightedUndefinedUntilMass(t *testing.T) {
+	e := NewWeighted(0.5)
+	if e.Defined() || !math.IsNaN(e.Estimate()) {
+		t.Error("fresh estimator should be undefined")
+	}
+	e.Add(1, false, false) // negative non-predicted: still undefined
+	if e.Defined() {
+		t.Error("no positive mass yet")
+	}
+	e.Add(1, true, false) // true positive label, not predicted
+	if !e.Defined() {
+		t.Error("true-label mass defines the α<1 estimator")
+	}
+}
+
+func TestWeightedScaleInvariance(t *testing.T) {
+	// Multiplying all weights by a constant must not change the estimate.
+	labels := []bool{true, false, true, false, true}
+	preds := []bool{true, true, true, false, false}
+	w := []float64{0.5, 2, 1.5, 3, 0.25}
+	a := NewWeighted(0.5)
+	b := NewWeighted(0.5)
+	for i := range labels {
+		a.Add(w[i], labels[i], preds[i])
+		b.Add(10*w[i], labels[i], preds[i])
+	}
+	if math.Abs(a.Estimate()-b.Estimate()) > 1e-12 {
+		t.Errorf("scale invariance broken: %v vs %v", a.Estimate(), b.Estimate())
+	}
+}
+
+func TestWeightedUnbiasedUnderImportanceSampling(t *testing.T) {
+	// Finite population with known F; sample from a biased distribution q
+	// with weights p/q. The weighted estimator must converge to the true F.
+	r := rng.New(1)
+	const n = 1000
+	labels := make([]bool, n)
+	preds := make([]bool, n)
+	q := make([]float64, n)
+	for i := 0; i < n; i++ {
+		labels[i] = i%17 == 0
+		preds[i] = i%13 == 0 || (labels[i] && i%3 == 0)
+		if preds[i] || labels[i] {
+			q[i] = 10 // oversample interesting items
+		} else {
+			q[i] = 1
+		}
+	}
+	qsum := 0.0
+	for _, v := range q {
+		qsum += v
+	}
+	var tp, fp, fn float64
+	for i := 0; i < n; i++ {
+		if labels[i] && preds[i] {
+			tp++
+		}
+		if !labels[i] && preds[i] {
+			fp++
+		}
+		if labels[i] && !preds[i] {
+			fn++
+		}
+	}
+	trueF := FMeasure(0.5, tp, fp, fn)
+	sampler, err := rng.NewAlias(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewWeighted(0.5)
+	p := 1.0 / float64(n)
+	for draws := 0; draws < 200000; draws++ {
+		i := sampler.Draw(r)
+		w := p / (q[i] / qsum)
+		e.Add(w, labels[i], preds[i])
+	}
+	if got := e.Estimate(); math.Abs(got-trueF) > 0.01 {
+		t.Errorf("IS estimate %v, true %v", got, trueF)
+	}
+}
+
+func TestWeightedPrecisionRecallTargets(t *testing.T) {
+	r := rng.New(2)
+	const n = 500
+	labels := make([]bool, n)
+	preds := make([]bool, n)
+	for i := 0; i < n; i++ {
+		labels[i] = i%7 == 0
+		preds[i] = i%5 == 0
+	}
+	var tp, fp, fn float64
+	for i := 0; i < n; i++ {
+		if labels[i] && preds[i] {
+			tp++
+		}
+		if !labels[i] && preds[i] {
+			fp++
+		}
+		if labels[i] && !preds[i] {
+			fn++
+		}
+	}
+	for _, alpha := range []float64{0, 0.5, 1} {
+		e := NewWeighted(alpha)
+		for draws := 0; draws < 100000; draws++ {
+			i := r.Intn(n)
+			e.Add(1, labels[i], preds[i])
+		}
+		want := FMeasure(alpha, tp, fp, fn)
+		if got := e.Estimate(); math.Abs(got-want) > 0.02 {
+			t.Errorf("alpha=%v: estimate %v, want %v", alpha, got, want)
+		}
+	}
+}
+
+func TestStratifiedExactWhenFullyLabelled(t *testing.T) {
+	// Two strata; label every item: the stratified estimator must equal the
+	// population F exactly.
+	weights := []float64{0.8, 0.2}
+	lambda := []float64{0.0, 1.0} // low stratum predicts nothing, high all
+	// Stratum 0: 8 items, 1 true match (unpredicted). Stratum 1: 2 items,
+	// 1 true match (predicted), 1 non-match (predicted).
+	e := NewStratified(0.5, weights, lambda)
+	// Label all of stratum 0: one positive among 8.
+	e.Add(0, true, false)
+	for i := 0; i < 7; i++ {
+		e.Add(0, false, false)
+	}
+	// Label all of stratum 1.
+	e.Add(1, true, true)
+	e.Add(1, false, true)
+	// Population (10 items): tp=1, fp=1, fn=1 → F = 1/(0.5*2+0.5*2) = 0.5.
+	if got := e.Estimate(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("stratified exact = %v, want 0.5", got)
+	}
+}
+
+func TestStratifiedUndefinedWithoutLabels(t *testing.T) {
+	e := NewStratified(0, []float64{1}, []float64{0.5})
+	if e.Defined() {
+		t.Error("no labels: recall estimator should be undefined")
+	}
+}
+
+func TestStratifiedConvergesUnderProportionalSampling(t *testing.T) {
+	r := rng.New(3)
+	// Build a synthetic stratified population.
+	sizes := []int{900, 90, 10}
+	match := [][]bool{make([]bool, 900), make([]bool, 90), make([]bool, 10)}
+	pred := [][]bool{make([]bool, 900), make([]bool, 90), make([]bool, 10)}
+	for i := 0; i < 9; i++ {
+		match[1][i] = true
+	}
+	for i := 0; i < 9; i++ {
+		match[2][i] = true
+		pred[2][i] = true
+	}
+	pred[1][0] = true
+	n := 1000.0
+	weights := []float64{900 / n, 90 / n, 10 / n}
+	lambda := make([]float64, 3)
+	var tp, fp, fn float64
+	for k := range sizes {
+		cnt := 0.0
+		for i := 0; i < sizes[k]; i++ {
+			if pred[k][i] {
+				cnt++
+			}
+			switch {
+			case match[k][i] && pred[k][i]:
+				tp++
+			case !match[k][i] && pred[k][i]:
+				fp++
+			case match[k][i] && !pred[k][i]:
+				fn++
+			}
+		}
+		lambda[k] = cnt / float64(sizes[k])
+	}
+	trueF := FMeasure(0.5, tp, fp, fn)
+	e := NewStratified(0.5, weights, lambda)
+	cum, err := rng.NewCumulative(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for draws := 0; draws < 300000; draws++ {
+		k := cum.Draw(r)
+		i := r.Intn(sizes[k])
+		e.Add(k, match[k][i], pred[k][i])
+	}
+	if got := e.Estimate(); math.Abs(got-trueF) > 0.03 {
+		t.Errorf("stratified estimate %v, true %v", got, trueF)
+	}
+}
+
+func TestWeightedSumsExposed(t *testing.T) {
+	e := NewWeighted(0.5)
+	e.Add(2, true, true)
+	e.Add(3, false, true)
+	e.Add(4, true, false)
+	num, pred, tru := e.Sums()
+	if num != 2 || pred != 5 || tru != 6 {
+		t.Errorf("sums = %v %v %v", num, pred, tru)
+	}
+}

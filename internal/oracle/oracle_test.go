@@ -1,0 +1,149 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"oasis/internal/rng"
+)
+
+func TestDeterministic(t *testing.T) {
+	o := NewDeterministic([]bool{true, false, true})
+	if !o.Label(0) || o.Label(1) || !o.Label(2) {
+		t.Error("deterministic oracle returned wrong labels")
+	}
+	// Labels must be stable across repeat queries.
+	for i := 0; i < 10; i++ {
+		if !o.Label(0) {
+			t.Fatal("label changed across queries")
+		}
+	}
+}
+
+func TestBernoulliRates(t *testing.T) {
+	probs := []float64{0, 0.25, 0.75, 1}
+	o := NewBernoulli(probs, rng.New(1))
+	const n = 50000
+	for i, p := range probs {
+		hits := 0
+		for q := 0; q < n; q++ {
+			if o.Label(i) {
+				hits++
+			}
+		}
+		rate := float64(hits) / n
+		if math.Abs(rate-p) > 0.01 {
+			t.Errorf("item %d rate = %v, want %v", i, rate, p)
+		}
+	}
+}
+
+func TestFromProbs(t *testing.T) {
+	if _, ok := FromProbs([]float64{0, 1, 1}, rng.New(2)).(*Deterministic); !ok {
+		t.Error("0/1 probs should give deterministic oracle")
+	}
+	if _, ok := FromProbs([]float64{0, 0.5}, rng.New(3)).(*Bernoulli); !ok {
+		t.Error("fractional probs should give Bernoulli oracle")
+	}
+	det := FromProbs([]float64{0, 1}, rng.New(4))
+	if det.Label(0) || !det.Label(1) {
+		t.Error("FromProbs deterministic labels wrong")
+	}
+}
+
+func TestBudgetedCaching(t *testing.T) {
+	o := NewBudgeted(NewDeterministic([]bool{true, false, true, false}), 2)
+	// First query charges budget.
+	l, err := o.TryLabel(0)
+	if err != nil || !l {
+		t.Fatalf("TryLabel(0) = %v, %v", l, err)
+	}
+	if o.Consumed() != 1 {
+		t.Errorf("consumed = %d", o.Consumed())
+	}
+	// Repeat query: cached, no charge.
+	for i := 0; i < 5; i++ {
+		if _, err := o.TryLabel(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Consumed() != 1 {
+		t.Errorf("repeat queries charged budget: %d", o.Consumed())
+	}
+	if o.Queries() != 6 {
+		t.Errorf("queries = %d", o.Queries())
+	}
+	// Second distinct item exhausts the budget of 2.
+	if _, err := o.TryLabel(1); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Exhausted() {
+		t.Error("budget should be exhausted")
+	}
+	if _, err := o.TryLabel(2); err != ErrBudgetExhausted {
+		t.Errorf("expected ErrBudgetExhausted, got %v", err)
+	}
+	// Cached items remain available after exhaustion.
+	if l, err := o.TryLabel(1); err != nil || l {
+		t.Errorf("cached label after exhaustion = %v, %v", l, err)
+	}
+}
+
+func TestBudgetedUnlimited(t *testing.T) {
+	o := NewBudgeted(NewDeterministic(make([]bool, 100)), 0)
+	for i := 0; i < 100; i++ {
+		if _, err := o.TryLabel(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Remaining() != -1 {
+		t.Errorf("unlimited Remaining = %d", o.Remaining())
+	}
+	if o.Exhausted() {
+		t.Error("unlimited budget cannot exhaust")
+	}
+}
+
+func TestBudgetedRemaining(t *testing.T) {
+	o := NewBudgeted(NewDeterministic(make([]bool, 10)), 5)
+	if o.Remaining() != 5 {
+		t.Errorf("remaining = %d", o.Remaining())
+	}
+	o.Label(0)
+	o.Label(1)
+	if o.Remaining() != 3 {
+		t.Errorf("remaining after 2 = %d", o.Remaining())
+	}
+}
+
+func TestBudgetedNoisyOracleStableWithinRun(t *testing.T) {
+	// A noisy oracle behind the cache must return one realised label per
+	// item per run (like a crowd worker who answers once).
+	probs := make([]float64, 50)
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	o := NewBudgeted(NewBernoulli(probs, rng.New(5)), 0)
+	first := make([]bool, 50)
+	for i := 0; i < 50; i++ {
+		first[i] = o.Label(i)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 50; i++ {
+			if o.Label(i) != first[i] {
+				t.Fatal("cached noisy label changed within run")
+			}
+		}
+	}
+}
+
+func TestBudgetedLabelPanicsOnExhaustion(t *testing.T) {
+	o := NewBudgeted(NewDeterministic(make([]bool, 3)), 1)
+	o.Label(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	o.Label(1)
+}

@@ -1,0 +1,99 @@
+package paperexp
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestFromEnvDefaults(t *testing.T) {
+	for _, k := range []string{"OASIS_BENCH_SCALE", "OASIS_BENCH_RUNS", "OASIS_BENCH_SEED"} {
+		t.Setenv(k, "")
+		os.Unsetenv(k)
+	}
+	cfg := FromEnv()
+	if cfg.Scale != 0.25 || cfg.Runs != 20 || cfg.Seed != 1 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestFromEnvOverrides(t *testing.T) {
+	t.Setenv("OASIS_BENCH_SCALE", "0.5")
+	t.Setenv("OASIS_BENCH_RUNS", "7")
+	t.Setenv("OASIS_BENCH_SEED", "99")
+	cfg := FromEnv()
+	if cfg.Scale != 0.5 || cfg.Runs != 7 || cfg.Seed != 99 {
+		t.Errorf("overrides = %+v", cfg)
+	}
+}
+
+func TestFromEnvIgnoresGarbage(t *testing.T) {
+	t.Setenv("OASIS_BENCH_SCALE", "not-a-number")
+	t.Setenv("OASIS_BENCH_RUNS", "-3")
+	cfg := FromEnv()
+	if cfg.Scale != 0.25 {
+		t.Errorf("garbage scale should fall back: %v", cfg.Scale)
+	}
+	if cfg.Runs != 20 {
+		t.Errorf("non-positive runs should fall back: %v", cfg.Runs)
+	}
+}
+
+func TestBudgetFor(t *testing.T) {
+	if b := budgetFor("Amazon-GoogleProducts", 1.0); b != 40000 {
+		t.Errorf("AG full budget %d", b)
+	}
+	if b := budgetFor("tweets100k", 0.01); b != 500 {
+		t.Errorf("budget floor %d", b)
+	}
+}
+
+func TestOasisKs(t *testing.T) {
+	if got := oasisKs("tweets100k"); got[0] != 10 || got[2] != 40 {
+		t.Errorf("tweets Ks %v", got)
+	}
+	if got := oasisKs("Abt-Buy"); got[0] != 30 || got[2] != 120 {
+		t.Errorf("default Ks %v", got)
+	}
+}
+
+func TestPaperOperatingPointsComplete(t *testing.T) {
+	for _, name := range []string{"Amazon-GoogleProducts", "restaurant", "DBLP-ACM", "Abt-Buy", "cora", "tweets100k"} {
+		p := paperOperatingPoint(name)
+		if p[2] == 0 {
+			t.Errorf("%s: missing paper F", name)
+		}
+	}
+	if p := paperOperatingPoint("nope"); p[0] != 0 {
+		t.Error("unknown dataset should give zeros")
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	// Table 1 only generates datasets (no pools, no sampling) — a fast
+	// end-to-end check that the regeneration layer produces its table.
+	var buf bytes.Buffer
+	if err := Table1(&buf, Config{Scale: 0.1, Runs: 1, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Amazon-GoogleProducts", "tweets100k", "cora"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 8 {
+		t.Errorf("expected 8+ lines, got %d:\n%s", lines, out)
+	}
+}
+
+func TestFmtF(t *testing.T) {
+	if got := fmtF(0.123456, 3); got != "0.123" {
+		t.Errorf("fmtF = %q", got)
+	}
+	if got := fmtF(math.NaN(), 3); got != "-" {
+		t.Errorf("fmtF(NaN) = %q", got)
+	}
+}

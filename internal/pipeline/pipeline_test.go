@@ -1,0 +1,296 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"oasis/internal/dataset"
+	"oasis/internal/rng"
+)
+
+func smallProductDataset(t *testing.T) *dataset.TwoSourceDataset {
+	t.Helper()
+	ds, err := dataset.GenerateTwoSource(dataset.GeneratorConfig{
+		Name:      "small",
+		Domain:    dataset.DomainProduct,
+		Seed:      1,
+		BaseNoise: dataset.Corruption{Typo: 0.004},
+		Corruption: dataset.Corruption{
+			Typo: 0.02, TokenDrop: 0.12, TokenSwap: 0.15,
+			Abbreviate: 0.05, NumericJitter: 0.1, MissingField: 0.05,
+		},
+		FamilySize: 3,
+		Vocabulary: 400,
+	}, 300, 320, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestFeaturizer(t *testing.T) {
+	ds := smallProductDataset(t)
+	f := NewFeaturizer(ds.Schema, ds.D1, ds.D2)
+	if f.NumFeatures() != len(ds.Schema) {
+		t.Fatalf("features %d", f.NumFeatures())
+	}
+	reps1 := f.Reps(ds.D1)
+	reps2 := f.Reps(ds.D2)
+	x := f.PairFeatures(&reps1[0], &reps2[0], nil)
+	if len(x) != f.NumFeatures() {
+		t.Fatalf("feature vector length %d", len(x))
+	}
+	for i, v := range x {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Errorf("feature %d = %v out of [0,1]", i, v)
+		}
+	}
+	// Self-similarity must be maximal for non-missing fields.
+	self := f.PairFeatures(&reps1[0], &reps1[0], nil)
+	for i, v := range self {
+		if !reps1[0].miss[i] && math.Abs(v-1) > 1e-9 {
+			t.Errorf("self feature %d = %v", i, v)
+		}
+	}
+}
+
+func TestFeaturizerMatchedPairsScoreHigher(t *testing.T) {
+	ds := smallProductDataset(t)
+	f := NewFeaturizer(ds.Schema, ds.D1, ds.D2)
+	reps1 := f.Reps(ds.D1)
+	reps2 := f.Reps(ds.D2)
+	byEntity := make(map[int]int)
+	for i, rec := range ds.D1 {
+		byEntity[rec.EntityID] = i
+	}
+	var matchSum, randSum float64
+	var nMatch, nRand int
+	buf := make([]float64, f.NumFeatures())
+	for j, rec := range ds.D2 {
+		if i, ok := byEntity[rec.EntityID]; ok {
+			x := f.PairFeatures(&reps1[i], &reps2[j], buf)
+			matchSum += x[0] // name trigram Jaccard
+			nMatch++
+		}
+		ri := (j * 31) % len(ds.D1)
+		if ds.D1[ri].EntityID != rec.EntityID {
+			x := f.PairFeatures(&reps1[ri], &reps2[j], buf)
+			randSum += x[0]
+			nRand++
+		}
+	}
+	if matchSum/float64(nMatch) < randSum/float64(nRand)+0.2 {
+		t.Errorf("matched name similarity %.3f vs random %.3f",
+			matchSum/float64(nMatch), randSum/float64(nRand))
+	}
+}
+
+func TestBuildTwoSourcePool(t *testing.T) {
+	ds := smallProductDataset(t)
+	res, err := BuildTwoSourcePool(ds, Config{
+		Seed: 2, PoolSize: 5000, PoolMatches: 60, TrainPairs: 800,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Pool
+	if p.N() != 5000 {
+		t.Fatalf("pool size %d", p.N())
+	}
+	if got := p.ExpectedMatches(); got != 60 {
+		t.Fatalf("pool matches %v, want 60", got)
+	}
+	if p.Probabilistic {
+		t.Error("L-SVM pool should be uncalibrated")
+	}
+	// The trained classifier must be far better than chance on the pool.
+	f := p.TrueFMeasure(0.5)
+	if math.IsNaN(f) || f < 0.2 {
+		t.Errorf("pool F = %v; classifier failed to learn", f)
+	}
+}
+
+func TestBuildTwoSourcePoolCalibrated(t *testing.T) {
+	ds := smallProductDataset(t)
+	res, err := BuildTwoSourcePool(ds, Config{
+		Seed: 3, PoolSize: 3000, PoolMatches: 40, TrainPairs: 900, Calibrate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pool.Probabilistic {
+		t.Error("calibrated pool should be probabilistic")
+	}
+	for i := 0; i < res.Pool.N(); i++ {
+		s := res.Pool.Scores[i]
+		if s < 0 || s > 1 {
+			t.Fatalf("calibrated score out of range: %v", s)
+		}
+	}
+}
+
+func TestBuildDedupPool(t *testing.T) {
+	ds, err := dataset.GenerateDedup(dataset.GeneratorConfig{
+		Name: "dd", Domain: dataset.DomainCitation, Seed: 4,
+		Corruption: dataset.Corruption{Typo: 0.02, TokenDrop: 0.08},
+	}, 40, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BuildDedupPool(ds, Config{
+		Seed: 5, PoolSize: 4000, PoolMatches: 300, TrainPairs: 700,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Pool
+	if p.N() != 4000 || p.ExpectedMatches() != 300 {
+		t.Fatalf("pool %d/%v", p.N(), p.ExpectedMatches())
+	}
+	if f := p.TrueFMeasure(0.5); math.IsNaN(f) || f < 0.3 {
+		t.Errorf("dedup pool F = %v", f)
+	}
+}
+
+func TestBuildDedupPoolNoSelfPairs(t *testing.T) {
+	// The unordered-pair draw must never produce i == j; exhaust a small
+	// space to check.
+	ds, err := dataset.GenerateDedup(dataset.GeneratorConfig{
+		Name: "tiny", Domain: dataset.DomainVenue, Seed: 6,
+		Corruption: dataset.Corruption{Typo: 0.01},
+	}, 5, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(ds.Records)
+	maxPairs := n * (n - 1) / 2
+	res, err := BuildDedupPool(ds, Config{
+		Seed: 7, PoolSize: maxPairs, PoolMatches: ds.NumMatches(), TrainPairs: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pool.N() != maxPairs {
+		t.Fatalf("exhaustive pool %d of %d", res.Pool.N(), maxPairs)
+	}
+	if got := int(res.Pool.ExpectedMatches()); got != ds.NumMatches() {
+		t.Errorf("matches %d, want %d", got, ds.NumMatches())
+	}
+}
+
+func TestBuildPointsPool(t *testing.T) {
+	ds := dataset.GeneratePoints("pts", 8, 5000, 0.5, 1.0)
+	res, err := BuildPointsPool(ds, Config{Seed: 9, PoolSize: 1000, TrainPairs: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Pool
+	if p.N() != 1000 {
+		t.Fatalf("pool %d", p.N())
+	}
+	// Balanced data: match fraction near 1/2, F well above chance.
+	frac := p.ExpectedMatches() / float64(p.N())
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("positive fraction %v", frac)
+	}
+	if f := p.TrueFMeasure(0.5); math.IsNaN(f) || f < 0.6 {
+		t.Errorf("points pool F = %v", f)
+	}
+}
+
+func TestBuildPoolErrors(t *testing.T) {
+	ds := smallProductDataset(t)
+	if _, err := BuildTwoSourcePool(ds, Config{Seed: 10, PoolSize: 0}); err == nil {
+		t.Error("expected error on zero pool size")
+	}
+	if _, err := BuildTwoSourcePool(ds, Config{Seed: 11, PoolSize: 100, PoolMatches: 10000}); err == nil {
+		t.Error("expected error when matches exceed dataset's")
+	}
+	if _, err := BuildTwoSourcePool(ds, Config{Seed: 12, PoolSize: 10, PoolMatches: 50}); err == nil {
+		t.Error("expected error when matches exceed pool size")
+	}
+}
+
+func TestModelKinds(t *testing.T) {
+	ds := smallProductDataset(t)
+	for _, kind := range []ModelKind{LinearSVM, LogReg, NeuralNet, Boosted, KernelSVM} {
+		res, err := BuildTwoSourcePool(ds, Config{
+			Seed: 13, PoolSize: 1500, PoolMatches: 30, TrainPairs: 600, Model: kind,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if f := res.Pool.TrueFMeasure(0.5); math.IsNaN(f) || f < 0.15 {
+			t.Errorf("%v: pool F = %v", kind, f)
+		}
+		if kind.String() == "unknown" {
+			t.Errorf("kind %d has no name", kind)
+		}
+	}
+}
+
+func TestBuildProfilePoolScaled(t *testing.T) {
+	prof, err := dataset.ProfileByName("Abt-Buy", 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BuildProfilePool(prof, 0.05, Config{TrainPairs: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSize := int(float64(prof.Paper.PoolSize) * 0.05)
+	if res.Pool.N() != wantSize {
+		t.Errorf("scaled pool %d, want %d", res.Pool.N(), wantSize)
+	}
+	wantMatches := int(float64(prof.Paper.PoolMatches) * 0.05)
+	if int(res.Pool.ExpectedMatches()) != wantMatches {
+		t.Errorf("scaled matches %v, want %d", res.Pool.ExpectedMatches(), wantMatches)
+	}
+}
+
+func TestOperatingPoint(t *testing.T) {
+	ds := smallProductDataset(t)
+	res, err := BuildTwoSourcePool(ds, Config{Seed: 14, PoolSize: 2000, PoolMatches: 40, TrainPairs: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, rec, f := OperatingPoint(res.Pool)
+	if prec < 0 || prec > 1 || rec < 0 || rec > 1 {
+		t.Errorf("operating point out of range: %v %v", prec, rec)
+	}
+	if !math.IsNaN(f) {
+		hm := 2 * prec * rec / (prec + rec)
+		if math.Abs(f-hm) > 1e-9 {
+			t.Errorf("F %v vs harmonic mean %v", f, hm)
+		}
+	}
+}
+
+func TestSamplePairsExactCounts(t *testing.T) {
+	r := rng.New(15)
+	all := []pairRef{{0, 1}, {2, 3}, {4, 5}}
+	matchSet := map[pairRef]bool{{0, 1}: true, {2, 3}: true, {4, 5}: true}
+	pairs, err := samplePairs(20, 2, all,
+		func(p pairRef) bool { return matchSet[p] },
+		func() pairRef { return pairRef{r.Intn(50), r.Intn(50)} }, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 20 {
+		t.Fatalf("pairs %d", len(pairs))
+	}
+	seen := make(map[pairRef]bool)
+	matches := 0
+	for _, p := range pairs {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+		if matchSet[p] {
+			matches++
+		}
+	}
+	if matches != 2 {
+		t.Errorf("matches in pool %d, want 2", matches)
+	}
+}

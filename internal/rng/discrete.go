@@ -1,0 +1,164 @@
+package rng
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrBadWeights is returned when a weight vector is empty, contains a
+// negative / non-finite entry, or sums to zero.
+var ErrBadWeights = errors.New("rng: weights must be non-negative, finite, and sum to a positive value")
+
+// validateWeights checks w and returns its sum.
+func validateWeights(w []float64) (float64, error) {
+	if len(w) == 0 {
+		return 0, ErrBadWeights
+	}
+	sum := 0.0
+	for _, x := range w {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, ErrBadWeights
+		}
+		sum += x
+	}
+	if sum <= 0 || math.IsInf(sum, 0) {
+		return 0, ErrBadWeights
+	}
+	return sum, nil
+}
+
+// Categorical draws one index from the (unnormalised, non-negative) weight
+// vector w by a linear inverse-CDF scan: O(len(w)) per draw. This is the
+// "naive" sampling mode; the paper's IS baseline uses exactly this over the
+// whole pool, which is why it scales linearly in the pool size (Table 3).
+func (r *RNG) Categorical(w []float64) (int, error) {
+	sum, err := validateWeights(w)
+	if err != nil {
+		return 0, err
+	}
+	u := r.Float64() * sum
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if u < acc {
+			return i, nil
+		}
+	}
+	// Floating-point slack: return the last index with positive weight.
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i, nil
+		}
+	}
+	return 0, ErrBadWeights
+}
+
+// Cumulative is a prepared inverse-CDF sampler over a fixed weight vector.
+// Preparation is O(n); each draw is O(log n) by binary search. It is used for
+// the per-iteration stratum draw in OASIS where n = K is small.
+type Cumulative struct {
+	cum []float64
+	sum float64
+}
+
+// NewCumulative prepares an inverse-CDF sampler for weights w.
+func NewCumulative(w []float64) (*Cumulative, error) {
+	sum, err := validateWeights(w)
+	if err != nil {
+		return nil, err
+	}
+	cum := make([]float64, len(w))
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		cum[i] = acc
+	}
+	return &Cumulative{cum: cum, sum: sum}, nil
+}
+
+// N returns the number of categories.
+func (c *Cumulative) N() int { return len(c.cum) }
+
+// Draw samples one index.
+func (c *Cumulative) Draw(r *RNG) int {
+	u := r.Float64() * c.sum
+	lo, hi := 0, len(c.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Alias is a Walker/Vose alias sampler over a fixed discrete distribution.
+// Preparation is O(n); each draw is O(1). It is used for the "fast" IS mode
+// so that full-scale error-curve sweeps are feasible; the distribution of
+// draws is identical to the naive mode.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias prepares an alias sampler for the (unnormalised) weights w.
+func NewAlias(w []float64) (*Alias, error) {
+	sum, err := validateWeights(w)
+	if err != nil {
+		return nil, err
+	}
+	n := len(w)
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, x := range w {
+		scaled[i] = x * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = (scaled[l] + scaled[s]) - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		// Can only happen via floating-point round-off.
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// N returns the number of categories.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Draw samples one index in O(1).
+func (a *Alias) Draw(r *RNG) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}

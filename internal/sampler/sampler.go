@@ -1,0 +1,20 @@
+// Package sampler implements the three baseline evaluation methods the paper
+// compares OASIS against (§6.2): Passive uniform sampling, proportional
+// Stratified sampling (Druck & McCallum), and static Importance Sampling
+// (Sawade et al.). All methods — including OASIS in internal/core — satisfy
+// the Method interface consumed by the experiment harness.
+package sampler
+
+import (
+	"oasis/internal/oracle"
+)
+
+// Method is one sequential evaluation method. Step draws one record pair
+// (with replacement), queries the budgeted oracle and updates the internal
+// estimate; it returns oracle.ErrBudgetExhausted when a fresh label would
+// exceed the budget. Estimate returns the current F̂ (NaN while undefined).
+type Method interface {
+	Name() string
+	Step(b *oracle.Budgeted) error
+	Estimate() float64
+}

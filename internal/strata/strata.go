@@ -1,0 +1,205 @@
+// Package strata partitions an evaluation pool into score strata. It
+// implements the Cumulative √F (CSF) method of Dalenius & Hodges used by the
+// paper (Algorithm 1) and the equal-size alternative mentioned in §4.2.1,
+// together with the per-stratum statistics OASIS needs: weights ω_k, mean
+// predictions λ_k and mean (probability-mapped) scores.
+package strata
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"oasis/internal/pool"
+	"oasis/internal/stats"
+)
+
+// Strata is a disjoint partition of pool indices {0..N-1} into K strata.
+type Strata struct {
+	// Items[k] lists the pool indices allocated to stratum k.
+	Items [][]int
+	// Assign[i] is the stratum index of pool item i.
+	Assign []int
+	// Weights[k] = ω_k = |P_k| / N.
+	Weights []float64
+	// MeanScore[k] is the mean raw score within stratum k.
+	MeanScore []float64
+	// MeanProbScore[k] is the mean probability-mapped score within stratum k
+	// (Algorithm 2 lines 2–5), used for initialising π̂(0).
+	MeanProbScore []float64
+	// MeanPred[k] = λ_k is the mean predicted label within stratum k.
+	MeanPred []float64
+}
+
+// K returns the number of strata.
+func (s *Strata) K() int { return len(s.Items) }
+
+// N returns the number of pool items covered.
+func (s *Strata) N() int { return len(s.Assign) }
+
+// Size returns |P_k|.
+func (s *Strata) Size(k int) int { return len(s.Items[k]) }
+
+// ErrNoStrata is returned when a requested stratification is degenerate.
+var ErrNoStrata = errors.New("strata: cannot build strata")
+
+// fromAllocation builds a Strata from an assignment vector and computes all
+// per-stratum statistics, dropping empty strata (Algorithm 1 line 19).
+func fromAllocation(p *pool.Pool, assign []int, k int) (*Strata, error) {
+	if k <= 0 {
+		return nil, ErrNoStrata
+	}
+	items := make([][]int, k)
+	for i, a := range assign {
+		if a < 0 || a >= k {
+			return nil, fmt.Errorf("strata: assignment %d out of range [0,%d)", a, k)
+		}
+		items[a] = append(items[a], i)
+	}
+	// Drop empty strata, remapping assignments.
+	remap := make([]int, k)
+	kept := 0
+	for j := 0; j < k; j++ {
+		if len(items[j]) > 0 {
+			items[kept] = items[j]
+			remap[j] = kept
+			kept++
+		} else {
+			remap[j] = -1
+		}
+	}
+	items = items[:kept]
+	if kept == 0 {
+		return nil, ErrNoStrata
+	}
+	s := &Strata{
+		Items:         items,
+		Assign:        make([]int, len(assign)),
+		Weights:       make([]float64, kept),
+		MeanScore:     make([]float64, kept),
+		MeanProbScore: make([]float64, kept),
+		MeanPred:      make([]float64, kept),
+	}
+	for i, a := range assign {
+		s.Assign[i] = remap[a]
+	}
+	n := float64(p.N())
+	for j := 0; j < kept; j++ {
+		size := float64(len(items[j]))
+		s.Weights[j] = size / n
+		var sumScore, sumProb, sumPred float64
+		for _, i := range items[j] {
+			sumScore += p.Scores[i]
+			sumProb += p.ProbScore(i)
+			if p.Preds[i] {
+				sumPred++
+			}
+		}
+		s.MeanScore[j] = sumScore / size
+		s.MeanProbScore[j] = sumProb / size
+		s.MeanPred[j] = sumPred / size
+	}
+	return s, nil
+}
+
+// CSF stratifies the pool by similarity score with the Cumulative √F method
+// (Algorithm 1): build an M-bin histogram of the scores, take the cumulative
+// sum of √counts, cut it into targetK equal-width intervals on the CSF
+// scale, and map the cut points back to score-scale bin edges. The number of
+// returned strata may be smaller than targetK (empty strata are removed, and
+// coarse histograms may merge cuts — the algorithm does not guarantee
+// K = K̃).
+func CSF(p *pool.Pool, targetK, bins int) (*Strata, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if targetK <= 0 {
+		return nil, ErrNoStrata
+	}
+	if bins <= 0 {
+		bins = defaultBins(p.N(), targetK)
+	}
+	hist, err := stats.NewHistogram(p.Scores, bins)
+	if err != nil {
+		return nil, err
+	}
+	// Cumulative √F over histogram bins (lines 2–3).
+	csf := make([]float64, hist.Bins())
+	acc := 0.0
+	for i, c := range hist.Counts {
+		acc += math.Sqrt(float64(c))
+		csf[i] = acc
+	}
+	total := csf[len(csf)-1]
+	if total == 0 {
+		return nil, ErrNoStrata
+	}
+	// Equal-width cut points on the CSF scale (lines 4–7), then map each
+	// histogram bin to the stratum whose CSF interval contains it
+	// (lines 8–18, expressed as a direct mapping).
+	width := total / float64(targetK)
+	binStratum := make([]int, hist.Bins())
+	for i := range binStratum {
+		k := int(csf[i] / width)
+		if csf[i] > 0 && csf[i]/width == float64(k) {
+			// Exact boundary: belongs to the interval it closes.
+			k--
+		}
+		if k >= targetK {
+			k = targetK - 1
+		}
+		if k < 0 {
+			k = 0
+		}
+		binStratum[i] = k
+	}
+	assign := make([]int, p.N())
+	for i, s := range p.Scores {
+		assign[i] = binStratum[hist.BinOf(s)]
+	}
+	return fromAllocation(p, assign, targetK)
+}
+
+// EqualSize stratifies the pool into targetK strata of (nearly) equal size by
+// sorting on score and cutting into contiguous rank ranges — the "equal size
+// method" the paper attributes to Druck & McCallum.
+func EqualSize(p *pool.Pool, targetK int) (*Strata, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if targetK <= 0 {
+		return nil, ErrNoStrata
+	}
+	n := p.N()
+	if targetK > n {
+		targetK = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return p.Scores[order[a]] < p.Scores[order[b]] })
+	assign := make([]int, n)
+	for rank, idx := range order {
+		k := rank * targetK / n
+		if k >= targetK {
+			k = targetK - 1
+		}
+		assign[idx] = k
+	}
+	return fromAllocation(p, assign, targetK)
+}
+
+// defaultBins picks the histogram resolution for CSF: enough bins to resolve
+// targetK strata finely, bounded by the pool size.
+func defaultBins(n, targetK int) int {
+	bins := 100 * targetK
+	if bins > n {
+		bins = n
+	}
+	if bins < targetK {
+		bins = targetK
+	}
+	return bins
+}

@@ -1,0 +1,309 @@
+package oasis
+
+import (
+	"errors"
+	"fmt"
+
+	"oasis/internal/core"
+	"oasis/internal/oracle"
+	"oasis/internal/pool"
+	"oasis/internal/rng"
+	"oasis/internal/sampler"
+	"oasis/internal/strata"
+)
+
+// ScoreKind declares how a pool's similarity scores should be interpreted.
+type ScoreKind int
+
+const (
+	// UncalibratedScores are raw real-valued scores (e.g. SVM margins);
+	// they are mapped to probabilities through a logistic transform around
+	// the decision threshold when the algorithm needs probabilities.
+	UncalibratedScores ScoreKind = iota
+	// CalibratedScores are probabilities in [0, 1] (Definition 3 of the
+	// paper): of the pairs scored ρ, about 100ρ% are matches.
+	CalibratedScores
+)
+
+// Pool is an evaluation pool: one similarity score and one predicted label
+// per candidate record pair. Build one with NewPool.
+type Pool struct {
+	inner *pool.Pool
+}
+
+// NewPool builds an evaluation pool from parallel slices of similarity
+// scores and predicted labels. For UncalibratedScores the decision threshold
+// is taken to be 0; use NewPoolThreshold to override.
+func NewPool(scores []float64, preds []bool, kind ScoreKind) (*Pool, error) {
+	return NewPoolThreshold(scores, preds, kind, 0)
+}
+
+// NewPoolThreshold is NewPool with an explicit score threshold τ used by the
+// logistic mapping of uncalibrated scores (Algorithm 2 line 4).
+func NewPoolThreshold(scores []float64, preds []bool, kind ScoreKind, threshold float64) (*Pool, error) {
+	if len(scores) != len(preds) {
+		return nil, fmt.Errorf("oasis: %d scores but %d predictions", len(scores), len(preds))
+	}
+	p := &pool.Pool{
+		Scores:        append([]float64(nil), scores...),
+		Preds:         append([]bool(nil), preds...),
+		TruthProb:     make([]float64, len(scores)),
+		Probabilistic: kind == CalibratedScores,
+		Threshold:     threshold,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pool{inner: p}, nil
+}
+
+// N returns the number of record pairs in the pool.
+func (p *Pool) N() int { return p.inner.N() }
+
+// NumPredPositives returns the number of predicted matches.
+func (p *Pool) NumPredPositives() int { return p.inner.NumPredPositives() }
+
+// Internal exposes the internal pool to sibling packages (erbench); it is
+// not part of the supported public surface.
+func (p *Pool) Internal() *pool.Pool { return p.inner }
+
+// WrapPool adapts an internal pool (e.g. one built by erbench) to the public
+// Pool type.
+func WrapPool(inner *pool.Pool) *Pool { return &Pool{inner: inner} }
+
+// StratifierKind selects the stratification rule.
+type StratifierKind int
+
+const (
+	// CSFStratifier is the Cumulative √F rule of Dalenius & Hodges used by
+	// the paper (Algorithm 1). Default.
+	CSFStratifier StratifierKind = iota
+	// EqualSizeStratifier cuts the score-sorted pool into equal-size strata.
+	EqualSizeStratifier
+)
+
+// Options configures an OASIS sampler (Algorithm 3's inputs).
+type Options struct {
+	// Alpha is the F-measure weight: 1 estimates precision and 0.5 (or the
+	// zero value, the default) the balanced F-measure. To estimate recall
+	// (α = 0) set Recall instead, since 0 is the "unset" value.
+	Alpha float64
+	// Recall requests α = 0 (recall estimation), overriding Alpha.
+	Recall bool
+	// Epsilon is the ε-greedy exploration rate in (0, 1]; default 1e-3
+	// (the paper's setting).
+	Epsilon float64
+	// Strata is the target number of strata K; default 30 (the paper finds
+	// 30–60 works well across datasets).
+	Strata int
+	// StrataBins is the histogram resolution for the CSF rule; 0 picks a
+	// sensible default.
+	StrataBins int
+	// Stratifier selects the stratification rule; default CSF.
+	Stratifier StratifierKind
+	// PriorStrength is η, the pseudo-count weight of the score-based Beta
+	// prior; 0 means the paper's default 2K.
+	PriorStrength float64
+	// NoPriorDecay disables the Remark 4 modification (prior influence
+	// decaying as labels accumulate). Decay is on by default; disabling it
+	// reproduces the paper's bare Algorithm 3.
+	NoPriorDecay bool
+	// PosteriorEstimate reports the stratified posterior plug-in estimate
+	// instead of the importance-weighted AIS ratio of Eqn. (3).
+	PosteriorEstimate bool
+	// Seed drives all sampling randomness.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Recall {
+		o.Alpha = 0
+	} else if o.Alpha == 0 {
+		o.Alpha = 0.5
+	}
+	if o.Strata <= 0 {
+		o.Strata = 30
+	}
+	return o
+}
+
+// OracleFunc returns the (possibly noisy) true label of pool pair i. It is
+// the caller's interface to the labelling resource — a crowd, an expert, or
+// ground truth in experiments.
+type OracleFunc func(i int) bool
+
+// Label implements the internal oracle interface.
+func (f OracleFunc) Label(i int) bool { return f(i) }
+
+// Result summarises a sampling run.
+type Result struct {
+	// FMeasure is the final estimate F̂_α.
+	FMeasure float64
+	// LabelsConsumed is the number of distinct pairs labelled.
+	LabelsConsumed int
+	// Iterations is the number of sampling steps taken (≥ LabelsConsumed;
+	// sampling is with replacement and cached labels are free).
+	Iterations int
+}
+
+// Sampler is the OASIS adaptive importance sampler over a pool.
+type Sampler struct {
+	inner *core.Sampler
+	str   *strata.Strata
+}
+
+// NewSampler stratifies the pool and initialises OASIS from its scores
+// (Algorithms 1 and 2), returning a ready-to-run sampler.
+func NewSampler(p *Pool, opts Options) (*Sampler, error) {
+	opts = opts.withDefaults()
+	var (
+		s   *strata.Strata
+		err error
+	)
+	switch opts.Stratifier {
+	case EqualSizeStratifier:
+		s, err = strata.EqualSize(p.inner, opts.Strata)
+	default:
+		s, err = strata.CSF(p.inner, opts.Strata, opts.StrataBins)
+	}
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.New(p.inner, s, core.Config{
+		Alpha:             opts.Alpha,
+		Epsilon:           opts.Epsilon,
+		PriorStrength:     opts.PriorStrength,
+		DisablePriorDecay: opts.NoPriorDecay,
+		PosteriorEstimate: opts.PosteriorEstimate,
+	}, rng.New(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{inner: inner, str: s}, nil
+}
+
+// K returns the realised number of strata (≤ Options.Strata).
+func (s *Sampler) K() int { return s.inner.K() }
+
+// InitialEstimate returns the score-based initial F̂(0) of Algorithm 2.
+func (s *Sampler) InitialEstimate() float64 { return s.inner.InitialF() }
+
+// Estimate returns the current F-measure estimate.
+func (s *Sampler) Estimate() float64 { return s.inner.Estimate() }
+
+// Run performs adaptive sampling until `budget` distinct pairs have been
+// labelled by the oracle (or the pool is exhausted), and returns the final
+// estimate. Run may be called repeatedly to continue with a fresh budget;
+// labels already purchased are remembered across calls only within a single
+// Run's cache, matching the paper's accounting.
+func (s *Sampler) Run(o OracleFunc, budget int) (*Result, error) {
+	return runLoop(s.inner, o, budget)
+}
+
+// Step performs a single iteration of Algorithm 3 against a budgeted oracle.
+// Most callers should use Run; Step exists for callers integrating OASIS
+// into their own labelling loops.
+func (s *Sampler) Step(b *Budgeted) error { return s.inner.Step(b.inner) }
+
+// Budgeted wraps an OracleFunc with label caching and budget accounting.
+type Budgeted struct {
+	inner *oracle.Budgeted
+}
+
+// NewBudgeted wraps o with a budget; non-positive budget means unlimited.
+func NewBudgeted(o OracleFunc, budget int) *Budgeted {
+	return &Budgeted{inner: oracle.NewBudgeted(o, budget)}
+}
+
+// Consumed returns the number of distinct pairs labelled.
+func (b *Budgeted) Consumed() int { return b.inner.Consumed() }
+
+// Exhausted reports whether the budget has been used up.
+func (b *Budgeted) Exhausted() bool { return b.inner.Exhausted() }
+
+// ErrBudgetExhausted is returned by Step when a fresh label would exceed the
+// budget.
+var ErrBudgetExhausted = oracle.ErrBudgetExhausted
+
+// Method is a generic sequential evaluation method (OASIS or a baseline).
+type Method struct {
+	inner sampler.Method
+}
+
+// Name returns the method's display name.
+func (m *Method) Name() string { return m.inner.Name() }
+
+// Estimate returns the method's current F̂.
+func (m *Method) Estimate() float64 { return m.inner.Estimate() }
+
+// Run drives the method until the label budget is consumed.
+func (m *Method) Run(o OracleFunc, budget int) (*Result, error) {
+	return runLoop(m.inner, o, budget)
+}
+
+// runLoop drives any method until the budget is consumed, with a safety cap
+// on iterations (with-replacement draws of cached pairs are free, so a
+// method can legitimately take more iterations than budget).
+func runLoop(m sampler.Method, o OracleFunc, budget int) (*Result, error) {
+	if budget <= 0 {
+		return nil, errors.New("oasis: budget must be positive")
+	}
+	b := oracle.NewBudgeted(o, budget)
+	iters := 0
+	maxIters := 200*budget + 1000
+	for b.Consumed() < budget && iters < maxIters {
+		err := m.Step(b)
+		if err == oracle.ErrBudgetExhausted {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		iters++
+	}
+	return &Result{
+		FMeasure:       m.Estimate(),
+		LabelsConsumed: b.Consumed(),
+		Iterations:     iters,
+	}, nil
+}
+
+// NewPassiveSampler returns the passive (uniform) baseline method.
+func NewPassiveSampler(p *Pool, opts Options) (*Method, error) {
+	opts = opts.withDefaults()
+	return &Method{inner: sampler.NewPassive(p.inner, opts.Alpha, rng.New(opts.Seed))}, nil
+}
+
+// NewStratifiedSampler returns the proportional stratified baseline of
+// Druck & McCallum as configured in the paper's §6.2 (CSF strata, K = 30 by
+// default).
+func NewStratifiedSampler(p *Pool, opts Options) (*Method, error) {
+	opts = opts.withDefaults()
+	s, err := strata.CSF(p.inner, opts.Strata, opts.StrataBins)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sampler.NewStratified(p.inner, s.Weights, s.MeanPred, s.Items, opts.Alpha, rng.New(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Method{inner: m}, nil
+}
+
+// NewISSampler returns the static importance-sampling baseline of Sawade et
+// al.: a fixed instrumental distribution computed once from the scores.
+func NewISSampler(p *Pool, opts Options) (*Method, error) {
+	opts = opts.withDefaults()
+	m, err := sampler.NewIS(p.inner, sampler.ISConfig{
+		Alpha:   opts.Alpha,
+		Epsilon: opts.Epsilon,
+	}, rng.New(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Method{inner: m}, nil
+}
+
+// AsMethod adapts the OASIS sampler to the generic Method type, e.g. for
+// running OASIS and baselines through the same loop.
+func (s *Sampler) AsMethod() *Method { return &Method{inner: s.inner} }
