@@ -1,0 +1,28 @@
+# Development targets; CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build vet test race bench serve example clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Run the evaluation service with restart-safe session snapshots.
+serve:
+	$(GO) run ./cmd/oasis-server -addr :8080 -snapshot oasis-state.json
+
+# End-to-end demo: in-process server + concurrent HTTP labelling workers.
+example:
+	$(GO) run ./examples/serverclient
+
+clean:
+	rm -f oasis-state.json

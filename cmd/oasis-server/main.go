@@ -1,0 +1,92 @@
+// Command oasis-server runs the OASIS evaluation service: a JSON-over-HTTP
+// API for creating evaluation sessions over scored record-pair pools,
+// leasing batches of pairs to label, committing crowd answers, and reading
+// off F-measure estimates. See internal/server for the API surface and the
+// repository README for a curl walkthrough.
+//
+// Usage:
+//
+//	oasis-server [-addr :8080] [-lease 1m] [-snapshot state.json]
+//
+// With -snapshot, the server restores every session from the file at
+// startup (if it exists) and writes all sessions back on graceful shutdown
+// (SIGINT/SIGTERM), so purchased labels survive restarts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oasis/internal/server"
+	"oasis/internal/session"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		lease    = flag.Duration("lease", session.DefaultLeaseTTL, "default proposal lease TTL")
+		snapshot = flag.String("snapshot", "", "snapshot file: restored at startup, saved at shutdown")
+	)
+	flag.Parse()
+
+	mgr := session.NewManager(session.ManagerOptions{DefaultLeaseTTL: *lease})
+	if *snapshot != "" {
+		data, err := os.ReadFile(*snapshot)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("snapshot %s not found, starting empty", *snapshot)
+		case err != nil:
+			log.Fatalf("read snapshot: %v", err)
+		default:
+			if err := mgr.Restore(data); err != nil {
+				log.Fatalf("restore snapshot: %v", err)
+			}
+			log.Printf("restored %d session(s) from %s", mgr.Len(), *snapshot)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(mgr)
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ctx, *addr, ready) }()
+	select {
+	case bound := <-ready:
+		log.Printf("oasis-server listening on %s (lease TTL %s)", bound, *lease)
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+
+	if *snapshot != "" {
+		if err := saveSnapshot(mgr, *snapshot); err != nil {
+			log.Fatalf("save snapshot: %v", err)
+		}
+		log.Printf("saved %d session(s) to %s", mgr.Len(), *snapshot)
+	}
+	log.Printf("bye")
+}
+
+// saveSnapshot writes the manager state atomically (write temp, rename).
+func saveSnapshot(mgr *session.Manager, path string) error {
+	data, err := mgr.Snapshot()
+	if err != nil {
+		return err
+	}
+	tmp := fmt.Sprintf("%s.tmp-%d", path, time.Now().UnixNano())
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -29,6 +29,20 @@
 // the ER pipeline and classifiers, and the error-curve harness — lives in
 // the erbench subpackage.
 //
+// # Asynchronous labelling and the evaluation service
+//
+// Run suits in-process oracles; real crowds answer asynchronously and in
+// batches. ProposeBatch draws a batch of distinct unlabelled pairs from the
+// current instrumental distribution without consuming labels, and
+// CommitLabel folds answers back into the posterior and the estimate as
+// they arrive, in any order — the estimator is unchanged because each
+// draw's importance weight is frozen at draw time. The service layer builds
+// on this: internal/session keeps many concurrent evaluations alive behind
+// a lease-based propose/commit protocol with JSON snapshot/restore, and
+// cmd/oasis-server exposes it over HTTP (see the repository README for the
+// API walkthrough and examples/serverclient for a runnable end-to-end
+// demo).
+//
 // Every randomised component is seeded explicitly; identical seeds give
 // bit-identical runs.
 package oasis

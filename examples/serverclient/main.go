@@ -1,0 +1,152 @@
+// Command serverclient demonstrates the evaluation service end to end,
+// in one process: it starts oasis-server's HTTP service on a loopback
+// port, creates a session over a synthetic erbench pool, and drives the
+// batched propose/commit protocol from several concurrent "crowd worker"
+// goroutines — each pulling leased batches of record pairs over HTTP,
+// labelling them against ground truth, and posting the answers back. The
+// final service-side estimate is compared with the single-threaded
+// library Run at the same seed and budget, and with the pool's true F.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"oasis"
+	"oasis/erbench"
+	"oasis/internal/server"
+	"oasis/internal/session"
+)
+
+const (
+	budget  = 1500
+	workers = 4
+	batch   = 16
+)
+
+func main() {
+	// ---- Build a synthetic erbench pool (the paper's cora profile) ----
+	pool, err := erbench.BuildPool("cora", erbench.PoolConfig{Scale: 0.1, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inner := pool.Pool.Internal()
+	truth := func(i int) bool { return pool.TruthProb[i] >= 0.5 }
+	opts := oasis.Options{Strata: 20, Seed: 99, PosteriorEstimate: true}
+
+	// ---- Reference: the synchronous library loop at the same budget ----
+	ref, err := oasis.NewSampler(pool.Pool, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ref.Run(truth, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- Start the service in-process ----
+	ctx, stop := context.WithCancel(context.Background())
+	mgr := session.NewManager(session.ManagerOptions{})
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- server.New(mgr).Serve(ctx, "127.0.0.1:0", ready) }()
+	base := "http://" + <-ready
+	fmt.Printf("service up at %s\n", base)
+
+	// ---- Create a session over HTTP ----
+	var status session.Status
+	post(base+"/v1/sessions", session.Config{
+		ID:         "demo",
+		Scores:     inner.Scores,
+		Preds:      inner.Preds,
+		Calibrated: inner.Probabilistic,
+		Threshold:  inner.Threshold,
+		Options:    opts,
+		Budget:     budget,
+		LeaseTTL:   time.Minute,
+	}, &status)
+	fmt.Printf("session %q over %d pairs, initial F̂ = %.4f\n",
+		status.ID, status.PoolSize, *status.InitialEstimate)
+
+	// ---- Crowd workers: propose, label, commit — concurrently ----
+	var wg sync.WaitGroup
+	labelled := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				var pr server.ProposeResponse
+				get(fmt.Sprintf("%s/v1/sessions/demo/propose?n=%d", base, batch), &pr)
+				if pr.Exhausted {
+					return
+				}
+				if len(pr.Proposals) == 0 {
+					continue // everything currently leased to the other workers
+				}
+				req := server.LabelsRequest{}
+				for _, p := range pr.Proposals {
+					req.Labels = append(req.Labels, server.Label{Pair: p.Pair, Label: truth(p.Pair)})
+				}
+				var lr server.LabelsResponse
+				post(base+"/v1/sessions/demo/labels", req, &lr)
+				labelled[w] += lr.Committed
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, n := range labelled {
+		fmt.Printf("worker %d committed %d labels\n", w, n)
+	}
+
+	// ---- Read off the estimate and compare ----
+	get(base+"/v1/sessions/demo/estimate", &status)
+	fmt.Printf("service  F̂ = %.4f  (%d labels via %d workers)\n",
+		*status.Estimate, status.LabelsCommitted, workers)
+	fmt.Printf("library  F̂ = %.4f  (single-threaded Run)\n", res.FMeasure)
+	fmt.Printf("true     F  = %.4f\n", pool.TrueF(0.5))
+
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}
+
+// post and get are minimal JSON helpers; out may be nil.
+func post(url string, body, out any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("%s %s: HTTP %d", resp.Request.Method, resp.Request.URL, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

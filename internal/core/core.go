@@ -308,34 +308,72 @@ func (o *Sampler) Instrumental(dst []float64) []float64 {
 	return dst
 }
 
+// Draw is one with-replacement draw from the instrumental distribution,
+// carrying everything needed to later fold a label into the estimate: the
+// drawn pair, its stratum, and the importance weight w = ω_k / v_k frozen at
+// draw time (Algorithm 3 line 6). Separating the draw from the label lets
+// callers batch proposals and apply labels asynchronously (the session
+// subsystem's propose/commit protocol) without changing the estimator: each
+// draw's weight uses the instrumental distribution that produced it, exactly
+// as in the sequential algorithm.
+type Draw struct {
+	// Pair is the drawn pool index.
+	Pair int
+	// Stratum is the stratum the pair was drawn from.
+	Stratum int
+	// Weight is the importance weight ω_k / v_k at draw time.
+	Weight float64
+}
+
+// Draw recomputes v(t) from the current posterior and draws one pair
+// (stratum k* ~ v, pair uniform within P_k*) WITHOUT querying the oracle or
+// touching any estimator state. Pair it with Commit once the label arrives.
+func (o *Sampler) Draw() (Draw, error) {
+	o.computeV()
+	kStar, err := o.rng.Categorical(o.v)
+	if err != nil {
+		return Draw{}, err
+	}
+	members := o.str.Items[kStar]
+	i := members[o.rng.Intn(len(members))]
+	return Draw{
+		Pair:    i,
+		Stratum: kStar,
+		Weight:  o.str.Weights[kStar] / o.v[kStar],
+	}, nil
+}
+
+// Commit folds the label of a previous Draw into the sampler: the Beta
+// posterior update of Algorithm 3 line 9 and the AIS estimate update of
+// line 11. Draws may be committed in any order and at any later time; the
+// importance weight was frozen when the draw was made.
+func (o *Sampler) Commit(d Draw, label bool) {
+	o.iterations++
+	// Posterior update (line 9): matches increment the match pseudo-count.
+	o.labelsSeen[d.Stratum]++
+	if label {
+		o.count0[d.Stratum]++
+	} else {
+		o.count1[d.Stratum]++
+	}
+	// Estimate update (line 11).
+	o.est.Add(d.Weight, label, o.pool.Preds[d.Pair])
+}
+
 // Step performs one iteration of Algorithm 3: recompute v(t), draw a
 // stratum and a pair, query the oracle, update the Beta posterior and the
 // AIS estimate. It returns oracle.ErrBudgetExhausted if the draw required a
 // fresh label beyond the budget.
 func (o *Sampler) Step(b *oracle.Budgeted) error {
-	o.computeV()
-	kStar, err := o.rng.Categorical(o.v)
+	d, err := o.Draw()
 	if err != nil {
 		return err
 	}
-	members := o.str.Items[kStar]
-	i := members[o.rng.Intn(len(members))]
-	label, err := b.TryLabel(i)
+	label, err := b.TryLabel(d.Pair)
 	if err != nil {
 		return err
 	}
-	o.iterations++
-	// Importance weight w = ω_k / v_k (line 6).
-	w := o.str.Weights[kStar] / o.v[kStar]
-	// Posterior update (line 9): matches increment the match pseudo-count.
-	o.labelsSeen[kStar]++
-	if label {
-		o.count0[kStar]++
-	} else {
-		o.count1[kStar]++
-	}
-	// Estimate update (line 11).
-	o.est.Add(w, label, o.pool.Preds[i])
+	o.Commit(d, label)
 	return nil
 }
 

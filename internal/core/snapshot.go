@@ -1,0 +1,76 @@
+package core
+
+import (
+	"errors"
+
+	"oasis/internal/rng"
+)
+
+// EstimatorState captures the AIS estimator's accumulated sums (Eqn. 3).
+type EstimatorState struct {
+	Num  float64 `json:"num"`
+	Pred float64 `json:"pred"`
+	True float64 `json:"true"`
+	N    int     `json:"n"`
+}
+
+// State is a complete, JSON-serialisable snapshot of a Sampler's mutable
+// state. Together with the pool, the stratification parameters and the
+// Config — all of which are deterministic inputs — it reconstructs a sampler
+// bit-for-bit, which is what the session subsystem persists across restarts.
+type State struct {
+	Prior0     []float64      `json:"prior0"`
+	Prior1     []float64      `json:"prior1"`
+	Count0     []float64      `json:"count0"`
+	Count1     []float64      `json:"count1"`
+	LabelsSeen []int          `json:"labelsSeen"`
+	PiInit     []float64      `json:"piInit"`
+	FInit      float64        `json:"fInit"`
+	Estimator  EstimatorState `json:"estimator"`
+	Iterations int            `json:"iterations"`
+	RNG        rng.State      `json:"rng"`
+}
+
+// ErrBadState is returned by Restore when a snapshot does not match the
+// sampler's stratification.
+var ErrBadState = errors.New("core: snapshot does not match sampler (stratum count mismatch)")
+
+// State captures the sampler's current mutable state.
+func (o *Sampler) State() *State {
+	num, pred, true_ := o.est.Sums()
+	return &State{
+		Prior0:     append([]float64(nil), o.prior0...),
+		Prior1:     append([]float64(nil), o.prior1...),
+		Count0:     append([]float64(nil), o.count0...),
+		Count1:     append([]float64(nil), o.count1...),
+		LabelsSeen: append([]int(nil), o.labelsSeen...),
+		PiInit:     append([]float64(nil), o.piInit...),
+		FInit:      o.fInit,
+		Estimator:  EstimatorState{Num: num, Pred: pred, True: true_, N: o.est.N()},
+		Iterations: o.iterations,
+		RNG:        o.rng.State(),
+	}
+}
+
+// Restore overwrites the sampler's mutable state from a snapshot taken on a
+// sampler with the same pool, stratification and configuration. The random
+// stream resumes exactly where the snapshot left off.
+func (o *Sampler) Restore(st *State) error {
+	k := o.str.K()
+	if len(st.Prior0) != k || len(st.Prior1) != k ||
+		len(st.Count0) != k || len(st.Count1) != k ||
+		len(st.LabelsSeen) != k || len(st.PiInit) != k {
+		return ErrBadState
+	}
+	copy(o.prior0, st.Prior0)
+	copy(o.prior1, st.Prior1)
+	copy(o.count0, st.Count0)
+	copy(o.count1, st.Count1)
+	copy(o.labelsSeen, st.LabelsSeen)
+	copy(o.piInit, st.PiInit)
+	o.fInit = st.FInit
+	o.est.SetSums(st.Estimator.Num, st.Estimator.Pred, st.Estimator.True, st.Estimator.N)
+	o.iterations = st.Iterations
+	o.rng.Restore(st.RNG)
+	return nil
+}

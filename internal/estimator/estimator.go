@@ -85,6 +85,12 @@ func (e *Weighted) Sums() (num, pred, true_ float64) {
 	return e.sumNum, e.sumPred, e.sumTrue
 }
 
+// SetSums overwrites the accumulated sums and sample count, restoring a
+// previously captured estimator state (see Sums and N).
+func (e *Weighted) SetSums(num, pred, true_ float64, n int) {
+	e.sumNum, e.sumPred, e.sumTrue, e.n = num, pred, true_, n
+}
+
 // Stratified is the proportional stratified F-measure estimator used by the
 // Stratified baseline: strata have fixed weights ω_k and known mean
 // predictions λ_k; labels update per-stratum empirical match rates π̂_k, and

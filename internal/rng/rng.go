@@ -48,6 +48,27 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xd2b74407b1ce6e93)
 }
 
+// State is a serialisable snapshot of a generator, used by the session
+// subsystem to persist samplers across process restarts.
+type State struct {
+	S        [4]uint64 `json:"s"`
+	HasSpare bool      `json:"hasSpare,omitempty"`
+	Spare    float64   `json:"spare,omitempty"`
+}
+
+// State captures the generator's current state.
+func (r *RNG) State() State {
+	return State{S: r.s, HasSpare: r.hasSpare, Spare: r.spare}
+}
+
+// Restore resets the generator to a previously captured state, so the stream
+// continues exactly where the snapshot left off.
+func (r *RNG) Restore(st State) {
+	r.s = st.S
+	r.hasSpare = st.HasSpare
+	r.spare = st.Spare
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

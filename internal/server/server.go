@@ -1,0 +1,241 @@
+// Package server exposes the session subsystem as a JSON-over-HTTP
+// evaluation service:
+//
+//	POST   /v1/sessions                  create a session (body: session.Config)
+//	GET    /v1/sessions                  list session statuses
+//	GET    /v1/sessions/{id}             one session's status
+//	GET    /v1/sessions/{id}/estimate    current F̂ and accounting
+//	GET    /v1/sessions/{id}/propose?n=  lease a batch of pairs to label
+//	POST   /v1/sessions/{id}/labels      commit labels (body: {labels: [...]})
+//	DELETE /v1/sessions/{id}             drop the session
+//
+// The propose/commit cycle is the service form of Algorithm 3: workers pull
+// batches of record pairs drawn from the current instrumental distribution,
+// label them out-of-band (a crowd, an expert queue) and push answers back;
+// the server folds each answer into the session's Beta posteriors and AIS
+// estimate. Proposals carry leases — an unanswered pair returns to the
+// proposable set after the session's lease TTL.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"oasis/internal/session"
+)
+
+// Server is the HTTP front-end over a session.Manager.
+type Server struct {
+	mgr *session.Manager
+}
+
+// New wraps a manager.
+func New(mgr *session.Manager) *Server { return &Server{mgr: mgr} }
+
+// Manager returns the underlying session manager (e.g. for snapshotting at
+// shutdown).
+func (s *Server) Manager() *session.Manager { return s.mgr }
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.createSession)
+	mux.HandleFunc("GET /v1/sessions", s.listSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.getSession)
+	mux.HandleFunc("GET /v1/sessions/{id}/estimate", s.getSession)
+	mux.HandleFunc("GET /v1/sessions/{id}/propose", s.propose)
+	mux.HandleFunc("POST /v1/sessions/{id}/labels", s.commitLabels)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.deleteSession)
+	return mux
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// lookup resolves {id} to a session or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session.Session, bool) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
+	var cfg session.Config
+	if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, "bad config: %v", err)
+		return
+	}
+	sess, err := s.mgr.Create(cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.Status())
+}
+
+func (s *Server) listSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Sessions []session.Status `json:"sessions"`
+	}{Sessions: s.mgr.List()})
+}
+
+func (s *Server) getSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Status())
+}
+
+// ProposeResponse is the body of GET .../propose.
+type ProposeResponse struct {
+	Proposals []session.Proposal `json:"proposals"`
+	// Exhausted reports that the session's label budget is fully committed;
+	// polling workers should stop.
+	Exhausted bool `json:"exhausted,omitempty"`
+}
+
+func (s *Server) propose(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	n := 1
+	if q := r.URL.Query().Get("n"); q != "" {
+		var err error
+		if n, err = strconv.Atoi(q); err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+	}
+	props, err := sess.Propose(n)
+	if errors.Is(err, session.ErrBudgetExhausted) {
+		writeJSON(w, http.StatusOK, ProposeResponse{Proposals: []session.Proposal{}, Exhausted: true})
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ProposeResponse{Proposals: props})
+}
+
+// Label is one crowd answer: the pool pair and its Boolean label.
+type Label struct {
+	Pair  int  `json:"pair"`
+	Label bool `json:"label"`
+}
+
+// LabelsRequest is the body of POST .../labels.
+type LabelsRequest struct {
+	Labels []Label `json:"labels"`
+}
+
+// LabelResult reports one answer's fate: "ok" (a fresh label, committed),
+// "duplicate" (the pair was already labelled; the re-answer is ignored) or
+// "expired" (no live lease; the pair is proposable again).
+type LabelResult struct {
+	Pair   int    `json:"pair"`
+	Status string `json:"status"`
+}
+
+// LabelsResponse is the body of the labels endpoint's reply; Committed
+// counts only fresh labels ("ok" results).
+type LabelsResponse struct {
+	Results   []LabelResult `json:"results"`
+	Committed int           `json:"committed"`
+}
+
+func (s *Server) commitLabels(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req LabelsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad labels: %v", err)
+		return
+	}
+	pairs := make([]int, len(req.Labels))
+	labels := make([]bool, len(req.Labels))
+	for i, l := range req.Labels {
+		pairs[i] = l.Pair
+		labels[i] = l.Label
+	}
+	results := sess.CommitBatch(pairs, labels)
+	resp := LabelsResponse{Results: make([]LabelResult, len(results))}
+	for i, cr := range results {
+		res := LabelResult{Pair: pairs[i]}
+		switch cr {
+		case session.Committed:
+			res.Status = "ok"
+			resp.Committed++
+		case session.Duplicate:
+			res.Status = "duplicate"
+		case session.Expired:
+			res.Status = "expired"
+		}
+		resp.Results[i] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) deleteSession(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Delete(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ShutdownGrace is how long Serve waits for in-flight requests on shutdown.
+const ShutdownGrace = 5 * time.Second
+
+// Serve runs the service on addr until ctx is cancelled, then shuts down
+// gracefully (in-flight requests get ShutdownGrace to finish). If ready is
+// non-nil it receives the listener's resolved address once the server is
+// accepting connections (useful with ":0").
+func (s *Server) Serve(ctx context.Context, addr string, ready chan<- string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errCh:
+		return err
+	}
+}

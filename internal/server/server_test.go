@@ -1,0 +1,273 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"oasis"
+	"oasis/erbench"
+	"oasis/internal/session"
+)
+
+// client is a minimal typed client over the JSON API, shared by the tests.
+type client struct {
+	t    *testing.T
+	base string
+	http *http.Client
+}
+
+func (c *client) do(method, path string, body, out any) int {
+	c.t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, c.base+path, &buf)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			c.t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestEndToEndConcurrentWorkers is the acceptance test: an in-process
+// oasis-server, a session over a synthetic erbench pool, and concurrent
+// worker goroutines labelling via batched propose/commit over HTTP. The
+// final estimate must land within 0.05 of the single-threaded Sampler.Run
+// result at the same seed and budget.
+func TestEndToEndConcurrentWorkers(t *testing.T) {
+	pool, err := erbench.BuildPool("cora", erbench.PoolConfig{Scale: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := pool.Pool.Internal()
+	truth := func(i int) bool { return pool.TruthProb[i] >= 0.5 }
+
+	// The posterior plug-in estimate is used on both sides because the
+	// comparison must be robust to worker interleaving: the AIS ratio has
+	// heavy-tailed weights at this budget (estimator stdev ≈ 0.05), while
+	// the plug-in concentrates fast and keeps the run-vs-service gap well
+	// inside the 0.05 acceptance tolerance.
+	const (
+		budget  = 1500
+		workers = 6
+		batch   = 16
+		seed    = 99
+	)
+	opts := oasis.Options{Strata: 20, Seed: seed, PosteriorEstimate: true}
+
+	// Single-threaded reference at the same seed and budget.
+	ref, err := oasis.NewSampler(pool.Pool, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ref.Run(truth, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(New(session.NewManager(session.ManagerOptions{})).Handler())
+	defer ts.Close()
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+
+	var created session.Status
+	code := c.do("POST", "/v1/sessions", session.Config{
+		ID:         "e2e",
+		Scores:     inner.Scores,
+		Preds:      inner.Preds,
+		Calibrated: inner.Probabilistic,
+		Threshold:  inner.Threshold,
+		Options:    opts,
+		Budget:     budget,
+		LeaseTTL:   time.Minute,
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spins := 0; spins < 50*budget; spins++ {
+				var pr ProposeResponse
+				if code := c.do("GET", fmt.Sprintf("/v1/sessions/e2e/propose?n=%d", batch), nil, &pr); code != http.StatusOK {
+					t.Errorf("propose: status %d", code)
+					return
+				}
+				if pr.Exhausted {
+					return
+				}
+				if len(pr.Proposals) == 0 {
+					continue // everything currently leased to other workers
+				}
+				req := LabelsRequest{}
+				for _, p := range pr.Proposals {
+					req.Labels = append(req.Labels, Label{Pair: p.Pair, Label: truth(p.Pair)})
+				}
+				var lr LabelsResponse
+				if code := c.do("POST", "/v1/sessions/e2e/labels", req, &lr); code != http.StatusOK {
+					t.Errorf("labels: status %d", code)
+					return
+				}
+				if lr.Committed != len(req.Labels) {
+					t.Errorf("committed %d of %d labels", lr.Committed, len(req.Labels))
+					return
+				}
+			}
+			t.Error("worker spun out before the budget was exhausted")
+		}()
+	}
+	wg.Wait()
+
+	var st session.Status
+	if code := c.do("GET", "/v1/sessions/e2e/estimate", nil, &st); code != http.StatusOK {
+		t.Fatalf("estimate: status %d", code)
+	}
+	if st.LabelsCommitted != budget {
+		t.Fatalf("labels committed = %d, want %d", st.LabelsCommitted, budget)
+	}
+	if st.Estimate == nil {
+		t.Fatal("estimate undefined after full budget")
+	}
+	if diff := math.Abs(*st.Estimate - res.FMeasure); diff > 0.05 {
+		t.Fatalf("service F̂ = %v vs Run F̂ = %v: |diff| = %v > 0.05 (true F = %v)",
+			*st.Estimate, res.FMeasure, diff, pool.TrueF(0.5))
+	}
+	t.Logf("service F̂ = %.4f, Run F̂ = %.4f, true F = %.4f (%d labels)",
+		*st.Estimate, res.FMeasure, pool.TrueF(0.5), st.LabelsCommitted)
+
+	if code := c.do("DELETE", "/v1/sessions/e2e", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+	if code := c.do("GET", "/v1/sessions/e2e", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d", code)
+	}
+}
+
+// TestServerCRUDAndErrors covers the non-happy paths: bad bodies, unknown
+// sessions, expired-label reporting and listing.
+func TestServerCRUDAndErrors(t *testing.T) {
+	mgr := session.NewManager(session.ManagerOptions{DefaultLeaseTTL: time.Minute})
+	ts := httptest.NewServer(New(mgr).Handler())
+	defer ts.Close()
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+
+	if code := c.do("GET", "/v1/sessions/nope", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d", code)
+	}
+	if code := c.do("POST", "/v1/sessions", session.Config{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty pool: status %d", code)
+	}
+
+	scores := []float64{0.9, 0.8, 0.2, 0.1, 0.7, 0.3}
+	preds := []bool{true, true, false, false, true, false}
+	var st session.Status
+	if code := c.do("POST", "/v1/sessions", session.Config{
+		ID: "crud", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 2, Seed: 1},
+	}, &st); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if st.PoolSize != 6 || st.InitialEstimate == nil {
+		t.Fatalf("unexpected created status: %+v", st)
+	}
+
+	var list struct {
+		Sessions []session.Status `json:"sessions"`
+	}
+	if code := c.do("GET", "/v1/sessions", nil, &list); code != http.StatusOK || len(list.Sessions) != 1 {
+		t.Fatalf("list: status %d, %d sessions", code, len(list.Sessions))
+	}
+
+	// Committing a never-proposed pair reports "expired", commits nothing.
+	var lr LabelsResponse
+	if code := c.do("POST", "/v1/sessions/crud/labels", LabelsRequest{
+		Labels: []Label{{Pair: 0, Label: true}},
+	}, &lr); code != http.StatusOK {
+		t.Fatalf("labels: status %d", code)
+	}
+	if lr.Committed != 0 || lr.Results[0].Status != "expired" {
+		t.Fatalf("unexpected label result: %+v", lr)
+	}
+
+	if code := c.do("GET", "/v1/sessions/crud/propose?n=0", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("propose n=0: status %d", code)
+	}
+
+	// A leased pair commits once ("ok"); the re-answer is a "duplicate" and
+	// does not inflate the committed count.
+	var pr ProposeResponse
+	if code := c.do("GET", "/v1/sessions/crud/propose?n=1", nil, &pr); code != http.StatusOK || len(pr.Proposals) != 1 {
+		t.Fatalf("propose: status %d, %d proposals", code, len(pr.Proposals))
+	}
+	pair := pr.Proposals[0].Pair
+	for attempt, want := range []string{"ok", "duplicate"} {
+		if code := c.do("POST", "/v1/sessions/crud/labels", LabelsRequest{
+			Labels: []Label{{Pair: pair, Label: true}},
+		}, &lr); code != http.StatusOK {
+			t.Fatalf("labels attempt %d: status %d", attempt, code)
+		}
+		wantCommitted := 0
+		if want == "ok" {
+			wantCommitted = 1
+		}
+		if lr.Results[0].Status != want || lr.Committed != wantCommitted {
+			t.Fatalf("attempt %d: got %+v, want status %q committed %d", attempt, lr, want, wantCommitted)
+		}
+	}
+	if code := c.do("GET", "/v1/sessions/crud/estimate", nil, &st); code != http.StatusOK || st.LabelsCommitted != 1 {
+		t.Fatalf("after duplicate: status %d, labels %d", code, st.LabelsCommitted)
+	}
+}
+
+// TestServeGracefulShutdown checks Serve comes up, answers, and drains on
+// context cancellation.
+func TestServeGracefulShutdown(t *testing.T) {
+	mgr := session.NewManager(session.ManagerOptions{})
+	srv := New(mgr)
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, "127.0.0.1:0", ready) }()
+	addr := <-ready
+
+	resp, err := http.Get("http://" + addr + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not shut down")
+	}
+}

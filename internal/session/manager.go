@@ -1,0 +1,241 @@
+package session
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"oasis"
+)
+
+// DefaultLeaseTTL is the proposal lease used when neither the manager nor
+// the session config sets one.
+const DefaultLeaseTTL = time.Minute
+
+// ManagerOptions configures a Manager.
+type ManagerOptions struct {
+	// DefaultLeaseTTL applies to sessions that do not set Config.LeaseTTL;
+	// zero means DefaultLeaseTTL.
+	DefaultLeaseTTL time.Duration
+	// Now injects a clock, for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Manager owns named evaluation sessions. All methods are safe for
+// concurrent use; each session additionally serialises its own state, so
+// operations on distinct sessions never contend.
+type Manager struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	opts     ManagerOptions
+}
+
+// NewManager returns an empty manager.
+func NewManager(opts ManagerOptions) *Manager {
+	if opts.DefaultLeaseTTL <= 0 {
+		opts.DefaultLeaseTTL = DefaultLeaseTTL
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Manager{sessions: make(map[string]*Session), opts: opts}
+}
+
+// ErrNotFound is returned for unknown session IDs.
+var ErrNotFound = fmt.Errorf("session: no such session")
+
+// newID returns a fresh random session ID.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "s-" + hex.EncodeToString(b[:])
+}
+
+// Create builds and registers a session. An empty Config.ID gets a
+// generated one; a duplicate ID is an error.
+func (m *Manager) Create(cfg Config) (*Session, error) {
+	if cfg.ID == "" {
+		cfg.ID = newID()
+	}
+	s, err := newSession(cfg, m.opts.DefaultLeaseTTL, m.opts.Now)
+	if err != nil {
+		return nil, err
+	}
+	s.id = cfg.ID
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.sessions[cfg.ID]; dup {
+		return nil, fmt.Errorf("session: id %q already exists", cfg.ID)
+	}
+	m.sessions[cfg.ID] = s
+	return s, nil
+}
+
+// Get returns the named session or ErrNotFound.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// Delete removes the named session, releasing its memory.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[id]; !ok {
+		return ErrNotFound
+	}
+	delete(m.sessions, id)
+	return nil
+}
+
+// List reports the status of every session, sorted by ID.
+func (m *Manager) List() []Status {
+	m.mu.RLock()
+	all := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		all = append(all, s)
+	}
+	m.mu.RUnlock()
+	out := make([]Status, len(all))
+	for i, s := range all {
+		out[i] = s.Status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.sessions)
+}
+
+// sessionSnapshot pairs a session's config with its method state. Exactly
+// one of Sampler/Passive is set.
+type sessionSnapshot struct {
+	Config  Config              `json:"config"`
+	Sampler *oasis.SamplerState `json:"sampler,omitempty"`
+	Passive *passiveState       `json:"passive,omitempty"`
+}
+
+// snapshotFile is the on-disk format of Manager.Snapshot.
+type snapshotFile struct {
+	Version  int               `json:"version"`
+	Sessions []sessionSnapshot `json:"sessions"`
+}
+
+// snapshot captures one session. Live leases are not persisted — on restore
+// every outstanding proposal has returned to the proposable set, which is
+// the crash-safe reading of the lease contract.
+func (s *Session) snapshot() sessionSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := sessionSnapshot{Config: s.cfg}
+	snap.Config.ID = s.id
+	switch p := s.prop.(type) {
+	case *oasis.Sampler:
+		snap.Sampler = p.State()
+	case *passiveProposer:
+		snap.Passive = p.state()
+	}
+	return snap
+}
+
+// Snapshot serialises every session — pool, configuration, posterior state,
+// random stream and purchased labels — to JSON.
+func (m *Manager) Snapshot() ([]byte, error) {
+	m.mu.RLock()
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	m.mu.RUnlock()
+	sort.Strings(ids)
+	file := snapshotFile{Version: 1}
+	for _, id := range ids {
+		s, err := m.Get(id)
+		if err != nil {
+			continue // deleted concurrently
+		}
+		file.Sessions = append(file.Sessions, s.snapshot())
+	}
+	return json.Marshal(file)
+}
+
+// Restore registers every session in a Snapshot payload, resuming each
+// sampler exactly where it left off (estimates, posteriors and random
+// streams are bit-identical; leases start empty). Existing sessions with
+// clashing IDs are an error and abort the restore before any registration.
+func (m *Manager) Restore(data []byte) error {
+	var file snapshotFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("session: bad snapshot: %w", err)
+	}
+	if file.Version != 1 {
+		return fmt.Errorf("session: unsupported snapshot version %d", file.Version)
+	}
+	restored := make([]*Session, 0, len(file.Sessions))
+	seen := make(map[string]bool, len(file.Sessions))
+	m.mu.RLock()
+	for _, snap := range file.Sessions {
+		if seen[snap.Config.ID] {
+			m.mu.RUnlock()
+			return fmt.Errorf("session: duplicate id %q in snapshot", snap.Config.ID)
+		}
+		seen[snap.Config.ID] = true
+		if _, dup := m.sessions[snap.Config.ID]; dup {
+			m.mu.RUnlock()
+			return fmt.Errorf("session: id %q already exists", snap.Config.ID)
+		}
+	}
+	m.mu.RUnlock()
+	for _, snap := range file.Sessions {
+		s, err := newSession(snap.Config, m.opts.DefaultLeaseTTL, m.opts.Now)
+		if err != nil {
+			return fmt.Errorf("session: restore %q: %w", snap.Config.ID, err)
+		}
+		s.id = snap.Config.ID
+		switch {
+		case snap.Sampler != nil:
+			sampler, ok := s.prop.(*oasis.Sampler)
+			if !ok {
+				return fmt.Errorf("session: restore %q: sampler state for %s session", s.id, s.cfg.Method)
+			}
+			if err := sampler.RestoreState(snap.Sampler); err != nil {
+				return fmt.Errorf("session: restore %q: %w", s.id, err)
+			}
+		case snap.Passive != nil:
+			passive, ok := s.prop.(*passiveProposer)
+			if !ok {
+				return fmt.Errorf("session: restore %q: passive state for %s session", s.id, s.cfg.Method)
+			}
+			if err := passive.restore(snap.Passive); err != nil {
+				return fmt.Errorf("session: restore %q: %w", s.id, err)
+			}
+		}
+		restored = append(restored, s)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range restored {
+		if _, dup := m.sessions[s.id]; dup {
+			return fmt.Errorf("session: id %q already exists", s.id)
+		}
+	}
+	for _, s := range restored {
+		m.sessions[s.id] = s
+	}
+	return nil
+}

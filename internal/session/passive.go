@@ -1,0 +1,123 @@
+package session
+
+import (
+	"errors"
+
+	"oasis"
+	"oasis/internal/estimator"
+	"oasis/internal/rng"
+)
+
+// passiveProposer serves the paper's Passive baseline through the
+// propose/commit protocol: uniform with-replacement draws, unit importance
+// weights, the plain Eqn. (1) estimator. It mirrors oasis.Sampler's
+// bookkeeping — re-draws of committed pairs are folded in immediately,
+// re-draws of outstanding pairs queue additional unit-weight terms.
+type passiveProposer struct {
+	pool    *oasis.Pool
+	est     *estimator.Weighted
+	rng     *rng.RNG
+	pending map[int]int // pair -> queued draw count awaiting the label
+	labels  map[int]bool
+}
+
+func newPassive(p *oasis.Pool, opts oasis.Options) *passiveProposer {
+	opts = opts.WithDefaults()
+	return &passiveProposer{
+		pool:    p,
+		est:     estimator.NewWeighted(opts.Alpha),
+		rng:     rng.New(opts.Seed),
+		pending: make(map[int]int),
+		labels:  make(map[int]bool),
+	}
+}
+
+func (s *passiveProposer) pred(i int) bool { return s.pool.Internal().Preds[i] }
+
+func (s *passiveProposer) ProposeBatch(n int) ([]int, error) {
+	if n <= 0 {
+		return nil, errors.New("session: batch size must be positive")
+	}
+	batch := make([]int, 0, n)
+	for draws := 0; len(batch) < n && draws < oasis.MaxDraws(n); draws++ {
+		i := s.rng.Intn(s.pool.N())
+		if label, ok := s.labels[i]; ok {
+			s.est.Add(1, label, s.pred(i))
+			continue
+		}
+		if _, outstanding := s.pending[i]; outstanding {
+			s.pending[i]++
+			continue
+		}
+		s.pending[i] = 1
+		batch = append(batch, i)
+	}
+	return batch, nil
+}
+
+func (s *passiveProposer) CommitLabel(pair int, label bool) error {
+	if _, done := s.labels[pair]; done {
+		return nil
+	}
+	count, ok := s.pending[pair]
+	if !ok {
+		return oasis.ErrNotProposed
+	}
+	delete(s.pending, pair)
+	s.labels[pair] = label
+	for j := 0; j < count; j++ {
+		s.est.Add(1, label, s.pred(pair))
+	}
+	return nil
+}
+
+func (s *passiveProposer) Release(pair int) bool {
+	if _, ok := s.pending[pair]; !ok {
+		return false
+	}
+	delete(s.pending, pair)
+	return true
+}
+
+func (s *passiveProposer) Estimate() float64 { return s.est.Estimate() }
+
+func (s *passiveProposer) LabelsCommitted() int { return len(s.labels) }
+
+// passiveState is the JSON snapshot of a passiveProposer. Outstanding
+// proposals are not persisted (same crash-safe contract as
+// oasis.SamplerState).
+type passiveState struct {
+	Num    float64      `json:"num"`
+	Pred   float64      `json:"pred"`
+	True   float64      `json:"true"`
+	N      int          `json:"n"`
+	RNG    rng.State    `json:"rng"`
+	Labels map[int]bool `json:"labels,omitempty"`
+}
+
+func (s *passiveProposer) state() *passiveState {
+	num, pred, true_ := s.est.Sums()
+	labels := make(map[int]bool, len(s.labels))
+	for i, l := range s.labels {
+		labels[i] = l
+	}
+	return &passiveState{
+		Num: num, Pred: pred, True: true_, N: s.est.N(),
+		RNG:    s.rng.State(),
+		Labels: labels,
+	}
+}
+
+func (s *passiveProposer) restore(st *passiveState) error {
+	if st == nil {
+		return errors.New("session: nil passive state")
+	}
+	s.est.SetSums(st.Num, st.Pred, st.True, st.N)
+	s.rng.Restore(st.RNG)
+	s.pending = make(map[int]int)
+	s.labels = make(map[int]bool, len(st.Labels))
+	for i, l := range st.Labels {
+		s.labels[i] = l
+	}
+	return nil
+}

@@ -1,0 +1,326 @@
+// Package session keeps many concurrent OASIS evaluations alive behind a
+// propose/commit protocol, turning the library's synchronous sampling loop
+// into a long-lived labelling service.
+//
+// The paper's oracle is a costly external resource — a crowd — which in
+// deployment answers asynchronously and in batches. A Session therefore
+// splits Algorithm 3's iteration in two: Propose(n) draws a batch of n
+// distinct unlabelled pairs from the current instrumental distribution and
+// leases them to the caller, and Commit(pair, label) folds answers back into
+// the Beta posteriors and the AIS estimate as they arrive, in any order.
+// Leases expire: a proposal whose label never arrives returns to the
+// proposable set after the session's lease TTL, so crashed or slow labellers
+// cannot strand pairs. Sessions snapshot to JSON and restore losslessly, so
+// a server restart does not lose purchased labels.
+//
+// A thread-safe Manager owns named sessions; the HTTP layer in
+// internal/server exposes it as a JSON API.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"oasis"
+)
+
+// MethodKind selects the evaluation method backing a session.
+type MethodKind string
+
+const (
+	// MethodOASIS is the adaptive importance sampler (the default).
+	MethodOASIS MethodKind = "oasis"
+	// MethodPassive is the uniform-sampling baseline, served through the
+	// same propose/commit protocol.
+	MethodPassive MethodKind = "passive"
+)
+
+// Errors returned by sessions.
+var (
+	// ErrNotProposed is returned by Commit for a pair with no live lease:
+	// never proposed, or proposed but expired and returned to the pool.
+	ErrNotProposed = errors.New("session: pair has no live proposal (never proposed, or lease expired)")
+	// ErrBudgetExhausted is returned by Propose when no fresh proposal can
+	// ever be made again: the label budget is fully consumed by committed
+	// labels, or every pair in the pool is already labelled. Pollers treat
+	// it as the terminal signal.
+	ErrBudgetExhausted = errors.New("session: label budget exhausted")
+)
+
+// proposer is the batched propose/commit surface a Session drives. The
+// public oasis.Sampler implements it for OASIS; passiveProposer implements
+// it for the uniform baseline.
+type proposer interface {
+	ProposeBatch(n int) ([]int, error)
+	CommitLabel(pair int, label bool) error
+	Release(pair int) bool
+	Estimate() float64
+	LabelsCommitted() int
+}
+
+// Config describes a new session: the evaluation pool (parallel score and
+// prediction slices, as in oasis.NewPool), the method and its options, an
+// optional label budget, and the proposal lease TTL.
+type Config struct {
+	// ID names the session; empty means the Manager generates one.
+	ID string `json:"id,omitempty"`
+	// Method selects the evaluation method (default MethodOASIS).
+	Method MethodKind `json:"method,omitempty"`
+	// Scores and Preds define the pool, exactly as in oasis.NewPool.
+	Scores []float64 `json:"scores"`
+	Preds  []bool    `json:"preds"`
+	// Calibrated marks Scores as probabilities (oasis.CalibratedScores).
+	Calibrated bool `json:"calibrated,omitempty"`
+	// Threshold is the uncalibrated-score decision threshold τ.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Options configures the sampler (alpha, strata, seed, ...).
+	Options oasis.Options `json:"options"`
+	// Budget caps distinct labels committed; 0 means unlimited.
+	Budget int `json:"budget,omitempty"`
+	// LeaseTTL is how long a proposal stays leased before returning to the
+	// proposable set; 0 means the Manager's default.
+	LeaseTTL time.Duration `json:"leaseTTL,omitempty"`
+}
+
+// Proposal is one leased pair: label it and POST the answer back before the
+// lease expires.
+type Proposal struct {
+	Pair    int       `json:"pair"`
+	Expires time.Time `json:"expires"`
+}
+
+// Status summarises a session for the estimate/introspection endpoints.
+type Status struct {
+	ID     string     `json:"id"`
+	Method MethodKind `json:"method"`
+	// PoolSize is the number of pairs in the pool.
+	PoolSize int `json:"poolSize"`
+	// Estimate is the current F̂, nil while undefined (NaN is not
+	// representable in JSON).
+	Estimate *float64 `json:"estimate,omitempty"`
+	// InitialEstimate is the score-based F̂(0) (OASIS only).
+	InitialEstimate *float64 `json:"initialEstimate,omitempty"`
+	// LabelsCommitted counts distinct pairs labelled so far.
+	LabelsCommitted int `json:"labelsCommitted"`
+	// PendingProposals counts live leases.
+	PendingProposals int `json:"pendingProposals"`
+	// Budget is the label budget (0 = unlimited) and Remaining what is left
+	// of it (-1 = unlimited).
+	Budget    int `json:"budget"`
+	Remaining int `json:"remaining"`
+}
+
+// Session is one live evaluation: a sampler over a pool plus lease
+// bookkeeping. All methods are safe for concurrent use.
+type Session struct {
+	mu sync.Mutex
+
+	id       string
+	cfg      Config
+	prop     proposer
+	leases   map[int]time.Time
+	leaseTTL time.Duration
+	now      func() time.Time
+}
+
+// newSession builds a session from a validated config.
+func newSession(cfg Config, defaultTTL time.Duration, now func() time.Time) (*Session, error) {
+	if cfg.Method == "" {
+		cfg.Method = MethodOASIS
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = defaultTTL
+	}
+	kind := oasis.UncalibratedScores
+	if cfg.Calibrated {
+		kind = oasis.CalibratedScores
+	}
+	p, err := oasis.NewPoolThreshold(cfg.Scores, cfg.Preds, kind, cfg.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	var prop proposer
+	switch cfg.Method {
+	case MethodOASIS:
+		s, err := oasis.NewSampler(p, cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		prop = s
+	case MethodPassive:
+		prop = newPassive(p, cfg.Options)
+	default:
+		return nil, fmt.Errorf("session: unknown method %q", cfg.Method)
+	}
+	return &Session{
+		id:       cfg.ID,
+		cfg:      cfg,
+		prop:     prop,
+		leases:   make(map[int]time.Time),
+		leaseTTL: cfg.LeaseTTL,
+		now:      now,
+	}, nil
+}
+
+// ID returns the session's name.
+func (s *Session) ID() string { return s.id }
+
+// expireLocked releases every lease past its deadline, returning those pairs
+// to the proposable set. Callers hold s.mu.
+func (s *Session) expireLocked(now time.Time) {
+	for pair, deadline := range s.leases {
+		if now.After(deadline) {
+			delete(s.leases, pair)
+			s.prop.Release(pair)
+		}
+	}
+}
+
+// remainingLocked returns how many fresh proposals the budget still allows
+// (live leases count against it), or -1 when unlimited. Callers hold s.mu.
+func (s *Session) remainingLocked() int {
+	if s.cfg.Budget <= 0 {
+		return -1
+	}
+	r := s.cfg.Budget - s.prop.LabelsCommitted() - len(s.leases)
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Propose leases up to n distinct unlabelled pairs drawn from the method's
+// current instrumental distribution. The batch may be shorter than n when
+// the budget or the pool is nearly exhausted, and empty when every
+// remaining pair is already leased to other callers (retry later). It
+// returns ErrBudgetExhausted once no fresh proposal can ever be made —
+// budget fully committed, or the whole pool labelled — so pollers can
+// terminate.
+func (s *Session) Propose(n int) ([]Proposal, error) {
+	if n <= 0 {
+		return nil, errors.New("session: batch size must be positive")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	s.expireLocked(now)
+	if s.prop.LabelsCommitted() >= len(s.cfg.Scores) {
+		return nil, ErrBudgetExhausted
+	}
+	if r := s.remainingLocked(); r >= 0 {
+		if s.cfg.Budget-s.prop.LabelsCommitted() <= 0 {
+			return nil, ErrBudgetExhausted
+		}
+		if n > r {
+			n = r
+		}
+		if n == 0 {
+			// Budget left, but all of it is leased out right now.
+			return []Proposal{}, nil
+		}
+	}
+	pairs, err := s.prop.ProposeBatch(n)
+	if err != nil {
+		// Release any partially drawn batch so the pairs are not stranded
+		// as pending-without-a-lease (unleased pairs never expire).
+		for _, pair := range pairs {
+			s.prop.Release(pair)
+		}
+		return nil, err
+	}
+	deadline := now.Add(s.leaseTTL)
+	out := make([]Proposal, len(pairs))
+	for i, pair := range pairs {
+		s.leases[pair] = deadline
+		out[i] = Proposal{Pair: pair, Expires: deadline}
+	}
+	return out, nil
+}
+
+// Commit applies a label to a leased pair. Late answers — after the lease
+// expired and the pair returned to the pool — get ErrNotProposed;
+// re-answers for an already-committed pair are idempotent no-ops.
+func (s *Session) Commit(pair int, label bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.now())
+	err := s.prop.CommitLabel(pair, label)
+	if errors.Is(err, oasis.ErrNotProposed) {
+		return ErrNotProposed
+	}
+	if err == nil {
+		delete(s.leases, pair)
+	}
+	return err
+}
+
+// CommitResult is one answer's fate in a CommitBatch.
+type CommitResult int
+
+const (
+	// Committed: a fresh label, folded into the posterior and estimate.
+	Committed CommitResult = iota
+	// Duplicate: the pair was already labelled; the re-answer is ignored
+	// (the first label wins, mirroring the Budgeted oracle's cache).
+	Duplicate
+	// Expired: no live lease — never proposed, or the lease lapsed and the
+	// pair returned to the proposable set.
+	Expired
+)
+
+// CommitBatch applies many labels in one critical section; the i-th result
+// corresponds to the i-th input pair.
+func (s *Session) CommitBatch(pairs []int, labels []bool) []CommitResult {
+	results := make([]CommitResult, len(pairs))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.now())
+	for i, pair := range pairs {
+		before := s.prop.LabelsCommitted()
+		err := s.prop.CommitLabel(pair, labels[i])
+		switch {
+		case errors.Is(err, oasis.ErrNotProposed):
+			results[i] = Expired
+		case s.prop.LabelsCommitted() == before:
+			results[i] = Duplicate
+		default:
+			delete(s.leases, pair)
+			results[i] = Committed
+		}
+	}
+	return results
+}
+
+// Estimate returns the current F̂ (NaN while undefined).
+func (s *Session) Estimate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prop.Estimate()
+}
+
+// Status reports the session's current state.
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.now())
+	st := Status{
+		ID:               s.id,
+		Method:           s.cfg.Method,
+		PoolSize:         len(s.cfg.Scores),
+		LabelsCommitted:  s.prop.LabelsCommitted(),
+		PendingProposals: len(s.leases),
+		Budget:           s.cfg.Budget,
+		Remaining:        s.remainingLocked(),
+	}
+	if f := s.prop.Estimate(); !math.IsNaN(f) {
+		st.Estimate = &f
+	}
+	if init, ok := s.prop.(interface{ InitialEstimate() float64 }); ok {
+		f0 := init.InitialEstimate()
+		st.InitialEstimate = &f0
+	}
+	return st
+}

@@ -115,7 +115,11 @@ type Options struct {
 	Seed uint64
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults resolves the zero-value conventions: Recall forces α = 0,
+// an unset Alpha becomes the balanced 0.5, an unset Strata becomes 30. It
+// is what NewSampler and the baseline constructors apply; external layers
+// (e.g. the session subsystem) use it to interpret Options identically.
+func (o Options) WithDefaults() Options {
 	if o.Recall {
 		o.Alpha = 0
 	} else if o.Alpha == 0 {
@@ -147,15 +151,29 @@ type Result struct {
 }
 
 // Sampler is the OASIS adaptive importance sampler over a pool.
+//
+// A Sampler can be driven two ways: synchronously, with Run/Step pulling
+// labels from an OracleFunc, or asynchronously, with ProposeBatch/CommitLabel
+// pushing labels in as an external labelling resource (a crowd, a service
+// queue) produces them. A Sampler is not safe for concurrent use; the
+// session subsystem (internal/session, served by cmd/oasis-server) adds
+// locking, leases and persistence on top.
 type Sampler struct {
 	inner *core.Sampler
 	str   *strata.Strata
+
+	// Propose/commit bookkeeping: pending maps an outstanding proposed pair
+	// to every draw awaiting its label (with-replacement re-draws of an
+	// outstanding pair queue additional weighted terms); labels caches
+	// committed labels, mirroring the Budgeted oracle's first-query cache.
+	pending map[int][]core.Draw
+	labels  map[int]bool
 }
 
 // NewSampler stratifies the pool and initialises OASIS from its scores
 // (Algorithms 1 and 2), returning a ready-to-run sampler.
 func NewSampler(p *Pool, opts Options) (*Sampler, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	var (
 		s   *strata.Strata
 		err error
@@ -179,7 +197,12 @@ func NewSampler(p *Pool, opts Options) (*Sampler, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sampler{inner: inner, str: s}, nil
+	return &Sampler{
+		inner:   inner,
+		str:     s,
+		pending: make(map[int][]core.Draw),
+		labels:  make(map[int]bool),
+	}, nil
 }
 
 // K returns the realised number of strata (≤ Options.Strata).
@@ -204,6 +227,145 @@ func (s *Sampler) Run(o OracleFunc, budget int) (*Result, error) {
 // Most callers should use Run; Step exists for callers integrating OASIS
 // into their own labelling loops.
 func (s *Sampler) Step(b *Budgeted) error { return s.inner.Step(b.inner) }
+
+// ErrNotProposed is returned by CommitLabel for a pair that has no
+// outstanding proposal and no cached label — e.g. a proposal whose lease was
+// released before the label arrived.
+var ErrNotProposed = errors.New("oasis: pair was not proposed (or its proposal was released)")
+
+// ProposeBatch draws up to n distinct unlabelled pairs from the current
+// instrumental distribution and returns their pool indices, marking each as
+// an outstanding proposal. It is the asynchronous, batched counterpart of
+// Step: the caller routes the proposed pairs to its labelling resource and
+// feeds answers back through CommitLabel in any order.
+//
+// Sampling is with replacement, exactly as in Algorithm 3: a re-draw of an
+// already-committed pair is folded into the estimate immediately with its
+// cached label (a "free" draw in the paper's budget accounting), and a
+// re-draw of a still-outstanding pair queues an additional weighted term
+// that is applied when that pair's label arrives. Each draw's importance
+// weight is frozen at draw time, so batching leaves the estimator unchanged;
+// only the adaptation happens in batch steps rather than per label.
+//
+// The result may be shorter than n when the pool is (nearly) exhausted: the
+// draw loop gives up after MaxDraws(n) with-replacement draws.
+func (s *Sampler) ProposeBatch(n int) ([]int, error) {
+	if n <= 0 {
+		return nil, errors.New("oasis: batch size must be positive")
+	}
+	batch := make([]int, 0, n)
+	for draws := 0; len(batch) < n && draws < MaxDraws(n); draws++ {
+		d, err := s.inner.Draw()
+		if err != nil {
+			return batch, err
+		}
+		if label, ok := s.labels[d.Pair]; ok {
+			s.inner.Commit(d, label)
+			continue
+		}
+		if _, outstanding := s.pending[d.Pair]; outstanding {
+			s.pending[d.Pair] = append(s.pending[d.Pair], d)
+			continue
+		}
+		s.pending[d.Pair] = []core.Draw{d}
+		batch = append(batch, d.Pair)
+	}
+	return batch, nil
+}
+
+// CommitLabel applies the label of a previously proposed pair, updating the
+// Beta posterior and the running estimate once per draw that was awaiting
+// it. Committing an already-committed pair is a no-op (the first label
+// wins, mirroring the Budgeted oracle's cache); committing a pair that was
+// never proposed — or whose proposal was released — returns ErrNotProposed.
+func (s *Sampler) CommitLabel(pair int, label bool) error {
+	if _, done := s.labels[pair]; done {
+		return nil
+	}
+	draws, ok := s.pending[pair]
+	if !ok {
+		return ErrNotProposed
+	}
+	delete(s.pending, pair)
+	s.labels[pair] = label
+	for _, d := range draws {
+		s.inner.Commit(d, label)
+	}
+	return nil
+}
+
+// Release drops the outstanding proposal for a pair without committing a
+// label, returning whether the pair was outstanding. The pair becomes
+// proposable again; its queued draws are discarded, which does not bias the
+// estimator (discarding draws independently of their labels preserves
+// consistency). The session layer calls this when a proposal's lease
+// expires.
+func (s *Sampler) Release(pair int) bool {
+	if _, ok := s.pending[pair]; !ok {
+		return false
+	}
+	delete(s.pending, pair)
+	return true
+}
+
+// Pending returns the pool indices of outstanding proposals (in no
+// particular order).
+func (s *Sampler) Pending() []int {
+	out := make([]int, 0, len(s.pending))
+	for i := range s.pending {
+		out = append(out, i)
+	}
+	return out
+}
+
+// LabelsCommitted returns the number of distinct pairs committed through
+// CommitLabel — the propose/commit analogue of Result.LabelsConsumed.
+func (s *Sampler) LabelsCommitted() int { return len(s.labels) }
+
+// CommittedLabels returns a copy of the committed pair→label cache, e.g.
+// for snapshotting.
+func (s *Sampler) CommittedLabels() map[int]bool {
+	out := make(map[int]bool, len(s.labels))
+	for i, l := range s.labels {
+		out[i] = l
+	}
+	return out
+}
+
+// SamplerState is a JSON-serialisable snapshot of a Sampler's mutable state:
+// Beta posteriors, estimator sums, the random stream, and the committed
+// label cache. Outstanding proposals are deliberately NOT persisted — on
+// restore they are released back to the proposable set, which is the
+// crash-safe behaviour (an in-flight proposal whose label never arrived must
+// become proposable again). Restore a state only onto a Sampler built from
+// the same pool with the same Options.
+type SamplerState struct {
+	Core   *core.State  `json:"core"`
+	Labels map[int]bool `json:"labels,omitempty"`
+}
+
+// State captures the sampler's mutable state for persistence.
+func (s *Sampler) State() *SamplerState {
+	return &SamplerState{Core: s.inner.State(), Labels: s.CommittedLabels()}
+}
+
+// RestoreState overwrites the sampler's mutable state from a snapshot taken
+// on a sampler with the same pool and Options. Outstanding proposals (on
+// either side) are discarded.
+func (s *Sampler) RestoreState(st *SamplerState) error {
+	if st == nil || st.Core == nil {
+		return errors.New("oasis: nil sampler state")
+	}
+	if err := s.inner.Restore(st.Core); err != nil {
+		return err
+	}
+	s.pending = make(map[int][]core.Draw)
+	s.labels = make(map[int]bool, len(st.Labels))
+	for i, l := range st.Labels {
+		s.labels[i] = l
+	}
+	return nil
+}
 
 // Budgeted wraps an OracleFunc with label caching and budget accounting.
 type Budgeted struct {
@@ -241,6 +403,25 @@ func (m *Method) Run(o OracleFunc, budget int) (*Result, error) {
 	return runLoop(m.inner, o, budget)
 }
 
+// Sampling is with replacement and cached (already-labelled) pairs are free,
+// so a run can legitimately take more draws than its label budget — e.g.
+// once a heavy stratum is fully labelled, every re-draw from it consumes no
+// budget. The cap below bounds the draw count so a degenerate instrumental
+// distribution (all mass on labelled pairs) terminates instead of spinning:
+// MaxDrawFactor draws per budgeted label, plus MaxDrawSlack to keep tiny
+// budgets from being cut off early. Shared by runLoop, Sampler.ProposeBatch
+// and the session run loop.
+const (
+	// MaxDrawFactor bounds with-replacement draws per budgeted label.
+	MaxDrawFactor = 200
+	// MaxDrawSlack is the additive slack for small budgets.
+	MaxDrawSlack = 1000
+)
+
+// MaxDraws returns the draw cap for a run (or proposal batch) targeting n
+// fresh labels: MaxDrawFactor*n + MaxDrawSlack.
+func MaxDraws(n int) int { return MaxDrawFactor*n + MaxDrawSlack }
+
 // runLoop drives any method until the budget is consumed, with a safety cap
 // on iterations (with-replacement draws of cached pairs are free, so a
 // method can legitimately take more iterations than budget).
@@ -250,7 +431,7 @@ func runLoop(m sampler.Method, o OracleFunc, budget int) (*Result, error) {
 	}
 	b := oracle.NewBudgeted(o, budget)
 	iters := 0
-	maxIters := 200*budget + 1000
+	maxIters := MaxDraws(budget)
 	for b.Consumed() < budget && iters < maxIters {
 		err := m.Step(b)
 		if err == oracle.ErrBudgetExhausted {
@@ -270,7 +451,7 @@ func runLoop(m sampler.Method, o OracleFunc, budget int) (*Result, error) {
 
 // NewPassiveSampler returns the passive (uniform) baseline method.
 func NewPassiveSampler(p *Pool, opts Options) (*Method, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	return &Method{inner: sampler.NewPassive(p.inner, opts.Alpha, rng.New(opts.Seed))}, nil
 }
 
@@ -278,7 +459,7 @@ func NewPassiveSampler(p *Pool, opts Options) (*Method, error) {
 // Druck & McCallum as configured in the paper's §6.2 (CSF strata, K = 30 by
 // default).
 func NewStratifiedSampler(p *Pool, opts Options) (*Method, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	s, err := strata.CSF(p.inner, opts.Strata, opts.StrataBins)
 	if err != nil {
 		return nil, err
@@ -293,7 +474,7 @@ func NewStratifiedSampler(p *Pool, opts Options) (*Method, error) {
 // NewISSampler returns the static importance-sampling baseline of Sawade et
 // al.: a fixed instrumental distribution computed once from the scores.
 func NewISSampler(p *Pool, opts Options) (*Method, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	m, err := sampler.NewIS(p.inner, sampler.ISConfig{
 		Alpha:   opts.Alpha,
 		Epsilon: opts.Epsilon,
