@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench serve example clean
+.PHONY: build vet test race bench bench-json bench-smoke serve example clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,25 @@ test: vet
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
+# Hot-path microbenchmarks: core draw/commit, public batched proposals, and
+# the HTTP propose/labels round trip.
+HOT_BENCH = BenchmarkDraw$$|BenchmarkDrawCommit$$|BenchmarkInstrumental$$|BenchmarkProposeBatch|BenchmarkProposeCommit$$|BenchmarkServerPropose$$
+HOT_BENCH_PKGS = ./internal/core ./internal/server .
+
+# Run the hot-path microbenchmarks and append the results to the
+# BENCH_core.json perf trajectory (label with OASIS_BENCH_LABEL). The
+# benchmark run and the conversion are separate steps so a failing
+# benchmark aborts the target instead of recording a partial run.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(HOT_BENCH)' -benchmem $(HOT_BENCH_PKGS) > bench-json.out \
+		|| { cat bench-json.out; rm -f bench-json.out; exit 1; }
+	$(GO) run ./cmd/benchjson -out BENCH_core.json -label "$${OASIS_BENCH_LABEL:-dev}" < bench-json.out
+	rm -f bench-json.out
+
+# One-iteration smoke run of the hot-path microbenchmarks (CI).
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(HOT_BENCH)' -benchtime 1x $(HOT_BENCH_PKGS)
+
 # Run the evaluation service with restart-safe session snapshots.
 serve:
 	$(GO) run ./cmd/oasis-server -addr :8080 -snapshot oasis-state.json
@@ -25,4 +44,4 @@ example:
 	$(GO) run ./examples/serverclient
 
 clean:
-	rm -f oasis-state.json
+	rm -f oasis-state.json bench-json.out

@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark record and appends it to a trajectory file, so every PR leaves a
+// perf baseline for the next one to beat:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_core.json -label my-change
+//
+// The output file holds a list of runs; each run records the label, the
+// platform, the timestamp and every parsed benchmark line (iterations,
+// ns/op, and — with -benchmem — B/op and allocs/op). An existing file is
+// read first and the new run appended, so the file accumulates the perf
+// trajectory across commits. Use `make bench-json` for the canonical
+// hot-path benchmark set.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Run is one invocation of the benchmark suite.
+type Run struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	GoOS       string      `json:"goos"`
+	GoArch     string      `json:"goarch"`
+	GoVersion  string      `json:"go_version"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the trajectory: a list of runs, oldest first.
+type File struct {
+	Schema int   `json:"schema"`
+	Runs   []Run `json:"runs"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkDraw-8   12345678   95.31 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "trajectory file to append the run to")
+	label := flag.String("label", "dev", "label for this run (e.g. a PR or commit id)")
+	flag.Parse()
+
+	run := Run{
+		Label:     *label,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the human still sees the run
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		bench := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			bench.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			allocs, _ := strconv.ParseInt(m[5], 10, 64)
+			bench.AllocsOp = &allocs
+		}
+		run.Benchmarks = append(run.Benchmarks, bench)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(run.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	file := File{Schema: 1}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: existing %s is not a trajectory file: %v\n", *out, err)
+			os.Exit(1)
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "benchjson: read %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	file.Schema = 1
+	file.Runs = append(file.Runs, run)
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended run %q (%d benchmarks) to %s\n", *label, len(run.Benchmarks), *out)
+}

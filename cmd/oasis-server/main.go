@@ -6,11 +6,16 @@
 //
 // Usage:
 //
-//	oasis-server [-addr :8080] [-lease 1m] [-snapshot state.json]
+//	oasis-server [-addr :8080] [-lease 1m] [-snapshot state.json] [-pprof addr]
 //
 // With -snapshot, the server restores every session from the file at
 // startup (if it exists) and writes all sessions back on graceful shutdown
 // (SIGINT/SIGTERM), so purchased labels survive restarts.
+//
+// With -pprof, a net/http/pprof debug server listens on the given address
+// (e.g. localhost:6060) for live CPU/heap profiling of the serving hot path:
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -19,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,11 +37,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		lease    = flag.Duration("lease", session.DefaultLeaseTTL, "default proposal lease TTL")
-		snapshot = flag.String("snapshot", "", "snapshot file: restored at startup, saved at shutdown")
+		addr      = flag.String("addr", ":8080", "listen address")
+		lease     = flag.Duration("lease", session.DefaultLeaseTTL, "default proposal lease TTL")
+		snapshot  = flag.String("snapshot", "", "snapshot file: restored at startup, saved at shutdown")
+		pprofAddr = flag.String("pprof", "", "listen address for the net/http/pprof debug server (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	mgr := session.NewManager(session.ManagerOptions{DefaultLeaseTTL: *lease})
 	if *snapshot != "" {

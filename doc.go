@@ -43,6 +43,42 @@
 // API walkthrough and examples/serverclient for a runnable end-to-end
 // demo).
 //
+// # Performance
+//
+// The draw/commit hot path is amortized O(1) per draw. The instrumental
+// distribution v(t) depends only on the Beta posterior and the running
+// estimate, which change exactly when a label is committed, so the sampler
+// caches v(t) — together with a prepared inverse-CDF stratum sampler and the
+// per-stratum importance weights — behind a dirty flag that only
+// Commit/Restore set. A ProposeBatch(n) with no intervening commits
+// therefore computes v once and pays O(log K) per draw with zero heap
+// allocations, instead of the O(K) rebuild-validate-scan per draw of the
+// sequential formulation. Equivalence is not approximate: the cached path
+// draws bit-for-bit the same sequence as rebuilding v on every call (see
+// TestGoldenSequence in internal/core).
+//
+// ProposeBatch is also rejection-free. Per-stratum proposability accounting
+// (one 8-byte slot per pair) resolves every draw in O(1): draws of labelled
+// pairs fold their cached label into the estimate immediately (the "free"
+// draws of the paper's budget accounting), draws of outstanding pairs queue
+// an extra weighted term, and fresh pairs are proposed. When labelled or
+// outstanding pairs dominate the drawn strata, the remaining proposals are
+// drawn directly from the instrumental distribution restricted to proposable
+// pairs (with corrected importance weights), so batches are exactly the
+// requested size while supply lasts and exhaustion is the typed ErrExhausted
+// rather than a burned retry cap.
+//
+// The hot-path microbenchmarks live in internal/core (BenchmarkDraw,
+// BenchmarkDrawCommit, BenchmarkInstrumental), the package root
+// (BenchmarkProposeBatch/{n=1,64,1024}, BenchmarkProposeCommit) and
+// internal/server (BenchmarkServerPropose). `make bench-json` runs them and
+// appends a labelled run to BENCH_core.json — the perf trajectory every
+// change is judged against; `make bench-smoke` is the 1-iteration CI guard.
+// The paper-scale experiment benchmarks in bench_test.go are scaled by the
+// OASIS_BENCH_SCALE / OASIS_BENCH_RUNS / OASIS_BENCH_SEED environment
+// variables, and `make bench-json` honours OASIS_BENCH_LABEL for the run
+// label.
+//
 // Every randomised component is seeded explicitly; identical seeds give
 // bit-identical runs.
 package oasis

@@ -98,6 +98,27 @@ type Sampler struct {
 	vStar []float64
 	v     []float64
 
+	// Cached instrumental distribution. v(t) depends only on the Beta
+	// posterior and the running estimate, both of which change exactly when a
+	// label is committed (or a snapshot restored) — the adaptive-IS update
+	// structure — so vCum, a prepared O(log K) inverse-CDF sampler over v, is
+	// rebuilt lazily behind vFresh. A batch of draws with no intervening
+	// commit pays for one rebuild: amortized O(1) per draw, zero allocations.
+	// vEpoch counts rebuild-invalidating events so derived caches in outer
+	// layers (the proposal engine in package oasis) can follow along.
+	vCum    *rng.Cumulative
+	vWeight []float64 // ω_k / v_k per stratum, refreshed with vCum
+	vFresh  bool
+	vEpoch  uint64
+
+	// membersFlat concatenates the strata member lists as int32 (stratum k
+	// occupies [strataOff[k], strataOff[k+1])), preserving each stratum's
+	// item order. The uniform pair pick is a random access; the compact
+	// layout halves its cache footprint versus [][]int and drops a pointer
+	// chase.
+	membersFlat []int32
+	strataOff   []int32
+
 	iterations int
 }
 
@@ -173,6 +194,15 @@ func New(p *pool.Pool, s *strata.Strata, cfg Config, r *rng.RNG) (*Sampler, erro
 		o.prior0[j] = cfg.PriorStrength * o.piInit[j]
 		o.prior1[j] = cfg.PriorStrength * (1 - o.piInit[j])
 	}
+	o.membersFlat = make([]int32, 0, p.N())
+	o.strataOff = make([]int32, k+1)
+	for j := 0; j < k; j++ {
+		o.strataOff[j] = int32(len(o.membersFlat))
+		for _, i := range s.Items[j] {
+			o.membersFlat = append(o.membersFlat, int32(i))
+		}
+	}
+	o.strataOff[k] = int32(len(o.membersFlat))
 	return o, nil
 }
 
@@ -251,6 +281,50 @@ func (o *Sampler) currentF() float64 {
 	return o.fInit
 }
 
+// invalidateV marks the cached instrumental distribution stale. Every
+// mutation of the posterior or estimator state must call it.
+func (o *Sampler) invalidateV() {
+	o.vFresh = false
+	o.vEpoch++
+}
+
+// refreshV rebuilds v(t) and the prepared stratum sampler if (and only if)
+// the posterior changed since the last rebuild. The common batched case —
+// many draws, zero intervening commits — hits the cached path, so the
+// per-draw cost is O(log K) with zero allocations.
+func (o *Sampler) refreshV() {
+	if o.vFresh {
+		return
+	}
+	o.computeV()
+	// o.v is strictly positive (ε-greedy mixture over non-empty strata), so
+	// Reset cannot fail; it reuses vCum's buffer after the first rebuild.
+	if o.vCum == nil {
+		o.vCum = &rng.Cumulative{}
+	}
+	if err := o.vCum.Reset(o.v); err != nil {
+		// Unreachable for a well-formed sampler; fall back to a proportional
+		// distribution rather than panicking in a serving path.
+		copy(o.v, o.str.Weights)
+		_ = o.vCum.Reset(o.v)
+	}
+	if o.vWeight == nil {
+		o.vWeight = make([]float64, len(o.v))
+	}
+	// Hoist the importance-weight division out of the draw path: the weight
+	// is a pure function of the cached v.
+	for j, vj := range o.v {
+		o.vWeight[j] = o.str.Weights[j] / vj
+	}
+	o.vFresh = true
+}
+
+// Epoch identifies the current instrumental distribution: it increments
+// every time a commit or restore invalidates v(t). Outer layers cache
+// structures derived from v (e.g. the proposal engine's availability-masked
+// sampler) and rebuild them when the epoch moves.
+func (o *Sampler) Epoch() uint64 { return o.vEpoch }
+
 // computeV fills o.v with the ε-greedy instrumental distribution of
 // Eqn. (12), normalised, using the current estimates.
 func (o *Sampler) computeV() {
@@ -300,12 +374,21 @@ func StratifiedOptimal(alpha, f, pi, lambda, omega float64) float64 {
 // Instrumental writes the current ε-greedy stratum distribution v(t) into
 // dst and returns it (diagnostics; Figure 4c–d). A nil dst allocates.
 func (o *Sampler) Instrumental(dst []float64) []float64 {
-	o.computeV()
+	o.refreshV()
 	if dst == nil {
 		dst = make([]float64, len(o.v))
 	}
 	copy(dst, o.v)
 	return dst
+}
+
+// InstrumentalCached refreshes the cache if needed and returns the sampler's
+// internal v(t) slice without copying. Callers must treat it as read-only
+// and must not hold it across a Commit or Restore; it exists for the
+// allocation-free proposal engine in package oasis.
+func (o *Sampler) InstrumentalCached() []float64 {
+	o.refreshV()
+	return o.v
 }
 
 // Draw is one with-replacement draw from the instrumental distribution,
@@ -325,23 +408,46 @@ type Draw struct {
 	Weight float64
 }
 
-// Draw recomputes v(t) from the current posterior and draws one pair
-// (stratum k* ~ v, pair uniform within P_k*) WITHOUT querying the oracle or
+// Draw draws one pair from the current instrumental distribution (stratum
+// k* ~ v(t), pair uniform within P_k*) WITHOUT querying the oracle or
 // touching any estimator state. Pair it with Commit once the label arrives.
+// v(t) is recomputed only if a commit or restore happened since the last
+// draw — amortized O(1) per draw, O(log K) worst case for the stratum pick,
+// zero allocations — and the draw sequence is bit-for-bit identical to
+// rebuilding v and inverse-CDF-scanning it on every call, the unoptimized
+// sequential Algorithm 3 (see TestGoldenSequence).
 func (o *Sampler) Draw() (Draw, error) {
-	o.computeV()
-	kStar, err := o.rng.Categorical(o.v)
-	if err != nil {
-		return Draw{}, err
-	}
-	members := o.str.Items[kStar]
-	i := members[o.rng.Intn(len(members))]
+	kStar, w := o.DrawStratum()
 	return Draw{
-		Pair:    i,
+		Pair:    o.UniformPair(kStar),
 		Stratum: kStar,
-		Weight:  o.str.Weights[kStar] / o.v[kStar],
+		Weight:  w,
 	}, nil
 }
+
+// DrawStratum draws stratum k* ~ v(t) through the cached prepared sampler
+// and returns it with the importance weight ω_k*/v_k* frozen at draw time
+// (Algorithm 3 line 6). It cannot fail: a well-formed sampler always has a
+// strictly positive v(t). Callers that pick the pair themselves (the
+// rejection-free proposal engine) use this with UniformPair or Rand.
+func (o *Sampler) DrawStratum() (int, float64) {
+	o.refreshV()
+	kStar := o.vCum.Draw(o.rng)
+	return kStar, o.vWeight[kStar]
+}
+
+// UniformPair draws one pool index uniformly from stratum k, consuming one
+// variate from the sampler's stream — the pair pick of Algorithm 3 line 5.
+func (o *Sampler) UniformPair(k int) int {
+	off := o.strataOff[k]
+	size := int(o.strataOff[k+1] - off)
+	return int(o.membersFlat[int(off)+o.rng.Intn(size)])
+}
+
+// Rand exposes the sampler's random stream so that the proposal engine in
+// package oasis draws from the single per-sampler sequence (keeping runs
+// reproducible from one seed). Do not use it from other goroutines.
+func (o *Sampler) Rand() *rng.RNG { return o.rng }
 
 // Commit folds the label of a previous Draw into the sampler: the Beta
 // posterior update of Algorithm 3 line 9 and the AIS estimate update of
@@ -349,6 +455,9 @@ func (o *Sampler) Draw() (Draw, error) {
 // importance weight was frozen when the draw was made.
 func (o *Sampler) Commit(d Draw, label bool) {
 	o.iterations++
+	// The posterior and the running estimate are about to change, so the
+	// cached v(t) (and everything derived from it) goes stale.
+	o.invalidateV()
 	// Posterior update (line 9): matches increment the match pseudo-count.
 	o.labelsSeen[d.Stratum]++
 	if label {

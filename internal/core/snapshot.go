@@ -62,6 +62,11 @@ func (o *Sampler) Restore(st *State) error {
 		len(st.LabelsSeen) != k || len(st.PiInit) != k {
 		return ErrBadState
 	}
+	// Validate the random stream before mutating anything: a corrupted
+	// snapshot must leave the sampler untouched.
+	if err := o.rng.Restore(st.RNG); err != nil {
+		return err
+	}
 	copy(o.prior0, st.Prior0)
 	copy(o.prior1, st.Prior1)
 	copy(o.count0, st.Count0)
@@ -71,6 +76,8 @@ func (o *Sampler) Restore(st *State) error {
 	o.fInit = st.FInit
 	o.est.SetSums(st.Estimator.Num, st.Estimator.Pred, st.Estimator.True, st.Estimator.N)
 	o.iterations = st.Iterations
-	o.rng.Restore(st.RNG)
+	// The cached instrumental distribution (and any cache derived from it)
+	// belongs to the overwritten state: force a rebuild on the next draw.
+	o.invalidateV()
 	return nil
 }

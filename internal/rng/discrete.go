@@ -9,6 +9,12 @@ import (
 // negative / non-finite entry, or sums to zero.
 var ErrBadWeights = errors.New("rng: weights must be non-negative, finite, and sum to a positive value")
 
+// ValidateWeights checks that w is a usable weight vector (non-empty,
+// non-negative, finite entries, positive finite sum) and returns its sum —
+// the value CategoricalTrusted expects. It is the construction-boundary
+// validation for callers that then draw through the trusted fast paths.
+func ValidateWeights(w []float64) (float64, error) { return validateWeights(w) }
+
 // validateWeights checks w and returns its sum.
 func validateWeights(w []float64) (float64, error) {
 	if len(w) == 0 {
@@ -53,6 +59,29 @@ func (r *RNG) Categorical(w []float64) (int, error) {
 	return 0, ErrBadWeights
 }
 
+// CategoricalTrusted is Categorical without the per-draw validation scan,
+// for sampler-owned weight vectors that were validated (and summed) once at
+// a construction boundary: sum must be Σw as validateWeights would compute
+// it, so the draw distribution is identical to Categorical's. The scan is
+// still O(len(w)) — use a prepared Cumulative or Alias sampler when draws
+// dominate rebuilds.
+func (r *RNG) CategoricalTrusted(w []float64, sum float64) int {
+	u := r.Float64() * sum
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if u < acc {
+			return i
+		}
+	}
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
 // Cumulative is a prepared inverse-CDF sampler over a fixed weight vector.
 // Preparation is O(n); each draw is O(log n) by binary search. It is used for
 // the per-iteration stratum draw in OASIS where n = K is small.
@@ -63,33 +92,78 @@ type Cumulative struct {
 
 // NewCumulative prepares an inverse-CDF sampler for weights w.
 func NewCumulative(w []float64) (*Cumulative, error) {
-	sum, err := validateWeights(w)
-	if err != nil {
+	c := &Cumulative{}
+	if err := c.Reset(w); err != nil {
 		return nil, err
 	}
-	cum := make([]float64, len(w))
+	return c, nil
+}
+
+// Reset re-prepares the sampler over new weights in place, reusing the
+// cumulative buffer once its capacity suffices (zero allocations at a fixed
+// category count). Validation runs here — the construction boundary — which
+// keeps Draw validation-free: a Cumulative refreshed with Reset after every
+// weight change draws the exact same index sequence as Categorical on the
+// same stream (both invert the identically accumulated CDF on one Float64),
+// in O(log n) instead of O(n) with a per-draw validation scan.
+func (c *Cumulative) Reset(w []float64) error {
+	sum, err := validateWeights(w)
+	if err != nil {
+		return err
+	}
+	if cap(c.cum) < len(w) {
+		c.cum = make([]float64, len(w))
+	}
+	c.cum = c.cum[:len(w)]
 	acc := 0.0
 	for i, x := range w {
 		acc += x
-		cum[i] = acc
+		c.cum[i] = acc
 	}
-	return &Cumulative{cum: cum, sum: sum}, nil
+	c.sum = sum
+	return nil
 }
 
 // N returns the number of categories.
 func (c *Cumulative) N() int { return len(c.cum) }
 
-// Draw samples one index.
+// Sum returns the total weight Σw of the prepared distribution.
+func (c *Cumulative) Sum() float64 { return c.sum }
+
+// Draw samples one index: the smallest i with cum[i] > u, exactly the index
+// Categorical picks from the same variate.
 func (c *Cumulative) Draw(r *RNG) int {
 	u := r.Float64() * c.sum
-	lo, hi := 0, len(c.cum)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if c.cum[mid] <= u {
-			lo = mid + 1
-		} else {
-			hi = mid
+	var lo int
+	if len(c.cum) <= 64 {
+		// Forward scan with early exit: for small category counts (OASIS
+		// strata, K ≈ 30) this beats a binary search — the cumulative array
+		// sits on one or two cache lines and the scan costs a single
+		// misprediction at the boundary, where every level of the binary
+		// search is a coin-flip branch.
+		lo = len(c.cum) - 1
+		for i, x := range c.cum {
+			if u < x {
+				lo = i
+				break
+			}
 		}
+	} else {
+		hi := len(c.cum) - 1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if c.cum[mid] <= u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+	}
+	// Floating-point slack: when u lands at or beyond the accumulated total,
+	// step down to the last positive-weight category (equal adjacent
+	// cumulative values mark zero weights), matching Categorical exactly.
+	for lo > 0 && c.cum[lo] == c.cum[lo-1] {
+		lo--
 	}
 	return lo
 }

@@ -8,7 +8,11 @@
 // standard library's default source while remaining allocation-free.
 package rng
 
-import "math"
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
 
 // RNG is a deterministic pseudo-random number generator (xoshiro256**).
 // It is not safe for concurrent use; create one RNG per goroutine, e.g. with
@@ -61,12 +65,23 @@ func (r *RNG) State() State {
 	return State{S: r.s, HasSpare: r.hasSpare, Spare: r.spare}
 }
 
+// ErrBadState is returned by Restore for the all-zero xoshiro256** state —
+// the one invalid state of the generator (it would emit zeros forever). A
+// captured State is never all-zero (Seed guarantees it), so encountering one
+// means the snapshot is truncated or corrupted.
+var ErrBadState = errors.New("rng: all-zero generator state (corrupted snapshot)")
+
 // Restore resets the generator to a previously captured state, so the stream
-// continues exactly where the snapshot left off.
-func (r *RNG) Restore(st State) {
+// continues exactly where the snapshot left off. The generator is unchanged
+// when an error is returned.
+func (r *RNG) Restore(st State) error {
+	if st.S == ([4]uint64{}) {
+		return ErrBadState
+	}
 	r.s = st.S
 	r.hasSpare = st.HasSpare
 	r.spare = st.Spare
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -110,23 +125,12 @@ func (r *RNG) Intn(n int) int {
 	return int(hi)
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo).
+// mul64 returns the 128-bit product of a and b as (hi, lo). bits.Mul64 is
+// an intrinsic on every 64-bit platform (one widening multiply), which
+// matters because every bounded draw on the sampling hot path goes through
+// it.
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	aLo, aHi := a&mask32, a>>32
-	bLo, bHi := b&mask32, b>>32
-	t := aLo * bLo
-	lo32 := t & mask32
-	carry := t >> 32
-	t = aHi*bLo + carry
-	mid1 := t & mask32
-	carry = t >> 32
-	t = aLo*bHi + mid1
-	mid2 := t & mask32
-	carry2 := t >> 32
-	hi = aHi*bHi + carry + carry2
-	lo = mid2<<32 | lo32
-	return hi, lo
+	return bits.Mul64(a, b)
 }
 
 // Bernoulli returns true with probability p (clamped to [0, 1]).

@@ -33,13 +33,14 @@ type ISConfig struct {
 // distribution never adapts, poorly calibrated scores leave it far from
 // optimal — the effect Figure 3 measures.
 type IS struct {
-	pool    *pool.Pool
-	cfg     ISConfig
-	weights []float64 // per-item importance weights p_i / q_i
-	probs   []float64 // instrumental distribution (normalised)
-	alias   *rng.Alias
-	est     *estimator.Weighted
-	rng     *rng.RNG
+	pool     *pool.Pool
+	cfg      ISConfig
+	weights  []float64 // per-item importance weights p_i / q_i
+	probs    []float64 // instrumental distribution (normalised)
+	probsSum float64   // Σ probs, validated once at construction
+	alias    *rng.Alias
+	est      *estimator.Weighted
+	rng      *rng.RNG
 }
 
 // ScoreBasedF returns the initial F-measure guess computed purely from
@@ -136,7 +137,16 @@ func NewIS(p *pool.Pool, cfg ISConfig, r *rng.RNG) (*IS, error) {
 		est:     estimator.NewWeighted(cfg.Alpha),
 		rng:     r,
 	}
-	if !cfg.Naive {
+	if cfg.Naive {
+		// Validate (and sum) the fixed distribution once here, so the naive
+		// O(N) draw loop does not re-scan for NaN/Inf on every call — the
+		// construction-boundary validation convention of package rng.
+		sum, err := rng.ValidateWeights(probs)
+		if err != nil {
+			return nil, err
+		}
+		s.probsSum = sum
+	} else {
 		alias, err := rng.NewAlias(probs)
 		if err != nil {
 			return nil, err
@@ -158,11 +168,9 @@ func (s *IS) Probabilities() []float64 { return s.probs }
 func (s *IS) Step(b *oracle.Budgeted) error {
 	var i int
 	if s.cfg.Naive {
-		var err error
-		i, err = s.rng.Categorical(s.probs)
-		if err != nil {
-			return err
-		}
+		// The naive mode keeps the O(N) inverse-CDF scan the paper times in
+		// Table 3, but validation happened once at construction.
+		i = s.rng.CategoricalTrusted(s.probs, s.probsSum)
 	} else {
 		i = s.alias.Draw(s.rng)
 	}

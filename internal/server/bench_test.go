@@ -1,0 +1,102 @@
+package server
+
+// BenchmarkServerPropose measures the end-to-end HTTP hot path of the
+// evaluation service: lease a batch of 64 pairs, then commit their labels.
+// One benchmark op is one propose + one labels round trip. Tracked in
+// BENCH_core.json via `make bench-json`.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"oasis"
+	"oasis/internal/rng"
+	"oasis/internal/session"
+)
+
+func benchPool(n int, seed uint64) (scores []float64, preds, truth []bool) {
+	r := rng.New(seed)
+	scores = make([]float64, n)
+	preds = make([]bool, n)
+	truth = make([]bool, n)
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		scores[i] = u * u
+		preds[i] = scores[i] >= 0.5
+		truth[i] = r.Bernoulli(scores[i])
+	}
+	return scores, preds, truth
+}
+
+func BenchmarkServerPropose(b *testing.B) {
+	scores, preds, truth := benchPool(200_000, 5)
+	newSession := func(ts *httptest.Server, id string) {
+		b.Helper()
+		cfg := session.Config{
+			ID: id, Scores: scores, Preds: preds, Calibrated: true,
+			Options: oasis.Options{Strata: 30, Seed: 9},
+		}
+		body, err := json.Marshal(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			b.Fatalf("create session: status %d", resp.StatusCode)
+		}
+	}
+
+	ts := httptest.NewServer(New(session.NewManager(session.ManagerOptions{})).Handler())
+	defer ts.Close()
+	sid := 0
+	newSession(ts, "bench-0")
+	committed := 0
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if committed > 150_000 {
+			b.StopTimer()
+			sid++
+			newSession(ts, fmt.Sprintf("bench-%d", sid))
+			committed = 0
+			b.StartTimer()
+		}
+		url := fmt.Sprintf("%s/v1/sessions/bench-%d", ts.URL, sid)
+		resp, err := http.Get(url + "/propose?n=64")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pr ProposeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		req := LabelsRequest{Labels: make([]Label, len(pr.Proposals))}
+		for j, p := range pr.Proposals {
+			req.Labels[j] = Label{Pair: p.Pair, Label: truth[p.Pair]}
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err = http.Post(url+"/labels", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var lr LabelsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		committed += lr.Committed
+	}
+}

@@ -2,6 +2,7 @@ package session
 
 import (
 	"errors"
+	"fmt"
 
 	"oasis"
 	"oasis/internal/estimator"
@@ -17,8 +18,17 @@ type passiveProposer struct {
 	pool    *oasis.Pool
 	est     *estimator.Weighted
 	rng     *rng.RNG
-	pending map[int]int // pair -> queued draw count awaiting the label
+	pending map[int]passivePending // pair -> draws awaiting the label
 	labels  map[int]bool
+}
+
+// passivePending tracks the queued draws of one outstanding pair: the
+// weight of the draw that proposed it (1 for a uniform with-replacement
+// draw, avail/N for a storm-escape draw from the proposable subset) plus
+// the count of unit-weight re-draws made while the label was in flight.
+type passivePending struct {
+	first float64
+	extra int
 }
 
 func newPassive(p *oasis.Pool, opts oasis.Options) *passiveProposer {
@@ -27,7 +37,7 @@ func newPassive(p *oasis.Pool, opts oasis.Options) *passiveProposer {
 		pool:    p,
 		est:     estimator.NewWeighted(opts.Alpha),
 		rng:     rng.New(opts.Seed),
-		pending: make(map[int]int),
+		pending: make(map[int]passivePending),
 		labels:  make(map[int]bool),
 	}
 }
@@ -38,34 +48,84 @@ func (s *passiveProposer) ProposeBatch(n int) ([]int, error) {
 	if n <= 0 {
 		return nil, errors.New("session: batch size must be positive")
 	}
-	batch := make([]int, 0, n)
-	for draws := 0; len(batch) < n && draws < oasis.MaxDraws(n); draws++ {
+	// A batch can never exceed the proposable supply, so cap the allocation
+	// against absurd client-supplied n.
+	capHint := n
+	if supply := s.pool.N() - len(s.labels) - len(s.pending); capHint > supply {
+		capHint = supply
+	}
+	batch := make([]int, 0, capHint)
+	misses := 0
+	for len(batch) < n {
+		avail := s.pool.N() - len(s.labels) - len(s.pending)
+		if avail == 0 {
+			// Same typed contract as oasis.Sampler.ProposeBatch: partial
+			// batch plus the exhaustion signal, never a spin on a draw cap.
+			return batch, oasis.ErrExhausted
+		}
+		if misses >= passiveStormLimit {
+			// Deterministic escape at high labelled density: take the pair
+			// with the uniform rank j among the proposable ones. The draw's
+			// sampling probability is 1/avail instead of the uniform 1/N,
+			// so it carries the inverse-probability weight avail/N to keep
+			// the estimator unbiased (mirroring OASIS's direct mode). The
+			// rank scan is O(N) per escaped proposal — acceptable for the
+			// baseline method, which exists for comparison runs; the OASIS
+			// proposer carries the O(1) slot accounting instead.
+			j := s.rng.Intn(avail)
+			for i := 0; i < s.pool.N(); i++ {
+				_, labelled := s.labels[i]
+				_, outstanding := s.pending[i]
+				if labelled || outstanding {
+					continue
+				}
+				if j == 0 {
+					s.pending[i] = passivePending{first: float64(avail) / float64(s.pool.N())}
+					batch = append(batch, i)
+					break
+				}
+				j--
+			}
+			misses = 0
+			continue
+		}
 		i := s.rng.Intn(s.pool.N())
 		if label, ok := s.labels[i]; ok {
 			s.est.Add(1, label, s.pred(i))
+			misses++
 			continue
 		}
-		if _, outstanding := s.pending[i]; outstanding {
-			s.pending[i]++
+		if entry, outstanding := s.pending[i]; outstanding {
+			entry.extra++
+			s.pending[i] = entry
+			misses++
 			continue
 		}
-		s.pending[i] = 1
+		s.pending[i] = passivePending{first: 1}
 		batch = append(batch, i)
+		misses = 0
 	}
 	return batch, nil
 }
+
+// passiveStormLimit mirrors the OASIS proposer's storm escape: after this
+// many consecutive draws of labelled/outstanding pairs the next proposal is
+// picked directly from the proposable set (uniform, O(N) worst case) so
+// batches stay exact-size while supply lasts.
+const passiveStormLimit = 32
 
 func (s *passiveProposer) CommitLabel(pair int, label bool) error {
 	if _, done := s.labels[pair]; done {
 		return nil
 	}
-	count, ok := s.pending[pair]
+	entry, ok := s.pending[pair]
 	if !ok {
 		return oasis.ErrNotProposed
 	}
 	delete(s.pending, pair)
 	s.labels[pair] = label
-	for j := 0; j < count; j++ {
+	s.est.Add(entry.first, label, s.pred(pair))
+	for j := 0; j < entry.extra; j++ {
 		s.est.Add(1, label, s.pred(pair))
 	}
 	return nil
@@ -112,9 +172,16 @@ func (s *passiveProposer) restore(st *passiveState) error {
 	if st == nil {
 		return errors.New("session: nil passive state")
 	}
+	for pair := range st.Labels {
+		if pair < 0 || pair >= s.pool.N() {
+			return fmt.Errorf("session: snapshot label for pair %d outside pool of %d", pair, s.pool.N())
+		}
+	}
+	if err := s.rng.Restore(st.RNG); err != nil {
+		return err
+	}
 	s.est.SetSums(st.Num, st.Pred, st.True, st.N)
-	s.rng.Restore(st.RNG)
-	s.pending = make(map[int]int)
+	s.pending = make(map[int]passivePending)
 	s.labels = make(map[int]bool, len(st.Labels))
 	for i, l := range st.Labels {
 		s.labels[i] = l

@@ -223,7 +223,13 @@ func (s *Session) Propose(n int) ([]Proposal, error) {
 		}
 	}
 	pairs, err := s.prop.ProposeBatch(n)
-	if err != nil {
+	switch {
+	case errors.Is(err, oasis.ErrExhausted):
+		// The proposable supply ran out mid-batch: lease whatever was drawn.
+		// An empty result tells the caller every remaining pair is leased to
+		// other workers right now (retry later); the fully-labelled terminal
+		// case is caught by the pool check above on the next call.
+	case err != nil:
 		// Release any partially drawn batch so the pairs are not stranded
 		// as pending-without-a-lease (unleased pairs never expire).
 		for _, pair := range pairs {

@@ -162,13 +162,76 @@ type Sampler struct {
 	inner *core.Sampler
 	str   *strata.Strata
 
-	// Propose/commit bookkeeping: pending maps an outstanding proposed pair
-	// to every draw awaiting its label (with-replacement re-draws of an
-	// outstanding pair queue additional weighted terms); labels caches
-	// committed labels, mirroring the Budgeted oracle's first-query cache.
-	pending map[int][]core.Draw
-	labels  map[int]bool
+	// Propose/commit bookkeeping: outstanding proposals live in a dense slab
+	// (pendingSlab) indexed per pair by pendingIdx, holding every draw
+	// awaiting that pair's label (with-replacement re-draws of an
+	// outstanding pair queue additional weighted terms). The slab keeps the
+	// propose/commit hot path free of map operations: insert is an append,
+	// removal a swap-remove, both O(1). labels caches committed labels,
+	// mirroring the Budgeted oracle's first-query cache.
+	pendingSlab []pendingEntry
+	// slots interleaves each pair with its proposal state, laid out in
+	// stratum order (stratum k occupies [slotOff[k], slotOff[k+1]), matching
+	// the core sampler's within-stratum item order). A uniform pair draw
+	// indexes slots once: pair identity and state share an 8-byte load, so
+	// the hot path takes a single random memory access instead of two
+	// dependent ones. posOfPair maps a pool index back to its slot for the
+	// (colder) commit/release paths.
+	slots     []pairSlot
+	slotOff   []int32
+	posOfPair []int32
+	// extraDraws holds the re-draws of outstanding pairs (rare): keeping
+	// them out of the slab makes slab entries pointer-free scalars, so the
+	// propose hot path never takes a GC write barrier.
+	extraDraws map[int][]core.Draw
+	labels     map[int]bool
+
+	// Proposability accounting for the rejection-free draw path. Everything
+	// here is a pure function of (labels, pending), so a sampler restored
+	// from a snapshot rebuilds byte-identical state and continues the exact
+	// same proposal sequence as the live sampler it was taken from.
+	availCount []int32 // per stratum: pairs neither labelled nor outstanding
+	availTotal int     // Σ availCount
+
+	// Availability-masked stratum sampler for the near-exhaustion direct
+	// mode: v(t) restricted to strata that still hold a proposable pair
+	// (maskCum.Sum() is the retained mass Σ_avail v). Rebuilt lazily when
+	// the core's instrumental epoch moves or the availability sets change.
+	maskCum   *rng.Cumulative
+	maskBuf   []float64
+	maskEpoch uint64
+	maskDirty bool
 }
+
+// pendingEntry is one outstanding proposal: the pair, its stratum, and the
+// importance weight frozen when it was drawn. Re-draws of the pair while its
+// label is in flight are queued separately in Sampler.extraDraws. The entry
+// is a compact pointer-free scalar so slab operations stay allocation- and
+// write-barrier-free.
+type pendingEntry struct {
+	pair    int32
+	stratum int32
+	weight  float64
+}
+
+// draw reconstructs the core draw record the entry froze.
+func (e pendingEntry) draw() core.Draw {
+	return core.Draw{Pair: int(e.pair), Stratum: int(e.stratum), Weight: e.weight}
+}
+
+// pairSlot is one pool pair in stratum order with its proposal state: ≥ 0
+// is the slab index of the pair's outstanding proposal, pairAvailable means
+// proposable, pairLabelled means committed.
+type pairSlot struct {
+	pair  int32
+	state int32
+}
+
+// Sentinel values of pairSlot.state for pairs with no outstanding proposal.
+const (
+	pairAvailable int32 = -1
+	pairLabelled  int32 = -2
+)
 
 // NewSampler stratifies the pool and initialises OASIS from its scores
 // (Algorithms 1 and 2), returning a ready-to-run sampler.
@@ -197,12 +260,82 @@ func NewSampler(p *Pool, opts Options) (*Sampler, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sampler{
-		inner:   inner,
-		str:     s,
-		pending: make(map[int][]core.Draw),
-		labels:  make(map[int]bool),
-	}, nil
+	out := &Sampler{
+		inner:  inner,
+		str:    s,
+		labels: make(map[int]bool),
+	}
+	out.resetAvailability()
+	return out, nil
+}
+
+// resetAvailability rebuilds the proposability accounting from the labels
+// cache, with no outstanding proposals: every unlabelled pair is available.
+func (s *Sampler) resetAvailability() {
+	n := s.str.N()
+	if s.slots == nil {
+		s.slots = make([]pairSlot, n)
+		s.slotOff = make([]int32, s.str.K()+1)
+		s.posOfPair = make([]int32, n)
+		s.availCount = make([]int32, s.str.K())
+		pos := 0
+		for k, items := range s.str.Items {
+			s.slotOff[k] = int32(pos)
+			for _, pair := range items {
+				s.slots[pos].pair = int32(pair)
+				s.posOfPair[pair] = int32(pos)
+				pos++
+			}
+		}
+		s.slotOff[s.str.K()] = int32(pos)
+	}
+	for i := range s.slots {
+		s.slots[i].state = pairAvailable
+	}
+	s.pendingSlab = s.pendingSlab[:0]
+	s.extraDraws = nil
+	for k := range s.availCount {
+		s.availCount[k] = int32(len(s.str.Items[k]))
+	}
+	s.availTotal = n
+	for pair := range s.labels {
+		s.slots[s.posOfPair[pair]].state = pairLabelled
+		s.availCount[s.str.Assign[pair]]--
+		s.availTotal--
+	}
+	s.maskDirty = true
+}
+
+// pairState returns the proposal state of pair, or pairAvailable for an
+// out-of-range index (defensive: callers pass client-supplied pair ids).
+func (s *Sampler) pairState(pair int) int32 {
+	if pair < 0 || pair >= len(s.posOfPair) {
+		return pairAvailable
+	}
+	return s.slots[s.posOfPair[pair]].state
+}
+
+// removePending swap-removes pair's slab entry, returning it together with
+// any queued re-draws. The caller must know the pair is outstanding.
+func (s *Sampler) removePending(pair int) (pendingEntry, []core.Draw) {
+	idx := s.slots[s.posOfPair[pair]].state
+	entry := s.pendingSlab[idx]
+	last := len(s.pendingSlab) - 1
+	if int(idx) != last {
+		moved := s.pendingSlab[last]
+		s.pendingSlab[idx] = moved
+		s.slots[s.posOfPair[moved.pair]].state = idx
+	}
+	s.pendingSlab = s.pendingSlab[:last]
+	s.slots[s.posOfPair[pair]].state = pairAvailable
+	var extra []core.Draw
+	if len(s.extraDraws) > 0 {
+		if ex, ok := s.extraDraws[pair]; ok {
+			extra = ex
+			delete(s.extraDraws, pair)
+		}
+	}
+	return entry, extra
 }
 
 // K returns the realised number of strata (≤ Options.Strata).
@@ -233,7 +366,23 @@ func (s *Sampler) Step(b *Budgeted) error { return s.inner.Step(b.inner) }
 // released before the label arrived.
 var ErrNotProposed = errors.New("oasis: pair was not proposed (or its proposal was released)")
 
-// ProposeBatch draws up to n distinct unlabelled pairs from the current
+// ErrExhausted is returned by ProposeBatch when the proposable supply runs
+// out before the batch is full: every pair in the pool is either labelled or
+// outstanding. The partial batch drawn so far is returned alongside the
+// error. Once outstanding proposals are committed or released the supply can
+// recover; when the whole pool is labelled it is terminal.
+var ErrExhausted = errors.New("oasis: no proposable pairs (pool labelled or fully outstanding)")
+
+// proposeStormLimit bounds the consecutive with-replacement draws that fail
+// to yield a fresh proposal (free commits of already-labelled pairs, queued
+// re-draws of outstanding ones) before ProposeBatch escalates to the direct
+// mode, which draws the next proposal from the availability-masked
+// instrumental distribution in bounded time. At typical labelled densities
+// the limit is effectively never reached (probability density^32), so the
+// faithful with-replacement semantics of Algorithm 3 govern the common path.
+const proposeStormLimit = 32
+
+// ProposeBatch draws n distinct unlabelled pairs from the current
 // instrumental distribution and returns their pool indices, marking each as
 // an outstanding proposal. It is the asynchronous, batched counterpart of
 // Step: the caller routes the proposed pairs to its labelling resource and
@@ -247,30 +396,156 @@ var ErrNotProposed = errors.New("oasis: pair was not proposed (or its proposal w
 // weight is frozen at draw time, so batching leaves the estimator unchanged;
 // only the adaptation happens in batch steps rather than per label.
 //
-// The result may be shorter than n when the pool is (nearly) exhausted: the
-// draw loop gives up after MaxDraws(n) with-replacement draws.
+// The draw path is rejection-free and amortized O(1) per draw: the
+// instrumental distribution is cached between commits, every draw resolves
+// against O(1) availability state, and when labelled/outstanding pairs
+// dominate the drawn strata (proposeStormLimit consecutive non-proposal
+// draws) the remaining proposals are drawn directly from the instrumental
+// distribution restricted to proposable pairs, with importance weights
+// corrected for the restriction.
+//
+// The batch has exactly n pairs while the proposable supply lasts. When the
+// supply runs out mid-batch, ProposeBatch returns the partial batch (which
+// may be empty) together with ErrExhausted — it never spins on a draw cap.
+// Proposals return to the supply via Release; labels shrink it permanently.
 func (s *Sampler) ProposeBatch(n int) ([]int, error) {
 	if n <= 0 {
 		return nil, errors.New("oasis: batch size must be positive")
 	}
-	batch := make([]int, 0, n)
-	for draws := 0; len(batch) < n && draws < MaxDraws(n); draws++ {
-		d, err := s.inner.Draw()
-		if err != nil {
-			return batch, err
+	// A batch can never exceed the proposable supply (Release is the only
+	// thing that grows it, and it cannot run mid-batch), so cap the
+	// allocation: a client asking for 2^31 pairs must not allocate 16 GiB.
+	capHint := n
+	if capHint > s.availTotal {
+		capHint = s.availTotal
+	}
+	batch := make([]int, 0, capHint)
+	misses := 0
+	r := s.inner.Rand()
+	for len(batch) < n {
+		if s.availTotal == 0 {
+			return batch, ErrExhausted
 		}
-		if label, ok := s.labels[d.Pair]; ok {
-			s.inner.Commit(d, label)
+		if misses >= proposeStormLimit {
+			// Direct mode: stratum ~ v(t) masked to strata with proposable
+			// pairs, pair uniform among the stratum's proposable pairs. The
+			// importance weight is the true inverse sampling probability of
+			// the restricted draw: ω'_k/v'_k with v'_k = v_k/Σ_avail v and
+			// ω'_k = A_k/N the restricted stratum mass.
+			s.refreshMask()
+			k := s.maskCum.Draw(s.inner.Rand())
+			avail := float64(s.availCount[k])
+			weight := s.maskCum.Sum() * avail / (float64(s.str.N()) * s.inner.InstrumentalCached()[k])
+			pos := s.pickAvailable(k)
+			s.propose(pos, k, weight)
+			batch = append(batch, int(s.slots[pos].pair))
+			misses = 0
 			continue
 		}
-		if _, outstanding := s.pending[d.Pair]; outstanding {
-			s.pending[d.Pair] = append(s.pending[d.Pair], d)
-			continue
+		// One draw of the sequential algorithm: stratum ~ v(t) (cached),
+		// pair uniform within the stratum. The slot read resolves pair
+		// identity and proposal state with a single random memory access.
+		k, weight := s.inner.DrawStratum()
+		off := s.slotOff[k]
+		pos := int(off) + r.Intn(int(s.slotOff[k+1]-off))
+		slot := s.slots[pos]
+		pair := int(slot.pair)
+		switch st := slot.state; {
+		case st == pairAvailable:
+			s.propose(pos, k, weight)
+			batch = append(batch, pair)
+			misses = 0
+		case st == pairLabelled:
+			// Free draw: fold the cached label in immediately, exactly as
+			// the sequential algorithm re-labels for free (Algorithm 3 with
+			// the Budgeted oracle's cache).
+			s.inner.Commit(core.Draw{Pair: pair, Stratum: k, Weight: weight}, s.labels[pair])
+			misses++
+		default:
+			if s.extraDraws == nil {
+				s.extraDraws = make(map[int][]core.Draw)
+			}
+			s.extraDraws[pair] = append(s.extraDraws[pair], core.Draw{Pair: pair, Stratum: k, Weight: weight})
+			misses++
 		}
-		s.pending[d.Pair] = []core.Draw{d}
-		batch = append(batch, d.Pair)
 	}
 	return batch, nil
+}
+
+// propose marks the pair at slot pos (in stratum k) outstanding with its
+// frozen draw weight. Both proposal paths — the with-replacement draw and
+// the direct availability-masked mode — share this bookkeeping.
+func (s *Sampler) propose(pos, k int, weight float64) {
+	s.pendingSlab = append(s.pendingSlab, pendingEntry{
+		pair:    s.slots[pos].pair,
+		stratum: int32(k),
+		weight:  weight,
+	})
+	s.slots[pos].state = int32(len(s.pendingSlab) - 1)
+	s.availCount[k]--
+	s.availTotal--
+	s.maskDirty = true
+}
+
+// refreshMask rebuilds the availability-masked stratum sampler when the
+// instrumental distribution or the availability sets changed. Requires
+// availTotal > 0.
+func (s *Sampler) refreshMask() {
+	if !s.maskDirty && s.maskEpoch == s.inner.Epoch() && s.maskCum != nil {
+		return
+	}
+	v := s.inner.InstrumentalCached()
+	if s.maskBuf == nil {
+		s.maskBuf = make([]float64, len(v))
+	}
+	for k, vk := range v {
+		if s.availCount[k] > 0 {
+			s.maskBuf[k] = vk
+		} else {
+			s.maskBuf[k] = 0
+		}
+	}
+	if s.maskCum == nil {
+		s.maskCum = &rng.Cumulative{}
+	}
+	// v is strictly positive and at least one stratum is unmasked, so the
+	// masked weights always carry positive mass.
+	if err := s.maskCum.Reset(s.maskBuf); err != nil {
+		panic("oasis: availability mask lost all mass: " + err.Error())
+	}
+	s.maskEpoch = s.inner.Epoch()
+	s.maskDirty = false
+}
+
+// pickAvailable returns the slot position of a uniform draw from the
+// proposable pairs of stratum k, which must have at least one. It first
+// rejection-samples over the stratum's slots (O(1) status checks); if the
+// proposable density is too low for that to land quickly, it falls back to
+// counting off a uniform rank in slot order — deterministic, bounded by the
+// stratum size.
+func (s *Sampler) pickAvailable(k int) int {
+	off := int(s.slotOff[k])
+	slots := s.slots[off:s.slotOff[k+1]]
+	r := s.inner.Rand()
+	avail := int(s.availCount[k])
+	if avail*4 >= len(slots) {
+		for tries := 0; tries < 16; tries++ {
+			i := r.Intn(len(slots))
+			if slots[i].state == pairAvailable {
+				return off + i
+			}
+		}
+	}
+	j := r.Intn(avail)
+	for i, slot := range slots {
+		if slot.state == pairAvailable {
+			if j == 0 {
+				return off + i
+			}
+			j--
+		}
+	}
+	panic("oasis: availability accounting out of sync with proposal state")
 }
 
 // CommitLabel applies the label of a previously proposed pair, updating the
@@ -282,13 +557,14 @@ func (s *Sampler) CommitLabel(pair int, label bool) error {
 	if _, done := s.labels[pair]; done {
 		return nil
 	}
-	draws, ok := s.pending[pair]
-	if !ok {
+	if s.pairState(pair) < 0 {
 		return ErrNotProposed
 	}
-	delete(s.pending, pair)
+	entry, extra := s.removePending(pair)
 	s.labels[pair] = label
-	for _, d := range draws {
+	s.slots[s.posOfPair[pair]].state = pairLabelled // was pending: availability unchanged
+	s.inner.Commit(entry.draw(), label)
+	for _, d := range extra {
 		s.inner.Commit(d, label)
 	}
 	return nil
@@ -301,19 +577,22 @@ func (s *Sampler) CommitLabel(pair int, label bool) error {
 // consistency). The session layer calls this when a proposal's lease
 // expires.
 func (s *Sampler) Release(pair int) bool {
-	if _, ok := s.pending[pair]; !ok {
+	if s.pairState(pair) < 0 {
 		return false
 	}
-	delete(s.pending, pair)
+	s.removePending(pair) // leaves the pair marked available
+	s.availCount[s.str.Assign[pair]]++
+	s.availTotal++
+	s.maskDirty = true
 	return true
 }
 
 // Pending returns the pool indices of outstanding proposals (in no
 // particular order).
 func (s *Sampler) Pending() []int {
-	out := make([]int, 0, len(s.pending))
-	for i := range s.pending {
-		out = append(out, i)
+	out := make([]int, len(s.pendingSlab))
+	for i, e := range s.pendingSlab {
+		out[i] = int(e.pair)
 	}
 	return out
 }
@@ -356,14 +635,24 @@ func (s *Sampler) RestoreState(st *SamplerState) error {
 	if st == nil || st.Core == nil {
 		return errors.New("oasis: nil sampler state")
 	}
+	for pair := range st.Labels {
+		if pair < 0 || pair >= s.str.N() {
+			return fmt.Errorf("oasis: snapshot label for pair %d outside pool of %d", pair, s.str.N())
+		}
+	}
 	if err := s.inner.Restore(st.Core); err != nil {
 		return err
 	}
-	s.pending = make(map[int][]core.Draw)
 	s.labels = make(map[int]bool, len(st.Labels))
 	for i, l := range st.Labels {
 		s.labels[i] = l
 	}
+	// Rebuild the proposability accounting (dropping outstanding proposals)
+	// and invalidate the masked sampler; the core restore already
+	// invalidated the cached v(t). All of it is derived from the committed
+	// labels, so the restored sampler proposes exactly what the snapshotted
+	// one would have.
+	s.resetAvailability()
 	return nil
 }
 
@@ -409,8 +698,10 @@ func (m *Method) Run(o OracleFunc, budget int) (*Result, error) {
 // budget. The cap below bounds the draw count so a degenerate instrumental
 // distribution (all mass on labelled pairs) terminates instead of spinning:
 // MaxDrawFactor draws per budgeted label, plus MaxDrawSlack to keep tiny
-// budgets from being cut off early. Shared by runLoop, Sampler.ProposeBatch
-// and the session run loop.
+// budgets from being cut off early. Used by runLoop only: the batched
+// proposers (Sampler.ProposeBatch and the session layer's passive proposer)
+// no longer need a cap — their draw paths are rejection-free and exhaustion
+// is a typed error (ErrExhausted).
 const (
 	// MaxDrawFactor bounds with-replacement draws per budgeted label.
 	MaxDrawFactor = 200
