@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-json bench-smoke serve example clean
+.PHONY: build vet test race bench bench-json bench-smoke fuzz-smoke serve serve-wal example clean
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,10 @@ test: vet
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-# Hot-path microbenchmarks: core draw/commit, public batched proposals, and
-# the HTTP propose/labels round trip.
-HOT_BENCH = BenchmarkDraw$$|BenchmarkDrawCommit$$|BenchmarkInstrumental$$|BenchmarkProposeBatch|BenchmarkProposeCommit$$|BenchmarkServerPropose$$
-HOT_BENCH_PKGS = ./internal/core ./internal/server .
+# Hot-path microbenchmarks: core draw/commit, public batched proposals, the
+# HTTP propose/labels round trip, and the WAL durability tax.
+HOT_BENCH = BenchmarkDraw$$|BenchmarkDrawCommit$$|BenchmarkInstrumental$$|BenchmarkProposeBatch|BenchmarkProposeCommit$$|BenchmarkServerPropose$$|BenchmarkCommitDurable
+HOT_BENCH_PKGS = ./internal/core ./internal/server ./internal/wal .
 
 # Run the hot-path microbenchmarks and append the results to the
 # BENCH_core.json perf trajectory (label with OASIS_BENCH_LABEL). The
@@ -35,13 +35,24 @@ bench-json:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(HOT_BENCH)' -benchtime 1x $(HOT_BENCH_PKGS)
 
+# Short fuzz of the WAL replay path (CI runs the same). Minimization is
+# capped: replay coverage is mildly nondeterministic (temp paths, map
+# iteration), and the default 60s minimize budget stalls short smoke runs.
+fuzz-smoke:
+	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime 30s -fuzzminimizetime 10x
+
 # Run the evaluation service with restart-safe session snapshots.
 serve:
 	$(GO) run ./cmd/oasis-server -addr :8080 -snapshot oasis-state.json
+
+# Run the evaluation service with the durable write-ahead label journal:
+# kill -9 safe, acknowledged labels survive crashes.
+serve-wal:
+	$(GO) run ./cmd/oasis-server -addr :8080 -wal oasis-wal -fsync always -compact-every 10m
 
 # End-to-end demo: in-process server + concurrent HTTP labelling workers.
 example:
 	$(GO) run ./examples/serverclient
 
 clean:
-	rm -f oasis-state.json bench-json.out
+	rm -rf oasis-state.json bench-json.out oasis-wal

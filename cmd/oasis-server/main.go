@@ -6,11 +6,23 @@
 //
 // Usage:
 //
-//	oasis-server [-addr :8080] [-lease 1m] [-snapshot state.json] [-pprof addr]
+//	oasis-server [-addr :8080] [-lease 1m]
+//	             [-wal dir] [-fsync always|off|100ms] [-compact-every 10m]
+//	             [-snapshot state.json] [-snapshot-interval 1m]
+//	             [-pprof addr]
 //
-// With -snapshot, the server restores every session from the file at
-// startup (if it exists) and writes all sessions back on graceful shutdown
-// (SIGINT/SIGTERM), so purchased labels survive restarts.
+// Durability comes in two exclusive modes:
+//
+//   - -wal enables the write-ahead label journal (internal/wal): every
+//     session lifecycle event is appended — and, per -fsync, synced — before
+//     it is acknowledged, and startup replays snapshot+tail so even a
+//     kill -9 loses no acknowledged label. -compact-every folds cold
+//     segments into a snapshot on an interval.
+//
+//   - -snapshot restores every session from the file at startup (if it
+//     exists) and writes all sessions back on graceful shutdown
+//     (SIGINT/SIGTERM). -snapshot-interval additionally saves atomically on
+//     an interval, so a crash loses at most one interval of labels.
 //
 // With -pprof, a net/http/pprof debug server listens on the given address
 // (e.g. localhost:6060) for live CPU/heap profiling of the serving hot path:
@@ -22,27 +34,41 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"oasis/internal/server"
 	"oasis/internal/session"
+	"oasis/internal/wal"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		lease     = flag.Duration("lease", session.DefaultLeaseTTL, "default proposal lease TTL")
-		snapshot  = flag.String("snapshot", "", "snapshot file: restored at startup, saved at shutdown")
-		pprofAddr = flag.String("pprof", "", "listen address for the net/http/pprof debug server (empty = disabled)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		lease        = flag.Duration("lease", session.DefaultLeaseTTL, "default proposal lease TTL")
+		snapshot     = flag.String("snapshot", "", "snapshot file: restored at startup, saved at shutdown (exclusive with -wal)")
+		snapInterval = flag.Duration("snapshot-interval", 0, "with -snapshot: also save atomically every interval (0 = only at graceful shutdown)")
+		walDir       = flag.String("wal", "", "write-ahead-log directory: replayed at startup, appended before every acknowledgement (exclusive with -snapshot)")
+		fsync        = flag.String("fsync", "always", `WAL fsync policy: "always", "off", or a sync interval like 100ms`)
+		compactEvery = flag.Duration("compact-every", 0, "with -wal: fold cold WAL segments into a snapshot every interval (0 = never)")
+		pprofAddr    = flag.String("pprof", "", "listen address for the net/http/pprof debug server (empty = disabled)")
 	)
 	flag.Parse()
+	if *walDir != "" && *snapshot != "" {
+		log.Fatalf("-wal and -snapshot are exclusive durability modes; pick one")
+	}
+	if *snapInterval > 0 && *snapshot == "" {
+		log.Fatalf("-snapshot-interval requires -snapshot")
+	}
+	if *compactEvery > 0 && *walDir == "" {
+		log.Fatalf("-compact-every requires -wal")
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -54,7 +80,18 @@ func main() {
 	}
 
 	mgr := session.NewManager(session.ManagerOptions{DefaultLeaseTTL: *lease})
-	if *snapshot != "" {
+	var journal *wal.Journal
+	switch {
+	case *walDir != "":
+		j, err := wal.Open(*walDir, mgr, wal.Options{Fsync: *fsync})
+		if err != nil {
+			log.Fatalf("open wal: %v", err)
+		}
+		journal = j
+		st := j.Stats()
+		log.Printf("wal %s: recovered %d session(s) — snapshot=%v, %d event(s) replayed, %d skipped, %d torn byte(s) dropped (fsync %s)",
+			*walDir, mgr.Len(), st.ReplaySnapshot, st.ReplayApplied, st.ReplaySkipped, st.ReplayTornBytes, *fsync)
+	case *snapshot != "":
 		data, err := os.ReadFile(*snapshot)
 		switch {
 		case errors.Is(err, os.ErrNotExist):
@@ -72,7 +109,54 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Background maintenance tickers. They are joined (tickers is waited on)
+	// after Serve returns, so a periodic snapshot can never race the final
+	// shutdown save and clobber it with stale state, and no compaction runs
+	// against a closing journal.
+	var tickers sync.WaitGroup
+	if journal != nil && *compactEvery > 0 {
+		tickers.Add(1)
+		go func() {
+			defer tickers.Done()
+			t := time.NewTicker(*compactEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := journal.Compact(); err != nil {
+						log.Printf("wal compact: %v", err)
+					} else {
+						log.Printf("wal compacted (%d segment(s) live)", journal.Stats().Segments)
+					}
+				}
+			}
+		}()
+	}
+	if *snapInterval > 0 {
+		tickers.Add(1)
+		go func() {
+			defer tickers.Done()
+			t := time.NewTicker(*snapInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := saveSnapshot(mgr, *snapshot); err != nil {
+						log.Printf("periodic snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	srv := server.New(mgr)
+	if journal != nil {
+		srv.SetJournal(journal)
+	}
 	ready := make(chan string, 1)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ctx, *addr, ready) }()
@@ -85,7 +169,14 @@ func main() {
 	if err := <-errCh; err != nil {
 		log.Fatalf("serve: %v", err)
 	}
+	tickers.Wait()
 
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Fatalf("close wal: %v", err)
+		}
+		log.Printf("wal synced and closed")
+	}
 	if *snapshot != "" {
 		if err := saveSnapshot(mgr, *snapshot); err != nil {
 			log.Fatalf("save snapshot: %v", err)
@@ -95,15 +186,13 @@ func main() {
 	log.Printf("bye")
 }
 
-// saveSnapshot writes the manager state atomically (write temp, rename).
+// saveSnapshot writes the manager state atomically and durably: temp file in
+// the same directory, fsync, rename into place, fsync the directory; the
+// temp file is removed on failure.
 func saveSnapshot(mgr *session.Manager, path string) error {
 	data, err := mgr.Snapshot()
 	if err != nil {
 		return err
 	}
-	tmp := fmt.Sprintf("%s.tmp-%d", path, time.Now().UnixNano())
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return wal.WriteFileAtomic(path, data, 0o644)
 }

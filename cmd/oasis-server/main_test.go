@@ -1,0 +1,272 @@
+package main
+
+// Crash-recovery end-to-end test: build the real oasis-server binary, drive
+// it over HTTP with -wal -fsync always, SIGKILL it mid-session, restart it
+// from the WAL directory, and demand the recovered server continue the
+// exact proposal sequence — compared bit-for-bit against an uninterrupted
+// in-process reference session driven with the same request pattern. This
+// is the acceptance gate for the durable label journal: kill -9 plus
+// recovery must be indistinguishable from never having crashed.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"syscall"
+	"testing"
+	"time"
+
+	"oasis"
+	"oasis/internal/rng"
+	"oasis/internal/server"
+	"oasis/internal/session"
+)
+
+// e2ePool mirrors the synthetic pool generators used across the test suite.
+func e2ePool(n int, seed uint64) (scores []float64, preds, truth []bool) {
+	r := rng.New(seed)
+	scores = make([]float64, n)
+	preds = make([]bool, n)
+	truth = make([]bool, n)
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		scores[i] = u * u
+		preds[i] = scores[i] >= 0.5
+		truth[i] = r.Bernoulli(scores[i])
+	}
+	return scores, preds, truth
+}
+
+var listenRE = regexp.MustCompile(`oasis-server listening on ([^ ]+)`)
+
+// startServer launches the built binary and waits for its listen line.
+func startServer(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("server did not report a listen address")
+		return nil, ""
+	}
+}
+
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// driveServerRound proposes a batch over HTTP and commits every pair.
+func driveServerRound(t *testing.T, base string, batch int, truth []bool) []int {
+	t.Helper()
+	var pr server.ProposeResponse
+	if code := getJSON(t, fmt.Sprintf("%s/v1/sessions/e2e/propose?n=%d", base, batch), &pr); code != http.StatusOK {
+		t.Fatalf("propose: status %d", code)
+	}
+	if len(pr.Proposals) != batch {
+		t.Fatalf("proposed %d pairs, want %d", len(pr.Proposals), batch)
+	}
+	req := server.LabelsRequest{}
+	pairs := make([]int, len(pr.Proposals))
+	for i, p := range pr.Proposals {
+		pairs[i] = p.Pair
+		req.Labels = append(req.Labels, server.Label{Pair: p.Pair, Label: truth[p.Pair]})
+	}
+	var lr server.LabelsResponse
+	if code := postJSON(t, base+"/v1/sessions/e2e/labels", req, &lr); code != http.StatusOK {
+		t.Fatalf("labels: status %d", code)
+	}
+	if lr.Committed != len(req.Labels) {
+		t.Fatalf("committed %d of %d", lr.Committed, len(req.Labels))
+	}
+	return pairs
+}
+
+// driveRefRound is the in-process mirror of driveServerRound.
+func driveRefRound(t *testing.T, s *session.Session, batch int, truth []bool) []int {
+	t.Helper()
+	props, err := s.Propose(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != batch {
+		t.Fatalf("reference proposed %d pairs, want %d", len(props), batch)
+	}
+	pairs := make([]int, len(props))
+	labels := make([]bool, len(props))
+	for i, p := range props {
+		pairs[i] = p.Pair
+		labels[i] = truth[p.Pair]
+	}
+	if _, err := s.CommitBatch(pairs, labels); err != nil {
+		t.Fatal(err)
+	}
+	return pairs
+}
+
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "oasis-server")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	walDir := t.TempDir()
+
+	scores, preds, truth := e2ePool(3000, 42)
+	cfg := session.Config{
+		ID: "e2e", Scores: scores, Preds: preds, Calibrated: true,
+		Options:  oasis.Options{Strata: 12, Seed: 77},
+		LeaseTTL: time.Minute,
+	}
+	const (
+		batch       = 16
+		preRounds   = 12
+		postRounds  = 12
+		totalRounds = preRounds + postRounds
+	)
+
+	// Uninterrupted in-process reference: same config, same request pattern.
+	ref, err := session.NewManager(session.ManagerOptions{}).Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: live server, create + label, then SIGKILL between batches.
+	cmd, addr := startServer(t, bin, "-addr", "127.0.0.1:0", "-wal", walDir, "-fsync", "always")
+	base := "http://" + addr
+	if code := postJSON(t, base+"/v1/sessions", cfg, nil); code != http.StatusCreated {
+		cmd.Process.Kill()
+		t.Fatalf("create: status %d", code)
+	}
+	for round := 0; round < preRounds; round++ {
+		got := driveServerRound(t, base, batch, truth)
+		want := driveRefRound(t, ref, batch, truth)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("pre-crash round %d diverged at %d: server pair %d, reference %d", round, i, got[i], want[i])
+			}
+		}
+	}
+	var health server.HealthResponse
+	if code := getJSON(t, base+"/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: status %d, %+v", code, health)
+	}
+	var stats server.StatsResponse
+	if code := getJSON(t, base+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if stats.Sessions != 1 || stats.LabelsCommitted != preRounds*batch || stats.WAL == nil || stats.WAL.RecordsAppended == 0 {
+		t.Fatalf("unexpected stats before crash: %+v (wal %+v)", stats, stats.WAL)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Phase 2: restart from the WAL; the recovered sampler must continue
+	// the exact sequence the uninterrupted reference produces.
+	cmd2, addr2 := startServer(t, bin, "-addr", "127.0.0.1:0", "-wal", walDir, "-fsync", "always")
+	defer func() {
+		cmd2.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { cmd2.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd2.Process.Kill()
+			cmd2.Wait()
+		}
+	}()
+	base2 := "http://" + addr2
+
+	var st session.Status
+	if code := getJSON(t, base2+"/v1/sessions/e2e", &st); code != http.StatusOK {
+		t.Fatalf("recovered session missing: status %d", code)
+	}
+	if st.LabelsCommitted != preRounds*batch {
+		t.Fatalf("recovered %d labels, want %d", st.LabelsCommitted, preRounds*batch)
+	}
+	for round := 0; round < postRounds; round++ {
+		got := driveServerRound(t, base2, batch, truth)
+		want := driveRefRound(t, ref, batch, truth)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("post-recovery round %d diverged at %d: server pair %d, reference %d", round, i, got[i], want[i])
+			}
+		}
+	}
+
+	// The estimates must agree exactly too: the JSON float64 round trip is
+	// lossless, so any difference is real state divergence.
+	if code := getJSON(t, base2+"/v1/sessions/e2e/estimate", &st); code != http.StatusOK {
+		t.Fatalf("estimate: status %d", code)
+	}
+	if st.LabelsCommitted != totalRounds*batch {
+		t.Fatalf("final labels %d, want %d", st.LabelsCommitted, totalRounds*batch)
+	}
+	refEst := ref.Estimate()
+	if st.Estimate == nil || *st.Estimate != refEst {
+		t.Fatalf("recovered estimate %v, reference %v", st.Estimate, refEst)
+	}
+	t.Logf("kill -9 + WAL recovery reproduced %d proposals and F̂ = %.6f exactly", totalRounds*batch, refEst)
+}

@@ -43,6 +43,19 @@
 // API walkthrough and examples/serverclient for a runnable end-to-end
 // demo).
 //
+// Labels are durable. The session layer is a deterministic state machine —
+// every draw comes from an explicitly seeded stream and the instrumental
+// distribution is a pure function of the labels committed so far — so
+// internal/wal journals the operation sequence (create, propose,
+// label-commit with its frozen weight terms, release, delete) to a
+// segmented, CRC-checked write-ahead log before anything is acknowledged,
+// and recovery replays it through the same code paths to land bit-for-bit
+// on the pre-crash state: a kill-9'd oasis-server restarted with -wal
+// continues the exact proposal sequence (TestCrashRecoveryEndToEnd).
+// Background compaction folds cold segments into a manager snapshot plus a
+// trimmed tail, and the -fsync policy (per-record / interval / off) sets
+// the durability/latency trade-off, measured by BenchmarkCommitDurable.
+//
 // # Performance
 //
 // The draw/commit hot path is amortized O(1) per draw. The instrumental
@@ -70,8 +83,10 @@
 //
 // The hot-path microbenchmarks live in internal/core (BenchmarkDraw,
 // BenchmarkDrawCommit, BenchmarkInstrumental), the package root
-// (BenchmarkProposeBatch/{n=1,64,1024}, BenchmarkProposeCommit) and
-// internal/server (BenchmarkServerPropose). `make bench-json` runs them and
+// (BenchmarkProposeBatch/{n=1,64,1024}, BenchmarkProposeCommit),
+// internal/server (BenchmarkServerPropose) and internal/wal
+// (BenchmarkCommitDurable, the WAL durability tax per fsync policy).
+// `make bench-json` runs them and
 // appends a labelled run to BENCH_core.json — the perf trajectory every
 // change is judged against; `make bench-smoke` is the 1-iteration CI guard.
 // The paper-scale experiment benchmarks in bench_test.go are scaled by the

@@ -8,6 +8,8 @@
 //	GET    /v1/sessions/{id}/propose?n=  lease a batch of pairs to label
 //	POST   /v1/sessions/{id}/labels      commit labels (body: {labels: [...]})
 //	DELETE /v1/sessions/{id}             drop the session
+//	GET    /healthz                      liveness for load balancers (503 once the WAL fail-stops)
+//	GET    /v1/stats                     service totals + WAL counters for ops
 //
 // The propose/commit cycle is the service form of Algorithm 3: workers pull
 // batches of record pairs drawn from the current instrumental distribution,
@@ -28,15 +30,22 @@ import (
 	"time"
 
 	"oasis/internal/session"
+	"oasis/internal/wal"
 )
 
 // Server is the HTTP front-end over a session.Manager.
 type Server struct {
 	mgr *session.Manager
+	jrn *wal.Journal
 }
 
 // New wraps a manager.
 func New(mgr *session.Manager) *Server { return &Server{mgr: mgr} }
+
+// SetJournal wires the write-ahead log into the ops endpoints: /healthz
+// degrades to 503 once the journal enters its sticky failure state, and
+// /v1/stats reports its counters.
+func (s *Server) SetJournal(j *wal.Journal) { s.jrn = j }
 
 // Manager returns the underlying session manager (e.g. for snapshotting at
 // shutdown).
@@ -52,7 +61,50 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/propose", s.propose)
 	mux.HandleFunc("POST /v1/sessions/{id}/labels", s.commitLabels)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.deleteSession)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /v1/stats", s.stats)
 	return mux
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok" or "degraded"
+	Error  string `json:"error,omitempty"`
+}
+
+// healthz answers load-balancer probes: 200 while the service can
+// acknowledge writes, 503 once the WAL has fail-stopped.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	if s.jrn != nil {
+		if err := s.jrn.Err(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "degraded", Error: err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// StatsResponse is the body of GET /v1/stats: service-wide totals plus the
+// WAL's segment/sync counters when durability is enabled.
+type StatsResponse struct {
+	Sessions         int        `json:"sessions"`
+	LabelsCommitted  int        `json:"labelsCommitted"`
+	PendingProposals int        `json:"pendingProposals"`
+	WAL              *wal.Stats `json:"wal,omitempty"`
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	var resp StatsResponse
+	for _, st := range s.mgr.List() {
+		resp.Sessions++
+		resp.LabelsCommitted += st.LabelsCommitted
+		resp.PendingProposals += st.PendingProposals
+	}
+	if s.jrn != nil {
+		st := s.jrn.Stats()
+		resp.WAL = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // errorBody is the uniform error payload.
@@ -183,7 +235,14 @@ func (s *Server) commitLabels(w http.ResponseWriter, r *http.Request) {
 		pairs[i] = l.Pair
 		labels[i] = l.Label
 	}
-	results := sess.CommitBatch(pairs, labels)
+	// The commit is acknowledged only after the session's journal append
+	// succeeded (CommitBatch returns an error otherwise): a 200 here means
+	// the labels are as durable as the configured fsync policy makes them.
+	results, err := sess.CommitBatch(pairs, labels)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	resp := LabelsResponse{Results: make([]LabelResult, len(results))}
 	for i, cr := range results {
 		res := LabelResult{Pair: pairs[i]}

@@ -241,6 +241,52 @@ func TestServerCRUDAndErrors(t *testing.T) {
 	}
 }
 
+// TestHealthAndStats covers the ops endpoints in snapshot-only mode (no
+// WAL): healthz is "ok" and stats aggregates sessions without a wal block.
+// The WAL-enabled variants are exercised by the crash-recovery end-to-end
+// test in cmd/oasis-server.
+func TestHealthAndStats(t *testing.T) {
+	mgr := session.NewManager(session.ManagerOptions{})
+	ts := httptest.NewServer(New(mgr).Handler())
+	defer ts.Close()
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+
+	var health HealthResponse
+	if code := c.do("GET", "/healthz", nil, &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: status %d, %+v", code, health)
+	}
+
+	scores := []float64{0.9, 0.8, 0.2, 0.1, 0.7, 0.3}
+	preds := []bool{true, true, false, false, true, false}
+	if code := c.do("POST", "/v1/sessions", session.Config{
+		ID: "stats", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 2, Seed: 1},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	var pr ProposeResponse
+	if code := c.do("GET", "/v1/sessions/stats/propose?n=2", nil, &pr); code != http.StatusOK || len(pr.Proposals) != 2 {
+		t.Fatalf("propose: status %d, %d proposals", code, len(pr.Proposals))
+	}
+	var lr LabelsResponse
+	if code := c.do("POST", "/v1/sessions/stats/labels", LabelsRequest{
+		Labels: []Label{{Pair: pr.Proposals[0].Pair, Label: true}},
+	}, &lr); code != http.StatusOK || lr.Committed != 1 {
+		t.Fatalf("labels: status %d, committed %d", code, lr.Committed)
+	}
+
+	var stats StatsResponse
+	if code := c.do("GET", "/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if stats.Sessions != 1 || stats.LabelsCommitted != 1 || stats.PendingProposals != 1 {
+		t.Fatalf("unexpected stats: %+v", stats)
+	}
+	if stats.WAL != nil {
+		t.Fatalf("stats reported a WAL block without a journal: %+v", stats.WAL)
+	}
+}
+
 // TestServeGracefulShutdown checks Serve comes up, answers, and drains on
 // context cancellation.
 func TestServeGracefulShutdown(t *testing.T) {

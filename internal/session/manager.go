@@ -23,6 +23,10 @@ type ManagerOptions struct {
 	DefaultLeaseTTL time.Duration
 	// Now injects a clock, for tests; nil means time.Now.
 	Now func() time.Time
+	// Journal, when set, durably records every state-changing event before
+	// it is acknowledged. When recovery must run first (the WAL replays into
+	// a journal-less manager), leave it nil and attach with SetJournal.
+	Journal Journal
 }
 
 // Manager owns named evaluation sessions. All methods are safe for
@@ -31,7 +35,12 @@ type ManagerOptions struct {
 type Manager struct {
 	mu       sync.RWMutex
 	sessions map[string]*Session
+	// reserved holds IDs whose create event is being journaled: the slow
+	// fsync of the create record runs outside m.mu (so it never stalls other
+	// sessions' traffic), and the reservation keeps the ID unique meanwhile.
+	reserved map[string]bool
 	opts     ManagerOptions
+	jrn      *journalHolder
 }
 
 // NewManager returns an empty manager.
@@ -42,8 +51,18 @@ func NewManager(opts ManagerOptions) *Manager {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
-	return &Manager{sessions: make(map[string]*Session), opts: opts}
+	return &Manager{
+		sessions: make(map[string]*Session),
+		reserved: make(map[string]bool),
+		opts:     opts,
+		jrn:      &journalHolder{j: opts.Journal},
+	}
 }
+
+// SetJournal attaches the durable event journal. wal.Open calls it once
+// replay is done — so recovered operations are not re-journaled — and before
+// the manager serves live traffic.
+func (m *Manager) SetJournal(j Journal) { m.jrn.set(j) }
 
 // ErrNotFound is returned for unknown session IDs.
 var ErrNotFound = fmt.Errorf("session: no such session")
@@ -58,7 +77,10 @@ func newID() string {
 }
 
 // Create builds and registers a session. An empty Config.ID gets a
-// generated one; a duplicate ID is an error.
+// generated one; a duplicate ID is an error. With a journal attached the
+// creation — configuration, pool and seed — is durably appended before the
+// session becomes reachable, so the log orders it ahead of every event the
+// session will produce.
 func (m *Manager) Create(cfg Config) (*Session, error) {
 	if cfg.ID == "" {
 		cfg.ID = newID()
@@ -68,11 +90,30 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 		return nil, err
 	}
 	s.id = cfg.ID
+	s.jrn = m.jrn
+	// Reserve the ID, journal the creation outside m.mu (the create record's
+	// fsync must not stall every other session's traffic behind the manager
+	// lock), then register. The session becomes reachable only after the
+	// append, so the log still orders the create ahead of all its events.
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, dup := m.sessions[cfg.ID]; dup {
+	if m.sessions[cfg.ID] != nil || m.reserved[cfg.ID] {
+		m.mu.Unlock()
 		return nil, fmt.Errorf("session: id %q already exists", cfg.ID)
 	}
+	m.reserved[cfg.ID] = true
+	m.mu.Unlock()
+	var lsn uint64
+	var jerr error
+	if j := m.jrn.get(); j != nil {
+		lsn, jerr = j.Append(&Event{Type: EventCreate, Session: cfg.ID, Config: &cfg})
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.reserved, cfg.ID)
+	if jerr != nil {
+		return nil, fmt.Errorf("session: journal create: %w", jerr)
+	}
+	s.lastLSN = lsn
 	m.sessions[cfg.ID] = s
 	return s, nil
 }
@@ -88,12 +129,22 @@ func (m *Manager) Get(id string) (*Session, error) {
 	return s, nil
 }
 
-// Delete removes the named session, releasing its memory.
+// Delete removes the named session, releasing its memory. With a journal
+// attached the deletion is durably appended first.
 func (m *Manager) Delete(id string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.sessions[id]; !ok {
 		return ErrNotFound
+	}
+	// Unlike Create, the delete append stays under m.mu: releasing the lock
+	// before the append would let a racing re-Create of the same ID journal
+	// its create record ahead of this delete, which replay would reject as a
+	// duplicate. Deletes are rare; the one fsync under the lock is fine.
+	if j := m.jrn.get(); j != nil {
+		if _, err := j.Append(&Event{Type: EventDelete, Session: id}); err != nil {
+			return fmt.Errorf("session: journal delete: %w", err)
+		}
 	}
 	delete(m.sessions, id)
 	return nil
@@ -123,9 +174,17 @@ func (m *Manager) Len() int {
 }
 
 // sessionSnapshot pairs a session's config with its method state. Exactly
-// one of Sampler/Passive is set.
+// one of Sampler/Passive is set. LastLSN is the session's journal high-water
+// mark at snapshot time: WAL replay skips the session's events at or below
+// it, which is what lets compaction fold cold segments into a snapshot.
+// Leases lists the pairs with a live lease; together with the proposer
+// states' pending draws this makes the snapshot exact — restored sessions
+// hold the same outstanding proposals (re-leased for a fresh TTL), so WAL
+// tail events replay against the snapshot bit-for-bit.
 type sessionSnapshot struct {
 	Config  Config              `json:"config"`
+	LastLSN uint64              `json:"lastLSN,omitempty"`
+	Leases  []int               `json:"leases,omitempty"`
 	Sampler *oasis.SamplerState `json:"sampler,omitempty"`
 	Passive *passiveState       `json:"passive,omitempty"`
 }
@@ -136,14 +195,21 @@ type snapshotFile struct {
 	Sessions []sessionSnapshot `json:"sessions"`
 }
 
-// snapshot captures one session. Live leases are not persisted — on restore
-// every outstanding proposal has returned to the proposable set, which is
-// the crash-safe reading of the lease contract.
+// snapshot captures one session, leases included (deadlines are not
+// persisted: a restore re-leases each outstanding pair for one fresh TTL,
+// and the WAL boot barrier releases them instead after a crash).
 func (s *Session) snapshot() sessionSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	snap := sessionSnapshot{Config: s.cfg}
+	snap := sessionSnapshot{Config: s.cfg, LastLSN: s.lastLSN}
 	snap.Config.ID = s.id
+	if len(s.leases) > 0 {
+		snap.Leases = make([]int, 0, len(s.leases))
+		for pair := range s.leases {
+			snap.Leases = append(snap.Leases, pair)
+		}
+		sort.Ints(snap.Leases) // deterministic snapshot bytes
+	}
 	switch p := s.prop.(type) {
 	case *oasis.Sampler:
 		snap.Sampler = p.State()
@@ -175,9 +241,10 @@ func (m *Manager) Snapshot() ([]byte, error) {
 }
 
 // Restore registers every session in a Snapshot payload, resuming each
-// sampler exactly where it left off (estimates, posteriors and random
-// streams are bit-identical; leases start empty). Existing sessions with
-// clashing IDs are an error and abort the restore before any registration.
+// sampler exactly where it left off: estimates, posteriors, random streams
+// and outstanding proposals are bit-identical, with each leased pair
+// re-leased for one fresh TTL. Existing sessions with clashing IDs are an
+// error and abort the restore before any registration.
 func (m *Manager) Restore(data []byte) error {
 	var file snapshotFile
 	if err := json.Unmarshal(data, &file); err != nil {
@@ -195,7 +262,7 @@ func (m *Manager) Restore(data []byte) error {
 			return fmt.Errorf("session: duplicate id %q in snapshot", snap.Config.ID)
 		}
 		seen[snap.Config.ID] = true
-		if _, dup := m.sessions[snap.Config.ID]; dup {
+		if m.sessions[snap.Config.ID] != nil || m.reserved[snap.Config.ID] {
 			m.mu.RUnlock()
 			return fmt.Errorf("session: id %q already exists", snap.Config.ID)
 		}
@@ -207,6 +274,8 @@ func (m *Manager) Restore(data []byte) error {
 			return fmt.Errorf("session: restore %q: %w", snap.Config.ID, err)
 		}
 		s.id = snap.Config.ID
+		s.jrn = m.jrn
+		s.lastLSN = snap.LastLSN
 		switch {
 		case snap.Sampler != nil:
 			sampler, ok := s.prop.(*oasis.Sampler)
@@ -225,12 +294,33 @@ func (m *Manager) Restore(data []byte) error {
 				return fmt.Errorf("session: restore %q: %w", s.id, err)
 			}
 		}
+		labelled := func(pair int) bool {
+			switch {
+			case snap.Sampler != nil:
+				_, ok := snap.Sampler.Labels[pair]
+				return ok
+			case snap.Passive != nil:
+				_, ok := snap.Passive.Labels[pair]
+				return ok
+			}
+			return false
+		}
+		deadline := m.opts.Now().Add(s.leaseTTL)
+		for _, pair := range snap.Leases {
+			if pair < 0 || pair >= len(snap.Config.Scores) {
+				return fmt.Errorf("session: restore %q: lease for pair %d outside pool of %d", s.id, pair, len(snap.Config.Scores))
+			}
+			if _, dup := s.leases[pair]; dup || labelled(pair) {
+				return fmt.Errorf("session: restore %q: lease for pair %d clashes with its label state", s.id, pair)
+			}
+			s.leases[pair] = deadline
+		}
 		restored = append(restored, s)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, s := range restored {
-		if _, dup := m.sessions[s.id]; dup {
+		if m.sessions[s.id] != nil || m.reserved[s.id] {
 			return fmt.Errorf("session: id %q already exists", s.id)
 		}
 	}
@@ -238,4 +328,87 @@ func (m *Manager) Restore(data []byte) error {
 		m.sessions[s.id] = s
 	}
 	return nil
+}
+
+// ReplayEvent applies one journaled event during write-ahead-log recovery
+// (wal.Open drives it record by record, in log order). Events already folded
+// into the snapshot the manager was restored from — per-session LSN at or
+// below the restored watermark — and events for unknown (since-deleted)
+// sessions are skipped. ReplayEvent never appends to the journal; it returns
+// whether the event was applied.
+func (m *Manager) ReplayEvent(ev *Event) (bool, error) {
+	switch ev.Type {
+	case EventRestart:
+		m.mu.RLock()
+		all := make([]*Session, 0, len(m.sessions))
+		for _, s := range m.sessions {
+			all = append(all, s)
+		}
+		m.mu.RUnlock()
+		for _, s := range all {
+			s.dropAllLeases()
+		}
+		return true, nil
+	case EventCreate:
+		if ev.Config == nil {
+			return false, fmt.Errorf("session: replay create %q without config", ev.Session)
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if cur, ok := m.sessions[ev.Session]; ok {
+			if ev.LSN <= cur.LastLSN() {
+				return false, nil // folded into the snapshot
+			}
+			return false, fmt.Errorf("session: replay create %q: already exists", ev.Session)
+		}
+		cfg := *ev.Config
+		cfg.ID = ev.Session
+		s, err := newSession(cfg, m.opts.DefaultLeaseTTL, m.opts.Now)
+		if err != nil {
+			return false, fmt.Errorf("session: replay create %q: %w", ev.Session, err)
+		}
+		s.id = cfg.ID
+		s.jrn = m.jrn
+		s.lastLSN = ev.LSN
+		m.sessions[cfg.ID] = s
+		return true, nil
+	case EventDelete:
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		s, ok := m.sessions[ev.Session]
+		if !ok || ev.LSN <= s.LastLSN() {
+			return false, nil
+		}
+		delete(m.sessions, ev.Session)
+		return true, nil
+	case EventPropose, EventCommit, EventRelease:
+		m.mu.RLock()
+		s, ok := m.sessions[ev.Session]
+		m.mu.RUnlock()
+		if !ok {
+			return false, nil
+		}
+		return s.replayEvent(ev)
+	default:
+		return false, fmt.Errorf("session: replay: unknown event type %q", ev.Type)
+	}
+}
+
+// MaxJournalLSN returns the highest journal LSN recorded by any live session
+// — the watermark above which the WAL resumes sequence numbers after a
+// snapshot-based recovery.
+func (m *Manager) MaxJournalLSN() uint64 {
+	m.mu.RLock()
+	all := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		all = append(all, s)
+	}
+	m.mu.RUnlock()
+	var max uint64
+	for _, s := range all {
+		if l := s.LastLSN(); l > max {
+			max = l
+		}
+	}
+	return max
 }

@@ -3,6 +3,8 @@ package session
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 
 	"oasis"
 	"oasis/internal/estimator"
@@ -114,20 +116,66 @@ func (s *passiveProposer) ProposeBatch(n int) ([]int, error) {
 // batches stay exact-size while supply lasts.
 const passiveStormLimit = 32
 
-func (s *passiveProposer) CommitLabel(pair int, label bool) error {
+// CommitLabelTerms applies a label and returns the unit/escape-weighted
+// estimator terms it folded in (nil for a duplicate), mirroring
+// oasis.Sampler.CommitLabelTerms for the durable journal.
+func (s *passiveProposer) CommitLabelTerms(pair int, label bool) ([]oasis.DrawTerm, error) {
 	if _, done := s.labels[pair]; done {
-		return nil
+		return nil, nil
 	}
 	entry, ok := s.pending[pair]
 	if !ok {
-		return oasis.ErrNotProposed
+		return nil, oasis.ErrNotProposed
 	}
 	delete(s.pending, pair)
 	s.labels[pair] = label
+	terms := make([]oasis.DrawTerm, 0, 1+entry.extra)
 	s.est.Add(entry.first, label, s.pred(pair))
+	terms = append(terms, oasis.DrawTerm{Weight: entry.first})
 	for j := 0; j < entry.extra; j++ {
 		s.est.Add(1, label, s.pred(pair))
+		terms = append(terms, oasis.DrawTerm{Weight: 1})
 	}
+	return terms, nil
+}
+
+// ReplayCommit applies a journaled commit during recovery: through the
+// pending entry when the propose was replayed, directly from the recorded
+// terms when it was folded into a compaction snapshot.
+func (s *passiveProposer) ReplayCommit(pair int, label bool, terms []oasis.DrawTerm) error {
+	if pair < 0 || pair >= s.pool.N() {
+		return fmt.Errorf("session: replay commit for pair %d outside pool of %d", pair, s.pool.N())
+	}
+	if _, done := s.labels[pair]; done {
+		return nil
+	}
+	if len(terms) == 0 {
+		return fmt.Errorf("session: replay commit for pair %d carries no terms", pair)
+	}
+	for _, dt := range terms {
+		if dt.Stratum != 0 || !(dt.Weight > 0) || math.IsInf(dt.Weight, 0) {
+			return fmt.Errorf("session: replay commit for pair %d has invalid term %+v", pair, dt)
+		}
+	}
+	if _, pending := s.pending[pair]; pending {
+		got, err := s.CommitLabelTerms(pair, label)
+		if err != nil {
+			return err
+		}
+		if len(got) != len(terms) {
+			return fmt.Errorf("session: replay commit for pair %d applied %d terms, journal has %d", pair, len(got), len(terms))
+		}
+		for i := range got {
+			if got[i] != terms[i] {
+				return fmt.Errorf("session: replayed term for pair %d diverged: %+v vs journalled %+v", pair, got[i], terms[i])
+			}
+		}
+		return nil
+	}
+	for _, dt := range terms {
+		s.est.Add(dt.Weight, label, s.pred(pair))
+	}
+	s.labels[pair] = label
 	return nil
 }
 
@@ -143,16 +191,23 @@ func (s *passiveProposer) Estimate() float64 { return s.est.Estimate() }
 
 func (s *passiveProposer) LabelsCommitted() int { return len(s.labels) }
 
-// passiveState is the JSON snapshot of a passiveProposer. Outstanding
-// proposals are not persisted (same crash-safe contract as
-// oasis.SamplerState).
+// passivePendingState is one outstanding proposal in a passiveState.
+type passivePendingState struct {
+	Pair  int     `json:"pair"`
+	First float64 `json:"w"`
+	Extra int     `json:"extra,omitempty"`
+}
+
+// passiveState is the JSON snapshot of a passiveProposer, outstanding
+// proposals included (same exact-snapshot contract as oasis.SamplerState).
 type passiveState struct {
-	Num    float64      `json:"num"`
-	Pred   float64      `json:"pred"`
-	True   float64      `json:"true"`
-	N      int          `json:"n"`
-	RNG    rng.State    `json:"rng"`
-	Labels map[int]bool `json:"labels,omitempty"`
+	Num     float64               `json:"num"`
+	Pred    float64               `json:"pred"`
+	True    float64               `json:"true"`
+	N       int                   `json:"n"`
+	RNG     rng.State             `json:"rng"`
+	Labels  map[int]bool          `json:"labels,omitempty"`
+	Pending []passivePendingState `json:"pending,omitempty"`
 }
 
 func (s *passiveProposer) state() *passiveState {
@@ -161,11 +216,21 @@ func (s *passiveProposer) state() *passiveState {
 	for i, l := range s.labels {
 		labels[i] = l
 	}
-	return &passiveState{
+	st := &passiveState{
 		Num: num, Pred: pred, True: true_, N: s.est.N(),
 		RNG:    s.rng.State(),
 		Labels: labels,
 	}
+	pairs := make([]int, 0, len(s.pending))
+	for pair := range s.pending {
+		pairs = append(pairs, pair)
+	}
+	sort.Ints(pairs) // deterministic snapshot bytes
+	for _, pair := range pairs {
+		entry := s.pending[pair]
+		st.Pending = append(st.Pending, passivePendingState{Pair: pair, First: entry.first, Extra: entry.extra})
+	}
+	return st
 }
 
 func (s *passiveProposer) restore(st *passiveState) error {
@@ -177,11 +242,22 @@ func (s *passiveProposer) restore(st *passiveState) error {
 			return fmt.Errorf("session: snapshot label for pair %d outside pool of %d", pair, s.pool.N())
 		}
 	}
+	for _, p := range st.Pending {
+		if p.Pair < 0 || p.Pair >= s.pool.N() {
+			return fmt.Errorf("session: snapshot proposal for pair %d outside pool of %d", p.Pair, s.pool.N())
+		}
+		if _, labelled := st.Labels[p.Pair]; labelled || !(p.First > 0) || math.IsInf(p.First, 0) || p.Extra < 0 {
+			return fmt.Errorf("session: snapshot proposal for pair %d is invalid", p.Pair)
+		}
+	}
 	if err := s.rng.Restore(st.RNG); err != nil {
 		return err
 	}
 	s.est.SetSums(st.Num, st.Pred, st.True, st.N)
-	s.pending = make(map[int]passivePending)
+	s.pending = make(map[int]passivePending, len(st.Pending))
+	for _, p := range st.Pending {
+		s.pending[p.Pair] = passivePending{first: p.First, extra: p.Extra}
+	}
 	s.labels = make(map[int]bool, len(st.Labels))
 	for i, l := range st.Labels {
 		s.labels[i] = l

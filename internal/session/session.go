@@ -52,10 +52,14 @@ var (
 
 // proposer is the batched propose/commit surface a Session drives. The
 // public oasis.Sampler implements it for OASIS; passiveProposer implements
-// it for the uniform baseline.
+// it for the uniform baseline. CommitLabelTerms returns the weighted
+// estimator terms of a fresh commit (nil, nil for a duplicate) so the
+// durable journal can record them; ReplayCommit applies a journaled commit
+// during recovery.
 type proposer interface {
 	ProposeBatch(n int) ([]int, error)
-	CommitLabel(pair int, label bool) error
+	CommitLabelTerms(pair int, label bool) ([]oasis.DrawTerm, error)
+	ReplayCommit(pair int, label bool, terms []oasis.DrawTerm) error
 	Release(pair int) bool
 	Estimate() float64
 	LabelsCommitted() int
@@ -124,6 +128,12 @@ type Session struct {
 	leases   map[int]time.Time
 	leaseTTL time.Duration
 	now      func() time.Time
+
+	// jrn shares the manager's durable journal; lastLSN is the LSN of the
+	// session's most recent journaled event (the snapshot watermark replay
+	// skips up to).
+	jrn     *journalHolder
+	lastLSN uint64
 }
 
 // newSession builds a session from a validated config.
@@ -133,6 +143,16 @@ func newSession(cfg Config, defaultTTL time.Duration, now func() time.Time) (*Se
 	}
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = defaultTTL
+	}
+	// The stratifier allocates per requested stratum/bin; clamp both to the
+	// pool size so an absurd client (or fuzzed journal) config cannot force a
+	// huge allocation. More strata than pairs is meaningless anyway — empty
+	// strata are dropped.
+	if cfg.Options.Strata > len(cfg.Scores) {
+		cfg.Options.Strata = len(cfg.Scores)
+	}
+	if cfg.Options.StrataBins > len(cfg.Scores) {
+		cfg.Options.StrataBins = len(cfg.Scores)
 	}
 	kind := oasis.UncalibratedScores
 	if cfg.Calibrated {
@@ -169,13 +189,21 @@ func newSession(cfg Config, defaultTTL time.Duration, now func() time.Time) (*Se
 func (s *Session) ID() string { return s.id }
 
 // expireLocked releases every lease past its deadline, returning those pairs
-// to the proposable set. Callers hold s.mu.
+// to the proposable set, and journals the releases so recovery replays
+// exactly the expiries that happened (replay never expires by wall clock).
+// Callers hold s.mu. An append failure here is swallowed: it is sticky, so
+// the write paths refuse service before anything further is acknowledged.
 func (s *Session) expireLocked(now time.Time) {
+	var expired []int
 	for pair, deadline := range s.leases {
 		if now.After(deadline) {
 			delete(s.leases, pair)
 			s.prop.Release(pair)
+			expired = append(expired, pair)
 		}
+	}
+	if len(expired) > 0 {
+		_ = s.journalLocked(&Event{Type: EventRelease, Pairs: expired})
 	}
 }
 
@@ -205,6 +233,9 @@ func (s *Session) Propose(n int) ([]Proposal, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.journalSick(); err != nil {
+		return nil, err
+	}
 	now := s.now()
 	s.expireLocked(now)
 	if s.prop.LabelsCommitted() >= len(s.cfg.Scores) {
@@ -237,6 +268,18 @@ func (s *Session) Propose(n int) ([]Proposal, error) {
 		}
 		return nil, err
 	}
+	if len(pairs) > 0 {
+		// Journal the draws before leasing them out: the batch size and the
+		// resulting pairs let recovery re-execute this exact ProposeBatch.
+		if jerr := s.journalLocked(&Event{Type: EventPropose, N: n, Pairs: pairs}); jerr != nil {
+			// Unacknowledged draws return to the proposable set; the sticky
+			// journal failure fail-stops the session from here on.
+			for _, pair := range pairs {
+				s.prop.Release(pair)
+			}
+			return nil, jerr
+		}
+	}
 	deadline := now.Add(s.leaseTTL)
 	out := make([]Proposal, len(pairs))
 	for i, pair := range pairs {
@@ -248,19 +291,17 @@ func (s *Session) Propose(n int) ([]Proposal, error) {
 
 // Commit applies a label to a leased pair. Late answers — after the lease
 // expired and the pair returned to the pool — get ErrNotProposed;
-// re-answers for an already-committed pair are idempotent no-ops.
+// re-answers for an already-committed pair are idempotent no-ops. With a
+// journal attached the label is durably appended before Commit returns.
 func (s *Session) Commit(pair int, label bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.expireLocked(s.now())
-	err := s.prop.CommitLabel(pair, label)
-	if errors.Is(err, oasis.ErrNotProposed) {
+	results, err := s.CommitBatch([]int{pair}, []bool{label})
+	if err != nil {
+		return err
+	}
+	if results[0] == Expired {
 		return ErrNotProposed
 	}
-	if err == nil {
-		delete(s.leases, pair)
-	}
-	return err
+	return nil
 }
 
 // CommitResult is one answer's fate in a CommitBatch.
@@ -278,26 +319,43 @@ const (
 )
 
 // CommitBatch applies many labels in one critical section; the i-th result
-// corresponds to the i-th input pair.
-func (s *Session) CommitBatch(pairs []int, labels []bool) []CommitResult {
+// corresponds to the i-th input pair. With a journal attached the fresh
+// labels — and the frozen draw terms they folded into the estimator — are
+// appended as one durable event before CommitBatch returns; an append
+// failure withholds the acknowledgement (non-nil error, nil results).
+func (s *Session) CommitBatch(pairs []int, labels []bool) ([]CommitResult, error) {
 	results := make([]CommitResult, len(pairs))
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.journalSick(); err != nil {
+		return nil, err
+	}
 	s.expireLocked(s.now())
+	var fresh []CommitRecord
+	journaling := s.journaling()
 	for i, pair := range pairs {
-		before := s.prop.LabelsCommitted()
-		err := s.prop.CommitLabel(pair, labels[i])
+		terms, err := s.prop.CommitLabelTerms(pair, labels[i])
 		switch {
 		case errors.Is(err, oasis.ErrNotProposed):
 			results[i] = Expired
-		case s.prop.LabelsCommitted() == before:
+		case err != nil:
+			return nil, err
+		case terms == nil:
 			results[i] = Duplicate
 		default:
 			delete(s.leases, pair)
 			results[i] = Committed
+			if journaling {
+				fresh = append(fresh, CommitRecord{Pair: pair, Label: labels[i], Terms: terms})
+			}
 		}
 	}
-	return results
+	if len(fresh) > 0 {
+		if err := s.journalLocked(&Event{Type: EventCommit, Commits: fresh}); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // Estimate returns the current F̂ (NaN while undefined).

@@ -287,7 +287,8 @@ func TestSnapshotRestore(t *testing.T) {
 			}
 			label(s, 25)
 
-			// Leave one proposal dangling: it must NOT survive the restore.
+			// Leave one proposal dangling: the snapshot is exact, so it must
+			// survive the restore as a live (re-leased) proposal.
 			dangling, err := s.Propose(1)
 			if err != nil {
 				t.Fatal(err)
@@ -309,22 +310,17 @@ func TestSnapshotRestore(t *testing.T) {
 			if got, want := r.Estimate(), s.Estimate(); got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
 				t.Fatalf("restored estimate %v, want %v", got, want)
 			}
-			if st := r.Status(); st.PendingProposals != 0 {
-				t.Fatalf("restored session has %d pending proposals, want 0", st.PendingProposals)
+			if st := r.Status(); st.PendingProposals != len(dangling) {
+				t.Fatalf("restored session has %d pending proposals, want %d", st.PendingProposals, len(dangling))
 			}
-			if len(dangling) == 1 {
-				if err := r.Commit(dangling[0].Pair, true); !errors.Is(err, ErrNotProposed) {
-					t.Fatalf("commit of un-restored proposal: got %v, want ErrNotProposed", err)
+			// The restored lease is live: its label commits on both sides.
+			for _, pr := range dangling {
+				if err := r.Commit(pr.Pair, truth[pr.Pair]); err != nil {
+					t.Fatalf("commit of restored proposal: %v", err)
 				}
-			}
-
-			// Drop the original's dangling lease so both sides now have
-			// identical state, then continue both and demand equality.
-			if len(dangling) == 1 {
-				s.mu.Lock()
-				delete(s.leases, dangling[0].Pair)
-				s.prop.Release(dangling[0].Pair)
-				s.mu.Unlock()
+				if err := s.Commit(pr.Pair, truth[pr.Pair]); err != nil {
+					t.Fatal(err)
+				}
 			}
 			label(s, 10)
 			label(r, 10)

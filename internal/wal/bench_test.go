@@ -1,0 +1,67 @@
+package wal
+
+// BenchmarkCommitDurable measures the durability tax on the serving hot
+// path: one benchmark op is one Propose(1) + one Commit through a session
+// whose manager journals to a real on-disk WAL. The fsync=always variant is
+// the full per-record durability cost (two appends + two fsyncs per op);
+// fsync=off isolates the journaling overhead itself (record framing, JSON,
+// one write(2) per event). Tracked in BENCH_core.json via `make bench-json`
+// alongside the journal-less BenchmarkProposeCommit baseline.
+
+import (
+	"testing"
+
+	"oasis"
+	"oasis/internal/session"
+)
+
+func BenchmarkCommitDurable(b *testing.B) {
+	scores, preds, truth := walPool(200_000, 5)
+	for _, policy := range []string{"always", "100ms", "off"} {
+		b.Run("fsync="+policy, func(b *testing.B) {
+			var (
+				j *Journal
+				s *session.Session
+			)
+			reset := func() {
+				if j != nil {
+					j.Close()
+				}
+				mgr := session.NewManager(session.ManagerOptions{})
+				var err error
+				j, err = Open(b.TempDir(), mgr, Options{Fsync: policy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err = mgr.Create(session.Config{
+					ID: "bench", Scores: scores, Preds: preds, Calibrated: true,
+					Options: oasis.Options{Strata: 30, Seed: 9},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reset()
+			defer func() { j.Close() }()
+			committed := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if committed > 150_000 {
+					b.StopTimer()
+					reset()
+					committed = 0
+					b.StartTimer()
+				}
+				props, err := s.Propose(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Commit(props[0].Pair, truth[props[0].Pair]); err != nil {
+					b.Fatal(err)
+				}
+				committed++
+			}
+		})
+	}
+}

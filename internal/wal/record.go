@@ -1,0 +1,168 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Segment framing. Each record is
+//
+//	uint32 little-endian payload length
+//	uint32 little-endian CRC-32C (Castagnoli) of the payload
+//	payload (JSON-encoded session.Event)
+//
+// written with a single write(2), so a crash can only leave a truncated
+// suffix — never interleave records. The reader treats a short or
+// CRC-mismatching record at the end of the newest segment as a torn write
+// and drops it; the same damage anywhere else is real corruption and fatal.
+
+const (
+	recordHeaderSize = 8
+	// maxRecordSize bounds one record; a create event embeds the session's
+	// whole pool, so the cap is generous.
+	maxRecordSize = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord frames payload onto buf and returns the extended buffer.
+func appendRecord(buf, payload []byte) []byte {
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// scanRecords walks the framed records in data, calling fn on each payload.
+// It returns the number of cleanly-framed bytes consumed and whether the
+// remainder is torn (short header, impossible length, short payload, or CRC
+// mismatch). A non-nil fn error aborts the scan and is returned as err with
+// torn == false.
+func scanRecords(data []byte, fn func(payload []byte) error) (consumed int, torn bool, err error) {
+	off := 0
+	for {
+		rest := len(data) - off
+		if rest == 0 {
+			return off, false, nil
+		}
+		if rest < recordHeaderSize {
+			return off, true, nil
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		// The writer never frames an empty payload (events are JSON), but a
+		// crash can leave a zero-filled tail whose 8 zero bytes would pass
+		// the CRC of an empty record; classify it as torn, not as a record.
+		if n == 0 || n > maxRecordSize || int(n) > rest-recordHeaderSize {
+			return off, true, nil
+		}
+		payload := data[off+recordHeaderSize : off+recordHeaderSize+int(n)]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return off, true, nil
+		}
+		if err := fn(payload); err != nil {
+			return off, false, err
+		}
+		off += recordHeaderSize + int(n)
+	}
+}
+
+// hasValidRecordAfter reports whether a complete, CRC-valid record begins at
+// any byte offset past the start of data (offset 0 is the frame that already
+// failed). A crash-torn tail always extends to end of file — a single
+// write(2) per record means damage from a torn write is a suffix — so a
+// valid frame after the damage proves mid-log corruption, which recovery
+// must refuse rather than silently truncate acknowledged records away.
+func hasValidRecordAfter(data []byte) bool {
+	for off := 1; off+recordHeaderSize <= len(data); off++ {
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		if n == 0 || n > maxRecordSize || off+recordHeaderSize+int(n) > len(data) {
+			continue
+		}
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if crc32.Checksum(data[off+recordHeaderSize:off+recordHeaderSize+int(n)], castagnoli) == crc {
+			return true
+		}
+	}
+	return false
+}
+
+// File naming: segments are wal-<16-digit index>.log, compaction snapshots
+// snap-<16-digit boundary>.json where the boundary is the first segment NOT
+// folded into the snapshot.
+const (
+	segmentPrefix  = "wal-"
+	segmentSuffix  = ".log"
+	snapshotPrefix = "snap-"
+	snapshotSuffix = ".json"
+)
+
+func segmentName(idx uint64) string { return fmt.Sprintf("wal-%016d.log", idx) }
+
+func snapshotName(idx uint64) string { return fmt.Sprintf("snap-%016d.json", idx) }
+
+// parseIndexed extracts the numeric index from a prefixed/suffixed file
+// name, reporting whether the name matched.
+func parseIndexed(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	idx, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// syncDir fsyncs a directory so freshly created/renamed entries are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// WriteFileAtomic writes data to path through a temp file in the same
+// directory: write, fsync, rename into place, fsync the directory. The temp
+// file is removed on every failure path, so aborted writes leave no litter.
+// Used for WAL compaction snapshots and by cmd/oasis-server's -snapshot
+// persistence.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}

@@ -1,0 +1,574 @@
+// Package wal gives the evaluation service a durable label journal: a
+// segmented, append-only, CRC-checked write-ahead log of session lifecycle
+// events (create, propose, label-commit, release, delete) with a
+// configurable fsync policy, deterministic replay on startup, and
+// compaction that folds cold segments into a session.Manager snapshot plus
+// a trimmed tail.
+//
+// Ground-truth labels are bought from a crowd or expert oracle, so losing
+// them to a crash means paying the oracle twice. The session subsystem is a
+// deterministic state machine (seeded draws; the instrumental distribution
+// is a pure function of past labels), so the journal records the operation
+// sequence and recovery re-executes it through the same code paths the live
+// server ran: the recovered sampler state — posteriors, estimator sums,
+// random stream, availability — is bit-for-bit the state at the last
+// journaled event, and it continues the exact proposal sequence (see
+// TestRecoveryContinuesExactly and the kill-9 end-to-end test in
+// cmd/oasis-server).
+//
+// Layout of the WAL directory:
+//
+//	wal-<n>.log   append-only record segments, rotated by size and on boot
+//	snap-<n>.json compaction snapshot folding every segment with index < n
+//
+// Torn or truncated final records — a crash mid-write — are detected by CRC,
+// dropped, and the tail truncated; damage anywhere else is fatal. A commit
+// is acknowledged only after its record is appended (and, under
+// -fsync always, synced), so an acknowledged label is never lost by kill -9;
+// see the fsync policy trade-offs on Options.
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"oasis/internal/session"
+)
+
+// Options configures a Journal.
+type Options struct {
+	// Fsync selects the durability policy:
+	//
+	//	"always"  fsync before acknowledging every label-affecting event —
+	//	          commit, create, delete — (default); propose/release
+	//	          records ride on the next such barrier, which losing is
+	//	          exactly the lease-drop contract. An acknowledged label
+	//	          survives kill -9 and power loss. Slowest: one fsync per
+	//	          propose/commit round trip.
+	//	interval  a Go duration such as "100ms": appends are write(2)s and a
+	//	          background flusher fsyncs on that interval. Kill -9 loses
+	//	          nothing (the page cache survives the process); power loss
+	//	          can lose up to one interval of acknowledged labels.
+	//	"off"     never fsync explicitly. Same kill-9 safety as interval
+	//	          (every append is still a write(2)); power loss can lose
+	//	          whatever the OS had not written back.
+	Fsync string
+	// SegmentBytes rotates the active segment once it exceeds this size; 0
+	// means 8 MiB.
+	SegmentBytes int64
+}
+
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is zero.
+const DefaultSegmentBytes = 8 << 20
+
+// Stats is a snapshot of the journal's counters, exposed by the server's
+// /v1/stats endpoint.
+type Stats struct {
+	// Segments counts live segment files; ActiveSegment is the index the
+	// journal is appending to.
+	Segments      int    `json:"segments"`
+	ActiveSegment uint64 `json:"activeSegment"`
+	// RecordsAppended / BytesAppended / Syncs count appends since Open.
+	RecordsAppended uint64 `json:"recordsAppended"`
+	BytesAppended   uint64 `json:"bytesAppended"`
+	Syncs           uint64 `json:"syncs"`
+	// Compactions counts successful Compact calls since Open.
+	Compactions uint64 `json:"compactions"`
+	// LastLSN is the most recently assigned log sequence number.
+	LastLSN uint64 `json:"lastLSN"`
+	// Replay* describe the recovery that Open performed: events applied,
+	// events skipped (already folded into the snapshot, or for sessions
+	// deleted later in the log), and torn tail bytes dropped.
+	ReplayApplied   uint64 `json:"replayApplied"`
+	ReplaySkipped   uint64 `json:"replaySkipped"`
+	ReplayTornBytes int    `json:"replayTornBytes"`
+	ReplaySnapshot  bool   `json:"replaySnapshot"`
+	ReplaySegments  int    `json:"replaySegments"`
+}
+
+// Journal is the durable event log. It implements session.Journal: the
+// session layer appends every state-changing event before acknowledging it.
+// All methods are safe for concurrent use. Failures are sticky — after one
+// failed append or sync every later Append fails and Err reports the cause —
+// so the service fail-stops instead of acknowledging labels the log does
+// not hold.
+type Journal struct {
+	dir  string
+	mgr  *session.Manager
+	opts Options
+
+	always   bool          // fsync per append
+	interval time.Duration // background fsync interval (0: none)
+
+	mu       sync.Mutex
+	f        *os.File
+	seg      uint64 // active segment index
+	segSize  int64
+	segCount int
+	lsn      uint64
+	err      error
+	buf      []byte // scratch frame buffer, reused across appends
+
+	records     uint64
+	bytes       uint64
+	syncs       uint64
+	compactions uint64
+	replay      replayInfo
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// replayInfo captures what Open's recovery did.
+type replayInfo struct {
+	applied   uint64
+	skipped   uint64
+	tornBytes int
+	snapshot  bool
+	segments  int
+}
+
+// parseFsync resolves Options.Fsync.
+func parseFsync(s string) (always bool, interval time.Duration, err error) {
+	switch s {
+	case "", "always":
+		return true, 0, nil
+	case "off":
+		return false, 0, nil
+	default:
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			return false, 0, fmt.Errorf("wal: fsync policy must be \"always\", \"off\" or a positive duration, got %q", s)
+		}
+		return false, d, nil
+	}
+}
+
+// Open recovers the WAL in dir into mgr and returns a journal appending to a
+// fresh segment. Recovery loads the newest compaction snapshot (if any),
+// replays the remaining segments event by event — skipping events the
+// snapshot already folded — truncates a torn tail, drops every outstanding
+// lease (the crash reading of the lease contract, made durable by a restart
+// record), and finally attaches itself to mgr with SetJournal so live
+// operations are journaled from here on. mgr must not be serving traffic
+// yet.
+func Open(dir string, mgr *session.Manager, opts Options) (*Journal, error) {
+	if mgr == nil {
+		return nil, fmt.Errorf("wal: nil session manager")
+	}
+	always, interval, err := parseFsync(opts.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	j := &Journal{
+		dir:      dir,
+		mgr:      mgr,
+		opts:     opts,
+		always:   always,
+		interval: interval,
+	}
+
+	segs, snaps, err := listDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	maxLSN, err := j.recover(mgr, segs, snaps)
+	if err != nil {
+		return nil, err
+	}
+	j.lsn = maxLSN
+	if n := len(segs); n > 0 {
+		j.seg = segs[n-1]
+		j.segCount = n
+	}
+	// The fresh boot segment must sort after the snapshot boundary, or a
+	// later recovery would skip it as folded.
+	if n := len(snaps); n > 0 && snaps[n-1] > j.seg {
+		j.seg = snaps[n-1]
+	}
+	if err := j.rotateLocked(); err != nil {
+		return nil, j.err
+	}
+
+	// The boot barrier: drop every outstanding lease in memory and append
+	// the restart record that makes the drop replayable, so later recoveries
+	// see the same availability this process does.
+	restart := &session.Event{Type: session.EventRestart}
+	if _, err := mgr.ReplayEvent(restart); err != nil {
+		return nil, err
+	}
+	if _, err := j.Append(restart); err != nil {
+		return nil, err
+	}
+	mgr.SetJournal(j)
+
+	if j.interval > 0 {
+		j.stop = make(chan struct{})
+		j.done = make(chan struct{})
+		go j.syncLoop()
+	}
+	return j, nil
+}
+
+// listDir enumerates segment and snapshot indices, sorted ascending.
+func listDir(dir string) (segs, snaps []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		if idx, ok := parseIndexed(e.Name(), segmentPrefix, segmentSuffix); ok {
+			segs = append(segs, idx)
+		} else if idx, ok := parseIndexed(e.Name(), snapshotPrefix, snapshotSuffix); ok {
+			snaps = append(snaps, idx)
+		}
+	}
+	sort.Slice(segs, func(i, k int) bool { return segs[i] < segs[k] })
+	sort.Slice(snaps, func(i, k int) bool { return snaps[i] < snaps[k] })
+	return segs, snaps, nil
+}
+
+// snapshotEnvelope is the on-disk form of a compaction snapshot.
+type snapshotEnvelope struct {
+	Version  int             `json:"version"`
+	Sessions json.RawMessage `json:"sessions"` // session.Manager.Snapshot payload
+}
+
+// recover loads the newest snapshot and replays the tail segments into mgr,
+// returning the highest LSN seen. Only the newest snapshot is usable: the
+// segments an older one would need are deleted when its successor is
+// written.
+func (j *Journal) recover(mgr *session.Manager, segs, snaps []uint64) (maxLSN uint64, err error) {
+	var fold uint64 // replay only segments with index >= fold
+	if n := len(snaps); n > 0 {
+		fold = snaps[n-1]
+		path := filepath.Join(j.dir, snapshotName(fold))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 0, fmt.Errorf("wal: read snapshot: %w", err)
+		}
+		var env snapshotEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			return 0, fmt.Errorf("wal: snapshot %s: %w", path, err)
+		}
+		if env.Version != 1 {
+			return 0, fmt.Errorf("wal: snapshot %s: unsupported version %d", path, env.Version)
+		}
+		if err := mgr.Restore(env.Sessions); err != nil {
+			return 0, fmt.Errorf("wal: snapshot %s: %w", path, err)
+		}
+		j.replay.snapshot = true
+	}
+	maxLSN = mgr.MaxJournalLSN()
+
+	for i, idx := range segs {
+		if idx < fold {
+			continue // folded into the snapshot; left over from a crash mid-compaction
+		}
+		path := filepath.Join(j.dir, segmentName(idx))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 0, fmt.Errorf("wal: read segment: %w", err)
+		}
+		j.replay.segments++
+		consumed, torn, err := scanRecords(data, func(payload []byte) error {
+			var ev session.Event
+			if err := json.Unmarshal(payload, &ev); err != nil {
+				return fmt.Errorf("bad event: %w", err)
+			}
+			if ev.LSN > maxLSN {
+				maxLSN = ev.LSN
+			}
+			applied, err := mgr.ReplayEvent(&ev)
+			if err != nil {
+				return err
+			}
+			if applied {
+				j.replay.applied++
+			} else {
+				j.replay.skipped++
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, fmt.Errorf("wal: replay %s: %w", path, err)
+		}
+		if torn {
+			// A crash-torn write is always a suffix: damage in any older
+			// segment, or damage followed by further valid records, is real
+			// mid-log corruption — refusing to boot beats silently truncating
+			// acknowledged commits away.
+			if i != len(segs)-1 || hasValidRecordAfter(data[consumed:]) {
+				return 0, fmt.Errorf("wal: segment %s is corrupt mid-log (%d clean bytes of %d); only a trailing torn record is recoverable", path, consumed, len(data))
+			}
+			// A crash mid-write: drop the torn suffix and truncate so the
+			// invariant "only the newest segment can be torn" keeps holding
+			// after this boot rotates to a new segment.
+			j.replay.tornBytes = len(data) - consumed
+			if err := os.Truncate(path, int64(consumed)); err != nil {
+				return 0, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+			}
+		}
+	}
+	return maxLSN, nil
+}
+
+// fail records the journal's first error; every later Append reports it.
+func (j *Journal) fail(err error) {
+	if j.err == nil {
+		j.err = fmt.Errorf("wal: %w", err)
+	}
+}
+
+// rotateLocked closes the active segment (if any) and opens the next one.
+// Callers hold j.mu (or, during Open, have exclusive access).
+func (j *Journal) rotateLocked() error {
+	if j.err != nil {
+		return j.err
+	}
+	if j.f != nil {
+		if err := j.f.Sync(); err != nil {
+			j.fail(err)
+			return j.err
+		}
+		if err := j.f.Close(); err != nil {
+			j.fail(err)
+			return j.err
+		}
+		j.f = nil
+	}
+	j.seg++
+	f, err := os.OpenFile(filepath.Join(j.dir, segmentName(j.seg)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		j.fail(err)
+		return j.err
+	}
+	if err := syncDir(j.dir); err != nil {
+		f.Close()
+		j.fail(err)
+		return j.err
+	}
+	j.f = f
+	j.segSize = 0
+	j.segCount++
+	return nil
+}
+
+// segmentBytes returns the rotation threshold.
+func (j *Journal) segmentBytes() int64 {
+	if j.opts.SegmentBytes > 0 {
+		return j.opts.SegmentBytes
+	}
+	return DefaultSegmentBytes
+}
+
+// Append durably records ev (per the fsync policy), assigning and returning
+// its log sequence number. It implements session.Journal.
+func (j *Journal) Append(ev *session.Event) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return 0, j.err
+	}
+	if j.segSize >= j.segmentBytes() {
+		if err := j.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	ev.LSN = j.lsn + 1
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		j.fail(err)
+		return 0, j.err
+	}
+	j.buf = appendRecord(j.buf[:0], payload)
+	if _, err := j.f.Write(j.buf); err != nil {
+		j.fail(err)
+		return 0, j.err
+	}
+	if j.always && syncedEvent(ev.Type) {
+		if err := j.f.Sync(); err != nil {
+			j.fail(err)
+			return 0, j.err
+		}
+		j.syncs++
+	}
+	j.lsn++
+	j.segSize += int64(len(j.buf))
+	j.records++
+	j.bytes += uint64(len(j.buf))
+	return j.lsn, nil
+}
+
+// syncedEvent reports whether the "always" policy must fsync after this
+// event. Only acknowledgements that promise durability need the barrier:
+// label commits, creations and deletions. Losing an unsynced
+// propose/release/restart suffix to a power cut is exactly the lease-drop
+// contract (the pairs become proposable again), and an fsync at the next
+// commit persists every earlier record of the segment anyway — record order
+// within the file means a commit can never be durable without its propose.
+// Skipping the barrier on proposals halves the per-round fsync tax.
+func syncedEvent(t session.EventType) bool {
+	switch t {
+	case session.EventCommit, session.EventCreate, session.EventDelete:
+		return true
+	}
+	return false
+}
+
+// Err reports the sticky failure state; nil while the journal is healthy.
+// It implements session.Journal.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Sync flushes the active segment to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.err != nil {
+		return j.err
+	}
+	if j.f == nil {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		j.fail(err)
+		return j.err
+	}
+	j.syncs++
+	return nil
+}
+
+// syncLoop is the background flusher of the interval fsync policy.
+func (j *Journal) syncLoop() {
+	t := time.NewTicker(j.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stop:
+			close(j.done)
+			return
+		case <-t.C:
+			j.Sync()
+		}
+	}
+}
+
+// Compact folds everything before the active segment into an atomic
+// snapshot and deletes the folded segments and superseded snapshots. It
+// first rotates to a fresh segment, then snapshots the manager: every event
+// in the old segments is therefore covered by the snapshot, and the few
+// events appended between rotation and snapshot are both in the snapshot
+// and in the tail — replay skips them by their per-session LSN watermark.
+// Safe to run concurrently with serving traffic.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	if j.err != nil {
+		j.mu.Unlock()
+		return j.err
+	}
+	if err := j.rotateLocked(); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	boundary := j.seg
+	j.mu.Unlock()
+
+	data, err := j.mgr.Snapshot()
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	env, err := json.Marshal(snapshotEnvelope{Version: 1, Sessions: data})
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := WriteFileAtomic(filepath.Join(j.dir, snapshotName(boundary)), env, 0o644); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+
+	// The snapshot is durable; the folded segments and any older snapshot
+	// can go. Removal failures are not fatal — replay skips folded segments.
+	segs, snaps, err := listDir(j.dir)
+	if err != nil {
+		return err
+	}
+	removed := 0
+	for _, idx := range segs {
+		if idx < boundary {
+			if os.Remove(filepath.Join(j.dir, segmentName(idx))) == nil {
+				removed++
+			}
+		}
+	}
+	for _, idx := range snaps {
+		if idx < boundary {
+			os.Remove(filepath.Join(j.dir, snapshotName(idx)))
+		}
+	}
+	j.mu.Lock()
+	j.compactions++
+	j.segCount -= removed
+	j.mu.Unlock()
+	return nil
+}
+
+// Close flushes and closes the journal. The manager should have stopped
+// serving first.
+func (j *Journal) Close() error {
+	if j.stop != nil {
+		select {
+		case <-j.done:
+		default:
+			close(j.stop)
+			<-j.done
+		}
+		j.stop = nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return j.err
+	}
+	err := j.syncLocked()
+	if cerr := j.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// Stats returns a snapshot of the journal's counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Segments:        j.segCount,
+		ActiveSegment:   j.seg,
+		RecordsAppended: j.records,
+		BytesAppended:   j.bytes,
+		Syncs:           j.syncs,
+		Compactions:     j.compactions,
+		LastLSN:         j.lsn,
+		ReplayApplied:   j.replay.applied,
+		ReplaySkipped:   j.replay.skipped,
+		ReplayTornBytes: j.replay.tornBytes,
+		ReplaySnapshot:  j.replay.snapshot,
+		ReplaySegments:  j.replay.segments,
+	}
+}

@@ -1,0 +1,526 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"oasis"
+	"oasis/internal/rng"
+	"oasis/internal/session"
+)
+
+// walPool builds a synthetic calibrated pool with ER-like imbalance.
+func walPool(n int, seed uint64) (scores []float64, preds, truth []bool) {
+	r := rng.New(seed)
+	scores = make([]float64, n)
+	preds = make([]bool, n)
+	truth = make([]bool, n)
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		scores[i] = u * u
+		preds[i] = scores[i] >= 0.5
+		truth[i] = r.Bernoulli(scores[i])
+	}
+	return scores, preds, truth
+}
+
+func mustOpen(t *testing.T, dir string, mgr *session.Manager, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(dir, mgr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// driveRound proposes a batch and commits every proposal with the truth
+// labels, returning the proposed pairs.
+func driveRound(t *testing.T, s *session.Session, n int, truth []bool) []int {
+	t.Helper()
+	props, err := s.Propose(n)
+	if err != nil && !errors.Is(err, session.ErrBudgetExhausted) {
+		t.Fatal(err)
+	}
+	pairs := make([]int, len(props))
+	labels := make([]bool, len(props))
+	for i, p := range props {
+		pairs[i] = p.Pair
+		labels[i] = truth[p.Pair]
+	}
+	results, err := s.CommitBatch(pairs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != session.Committed {
+			t.Fatalf("commit of freshly proposed pair %d: result %v", pairs[i], r)
+		}
+	}
+	return pairs
+}
+
+// requireSameContinuation drives both sessions for `rounds` propose/commit
+// rounds and demands identical proposal sequences and estimates — the
+// recovered state is bit-for-bit the live one.
+func requireSameContinuation(t *testing.T, a, b *session.Session, rounds, batch int, truth []bool) {
+	t.Helper()
+	for round := 0; round < rounds; round++ {
+		pa := driveRound(t, a, batch, truth)
+		pb := driveRound(t, b, batch, truth)
+		if len(pa) != len(pb) {
+			t.Fatalf("round %d: batch sizes diverge: %d vs %d", round, len(pa), len(pb))
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("round %d: proposal %d diverges: pair %d vs %d", round, i, pa[i], pb[i])
+			}
+		}
+		ea, eb := a.Estimate(), b.Estimate()
+		if ea != eb {
+			t.Fatalf("round %d: estimates diverge: %v vs %v", round, ea, eb)
+		}
+	}
+}
+
+// TestRecoveryContinuesExactly is the golden recovery test: a manager
+// journaled to a WAL, killed without any shutdown (the journal is simply
+// abandoned), recovers from the log alone and continues the exact proposal
+// sequence of the live manager — across an OASIS session, a passive
+// session, lease expiries, uncommitted proposals at the crash point, and a
+// delete/recreate of a session ID.
+func TestRecoveryContinuesExactly(t *testing.T) {
+	scores, preds, truth := walPool(4000, 7)
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+
+	dir := t.TempDir()
+	live := session.NewManager(session.ManagerOptions{Now: clock})
+	mustOpen(t, dir, live, Options{Fsync: "off"})
+
+	mkCfg := func(id string, method session.MethodKind, seed uint64) session.Config {
+		return session.Config{
+			ID: id, Method: method,
+			Scores: scores, Preds: preds, Calibrated: true,
+			Options:  oasis.Options{Strata: 15, Seed: seed},
+			LeaseTTL: 30 * time.Second,
+		}
+	}
+	so, err := live.Create(mkCfg("oasis", session.MethodOASIS, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := live.Create(mkCfg("passive", session.MethodPassive, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A session that is created, driven, deleted, and recreated under the
+	// same ID: the LSN watermarks must keep the incarnations apart.
+	tmp, err := live.Create(mkCfg("ephemeral", session.MethodOASIS, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, tmp, 5, truth)
+	if err := live.Delete("ephemeral"); err != nil {
+		t.Fatal(err)
+	}
+	se, err := live.Create(mkCfg("ephemeral", session.MethodOASIS, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 12; round++ {
+		driveRound(t, so, 8, truth)
+		driveRound(t, sp, 8, truth)
+		driveRound(t, se, 4, truth)
+		if round == 5 {
+			// Let a batch of leases expire: the releases must be journaled
+			// and replayed, not re-derived from the clock.
+			if _, err := so.Propose(6); err != nil {
+				t.Fatal(err)
+			}
+			now = now.Add(31 * time.Second)
+		}
+	}
+	// Leave proposals outstanding at the "crash": they must be dropped on
+	// recovery, exactly as the restart barrier prescribes.
+	if _, err := so.Propose(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Propose(3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: no Close, no snapshot — recover a fresh manager from the log.
+	recovered := session.NewManager(session.ManagerOptions{Now: clock})
+	j2 := mustOpen(t, dir, recovered, Options{Fsync: "off"})
+	defer j2.Close()
+	if got := recovered.Len(); got != 3 {
+		t.Fatalf("recovered %d sessions, want 3", got)
+	}
+	if st := j2.Stats(); st.ReplayApplied == 0 || st.ReplaySnapshot {
+		t.Fatalf("unexpected replay stats: %+v", st)
+	}
+
+	// Mirror the boot barrier on the live side and detach its journal (two
+	// journals must not interleave in one directory).
+	if _, err := live.ReplayEvent(&session.Event{Type: session.EventRestart}); err != nil {
+		t.Fatal(err)
+	}
+	live.SetJournal(nil)
+
+	for _, id := range []string{"oasis", "passive", "ephemeral"} {
+		a, err := live.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := recovered.Get(id)
+		if err != nil {
+			t.Fatalf("session %q not recovered: %v", id, err)
+		}
+		if la, lb := a.Status().LabelsCommitted, b.Status().LabelsCommitted; la != lb {
+			t.Fatalf("%s: labels committed diverge: %d vs %d", id, la, lb)
+		}
+		if pb := b.Status().PendingProposals; pb != 0 {
+			t.Fatalf("%s: recovered session has %d pending proposals, want 0", id, pb)
+		}
+		requireSameContinuation(t, a, b, 8, 8, truth)
+	}
+}
+
+// TestCompactionFoldsSegments drives a journal across many tiny segments,
+// compacts mid-flight — with proposals outstanding, so later commits
+// reference draws folded into the snapshot — and checks recovery from
+// snapshot+tail still continues exactly, with the cold segments gone.
+func TestCompactionFoldsSegments(t *testing.T) {
+	scores, preds, truth := walPool(3000, 23)
+	dir := t.TempDir()
+	live := session.NewManager(session.ManagerOptions{})
+	j := mustOpen(t, dir, live, Options{Fsync: "off", SegmentBytes: 4 << 10})
+
+	s, err := live.Create(session.Config{
+		ID: "c", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 12, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		driveRound(t, s, 16, truth)
+	}
+
+	// Propose BEFORE compacting and keep the proposals outstanding across
+	// the boundary while other workers keep proposing: the snapshot must
+	// carry the pending draws (with their frozen weights), or the tail's
+	// propose events — whose live draws re-drew those in-flight pairs into
+	// extra weighted terms — would replay against different availability and
+	// diverge. Only then do the held labels arrive.
+	props, err := s.Propose(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		driveRound(t, s, 64, truth)
+	}
+	pairs := make([]int, len(props))
+	labels := make([]bool, len(props))
+	for i, p := range props {
+		pairs[i] = p.Pair
+		labels[i] = truth[p.Pair]
+	}
+	if _, err := s.CommitBatch(pairs, labels); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		driveRound(t, s, 16, truth)
+	}
+
+	// The folded segments are deleted; a snapshot exists.
+	segs, snaps, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("%d snapshots after compaction, want 1", len(snaps))
+	}
+	for _, idx := range segs {
+		if idx < snaps[0] {
+			t.Fatalf("folded segment %d survived compaction (boundary %d)", idx, snaps[0])
+		}
+	}
+	if st := j.Stats(); st.Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", st.Compactions)
+	}
+
+	recovered := session.NewManager(session.ManagerOptions{})
+	j2 := mustOpen(t, dir, recovered, Options{Fsync: "off"})
+	defer j2.Close()
+	if st := j2.Stats(); !st.ReplaySnapshot {
+		t.Fatalf("recovery did not load the compaction snapshot: %+v", st)
+	}
+	if _, err := live.ReplayEvent(&session.Event{Type: session.EventRestart}); err != nil {
+		t.Fatal(err)
+	}
+	live.SetJournal(nil)
+	r, err := recovered.Get("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la, lb := s.Status().LabelsCommitted, r.Status().LabelsCommitted; la != lb {
+		t.Fatalf("labels committed diverge after compacted recovery: %d vs %d", la, lb)
+	}
+	requireSameContinuation(t, s, r, 6, 16, truth)
+}
+
+// TestTornTailDropped simulates a crash mid-write: garbage appended to the
+// newest segment must be detected by the CRC framing, dropped, truncated
+// away, and recovery must succeed with the clean prefix.
+func TestTornTailDropped(t *testing.T) {
+	scores, preds, truth := walPool(500, 3)
+	dir := t.TempDir()
+	live := session.NewManager(session.ManagerOptions{})
+	mustOpen(t, dir, live, Options{Fsync: "off"})
+	s, err := live.Create(session.Config{
+		ID: "torn", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 6, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := len(driveRound(t, s, 12, truth))
+
+	segs, _, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	f, err := os.OpenFile(newest, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recovered := session.NewManager(session.ManagerOptions{})
+	j2 := mustOpen(t, dir, recovered, Options{Fsync: "off"})
+	defer j2.Close()
+	if st := j2.Stats(); st.ReplayTornBytes != 3 {
+		t.Fatalf("torn bytes dropped = %d, want 3", st.ReplayTornBytes)
+	}
+	r, err := recovered.Get("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Status().LabelsCommitted; got != committed {
+		t.Fatalf("recovered %d labels, want %d", got, committed)
+	}
+}
+
+// TestZeroedTailDropped simulates a crash that leaves a zero-filled tail
+// (delayed allocation): the zeros must read as a torn suffix — an 8-zero-byte
+// run is NOT a valid empty record — and recovery must keep the clean prefix.
+func TestZeroedTailDropped(t *testing.T) {
+	scores, preds, truth := walPool(400, 13)
+	dir := t.TempDir()
+	live := session.NewManager(session.ManagerOptions{})
+	mustOpen(t, dir, live, Options{Fsync: "off"})
+	s, err := live.Create(session.Config{
+		ID: "z", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 5, Seed: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := len(driveRound(t, s, 9, truth))
+	segs, _, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	f, err := os.OpenFile(newest, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recovered := session.NewManager(session.ManagerOptions{})
+	j2 := mustOpen(t, dir, recovered, Options{Fsync: "off"})
+	defer j2.Close()
+	if st := j2.Stats(); st.ReplayTornBytes != 64 {
+		t.Fatalf("torn bytes dropped = %d, want 64", st.ReplayTornBytes)
+	}
+	r, err := recovered.Get("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Status().LabelsCommitted; got != committed {
+		t.Fatalf("recovered %d labels, want %d", got, committed)
+	}
+}
+
+// TestCorruptMidNewestSegmentFatal flips a byte in the middle of the NEWEST
+// segment, with fsync-acknowledged records after it: a crash-torn write is
+// always a suffix, so valid frames after the damage prove real corruption
+// and Open must refuse rather than silently truncate acknowledged commits.
+func TestCorruptMidNewestSegmentFatal(t *testing.T) {
+	scores, preds, truth := walPool(800, 15)
+	dir := t.TempDir()
+	live := session.NewManager(session.ManagerOptions{})
+	mustOpen(t, dir, live, Options{Fsync: "off"})
+	s, err := live.Create(session.Config{
+		ID: "m", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 6, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		driveRound(t, s, 8, truth)
+	}
+	segs, _, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0xff // damage with plenty of valid records after it
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, session.NewManager(session.ManagerOptions{}), Options{Fsync: "off"}); err == nil {
+		t.Fatal("Open accepted mid-segment corruption in the newest segment")
+	} else if !strings.Contains(err.Error(), "corrupt mid-log") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestCorruptMidLogFatal flips a byte in a non-final segment: that is real
+// data loss, not a torn tail, and Open must refuse.
+func TestCorruptMidLogFatal(t *testing.T) {
+	scores, preds, truth := walPool(800, 9)
+	dir := t.TempDir()
+	live := session.NewManager(session.ManagerOptions{})
+	mustOpen(t, dir, live, Options{Fsync: "off", SegmentBytes: 2 << 10})
+	s, err := live.Create(session.Config{
+		ID: "x", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 6, Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		driveRound(t, s, 8, truth)
+	}
+	segs, _, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("need ≥2 segments to corrupt a non-final one, got %d", len(segs))
+	}
+	victim := filepath.Join(dir, segmentName(segs[0]))
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, session.NewManager(session.ManagerOptions{}), Options{Fsync: "off"}); err == nil {
+		t.Fatal("Open accepted a corrupt non-final segment")
+	} else if !strings.Contains(err.Error(), "corrupt") && !strings.Contains(err.Error(), "replay") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestJournalFailureSticky forces an append failure and checks fail-stop:
+// the failed write op errors, every later write op errors fast, Err reports
+// the cause, and no state is silently acknowledged past the failure.
+func TestJournalFailureSticky(t *testing.T) {
+	scores, preds, truth := walPool(600, 5)
+	dir := t.TempDir()
+	mgr := session.NewManager(session.ManagerOptions{})
+	j := mustOpen(t, dir, mgr, Options{Fsync: "always"})
+	s, err := mgr.Create(session.Config{
+		ID: "sick", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 5, Seed: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, s, 4, truth)
+
+	// Sabotage the active segment's file descriptor: the next append fails.
+	j.mu.Lock()
+	j.f.Close()
+	j.mu.Unlock()
+
+	if _, err := s.Propose(4); err == nil {
+		t.Fatal("Propose succeeded with a dead journal")
+	}
+	if j.Err() == nil {
+		t.Fatal("journal failure was not sticky")
+	}
+	if _, err := s.Propose(4); err == nil {
+		t.Fatal("Propose kept succeeding after sticky failure")
+	}
+	if _, err := s.CommitBatch([]int{0}, []bool{true}); err == nil {
+		t.Fatal("CommitBatch succeeded with a dead journal")
+	}
+	if _, err := mgr.Create(session.Config{
+		ID: "later", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 5, Seed: 9},
+	}); err == nil {
+		t.Fatal("Create succeeded with a dead journal")
+	}
+}
+
+// TestFsyncPolicies covers policy parsing and the sync counters.
+func TestFsyncPolicies(t *testing.T) {
+	if _, err := Open(t.TempDir(), session.NewManager(session.ManagerOptions{}), Options{Fsync: "sometimes"}); err == nil {
+		t.Fatal("Open accepted a bogus fsync policy")
+	}
+	if _, err := Open(t.TempDir(), session.NewManager(session.ManagerOptions{}), Options{Fsync: "-5ms"}); err == nil {
+		t.Fatal("Open accepted a negative fsync interval")
+	}
+
+	scores, preds, truth := walPool(300, 1)
+	for _, policy := range []string{"always", "off", "20ms"} {
+		t.Run(policy, func(t *testing.T) {
+			mgr := session.NewManager(session.ManagerOptions{})
+			j := mustOpen(t, t.TempDir(), mgr, Options{Fsync: policy})
+			defer j.Close()
+			s, err := mgr.Create(session.Config{
+				ID: "p", Scores: scores, Preds: preds, Calibrated: true,
+				Options: oasis.Options{Strata: 4, Seed: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveRound(t, s, 8, truth)
+			st := j.Stats()
+			if policy == "always" && st.Syncs == 0 {
+				t.Fatal("fsync=always recorded no syncs")
+			}
+			if st.RecordsAppended == 0 || st.LastLSN == 0 {
+				t.Fatalf("no records appended: %+v", st)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package oasis
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"oasis/internal/core"
 	"oasis/internal/oracle"
@@ -554,11 +555,37 @@ func (s *Sampler) pickAvailable(k int) int {
 // wins, mirroring the Budgeted oracle's cache); committing a pair that was
 // never proposed — or whose proposal was released — returns ErrNotProposed.
 func (s *Sampler) CommitLabel(pair int, label bool) error {
+	_, err := s.commitLabel(pair, label, false)
+	return err
+}
+
+// DrawTerm is one weighted estimator term applied when a pair's label is
+// committed: the stratum the draw came from and the importance weight frozen
+// at draw time. The durable journal (internal/wal) records every commit's
+// terms so recovery can re-apply a commit even after its proposal was folded
+// into a compaction snapshot.
+type DrawTerm struct {
+	Stratum int     `json:"k"`
+	Weight  float64 `json:"w"`
+}
+
+// CommitLabelTerms is CommitLabel, additionally returning the weighted terms
+// folded into the estimator: the frozen draw that proposed the pair plus any
+// re-draws queued while the label was in flight, in application order. A
+// duplicate commit returns (nil, nil).
+func (s *Sampler) CommitLabelTerms(pair int, label bool) ([]DrawTerm, error) {
+	return s.commitLabel(pair, label, true)
+}
+
+// commitLabel is the shared commit path; terms are only materialised when
+// the caller journals them, keeping the journal-less hot path allocation
+// free.
+func (s *Sampler) commitLabel(pair int, label bool, wantTerms bool) ([]DrawTerm, error) {
 	if _, done := s.labels[pair]; done {
-		return nil
+		return nil, nil
 	}
 	if s.pairState(pair) < 0 {
-		return ErrNotProposed
+		return nil, ErrNotProposed
 	}
 	entry, extra := s.removePending(pair)
 	s.labels[pair] = label
@@ -567,6 +594,64 @@ func (s *Sampler) CommitLabel(pair int, label bool) error {
 	for _, d := range extra {
 		s.inner.Commit(d, label)
 	}
+	if !wantTerms {
+		return nil, nil
+	}
+	terms := make([]DrawTerm, 0, 1+len(extra))
+	terms = append(terms, DrawTerm{Stratum: int(entry.stratum), Weight: entry.weight})
+	for _, d := range extra {
+		terms = append(terms, DrawTerm{Stratum: d.Stratum, Weight: d.Weight})
+	}
+	return terms, nil
+}
+
+// ReplayCommit applies one journaled commit during write-ahead-log recovery.
+// When the pair has an outstanding proposal (its propose event was replayed
+// through ProposeBatch) it behaves exactly as CommitLabelTerms and verifies
+// the replayed draws match the journaled terms; when the proposal was folded
+// into a compaction snapshot — the pair is merely available — the journaled
+// terms are applied directly, reproducing the live commit bit-for-bit.
+// Already-labelled pairs are idempotent no-ops.
+func (s *Sampler) ReplayCommit(pair int, label bool, terms []DrawTerm) error {
+	if pair < 0 || pair >= s.str.N() {
+		return fmt.Errorf("oasis: replay commit for pair %d outside pool of %d", pair, s.str.N())
+	}
+	if _, done := s.labels[pair]; done {
+		return nil
+	}
+	if len(terms) == 0 {
+		return fmt.Errorf("oasis: replay commit for pair %d carries no draw terms", pair)
+	}
+	for _, dt := range terms {
+		if dt.Stratum < 0 || dt.Stratum >= s.K() || !(dt.Weight > 0) || math.IsInf(dt.Weight, 0) {
+			return fmt.Errorf("oasis: replay commit for pair %d has invalid term %+v", pair, dt)
+		}
+	}
+	if s.pairState(pair) >= 0 {
+		got, err := s.commitLabel(pair, label, true)
+		if err != nil {
+			return err
+		}
+		if len(got) != len(terms) {
+			return fmt.Errorf("oasis: replay commit for pair %d applied %d terms, journal has %d", pair, len(got), len(terms))
+		}
+		for i := range got {
+			if got[i] != terms[i] {
+				return fmt.Errorf("oasis: replayed draw for pair %d diverged: %+v vs journalled %+v", pair, got[i], terms[i])
+			}
+		}
+		return nil
+	}
+	// The proposal predates the snapshot this sampler was restored from, so
+	// its pending entry is gone; the journaled terms carry the frozen weights.
+	for _, dt := range terms {
+		s.inner.Commit(core.Draw{Pair: pair, Stratum: dt.Stratum, Weight: dt.Weight}, label)
+	}
+	s.labels[pair] = label
+	s.slots[s.posOfPair[pair]].state = pairLabelled
+	s.availCount[s.str.Assign[pair]]--
+	s.availTotal--
+	s.maskDirty = true
 	return nil
 }
 
@@ -611,26 +696,48 @@ func (s *Sampler) CommittedLabels() map[int]bool {
 	return out
 }
 
-// SamplerState is a JSON-serialisable snapshot of a Sampler's mutable state:
-// Beta posteriors, estimator sums, the random stream, and the committed
-// label cache. Outstanding proposals are deliberately NOT persisted — on
-// restore they are released back to the proposable set, which is the
-// crash-safe behaviour (an in-flight proposal whose label never arrived must
-// become proposable again). Restore a state only onto a Sampler built from
-// the same pool with the same Options.
+// PendingDraw is one outstanding proposal in a SamplerState: the pair, the
+// frozen draw that proposed it, and any re-draws queued while its label was
+// in flight.
+type PendingDraw struct {
+	Pair    int        `json:"pair"`
+	Stratum int        `json:"k"`
+	Weight  float64    `json:"w"`
+	Extra   []DrawTerm `json:"extra,omitempty"`
+}
+
+// SamplerState is a JSON-serialisable snapshot of a Sampler's complete
+// mutable state: Beta posteriors, estimator sums, the random stream, the
+// committed label cache, and the outstanding proposals with their frozen
+// draw weights. Persisting the proposals is what makes the snapshot exact:
+// a restored sampler continues the precise draw sequence of the live one —
+// including re-draws of in-flight pairs — which the WAL's compaction relies
+// on (tail events replay against the snapshot bit-for-bit). Restore a state
+// only onto a Sampler built from the same pool with the same Options.
 type SamplerState struct {
-	Core   *core.State  `json:"core"`
-	Labels map[int]bool `json:"labels,omitempty"`
+	Core    *core.State   `json:"core"`
+	Labels  map[int]bool  `json:"labels,omitempty"`
+	Pending []PendingDraw `json:"pending,omitempty"`
 }
 
 // State captures the sampler's mutable state for persistence.
 func (s *Sampler) State() *SamplerState {
-	return &SamplerState{Core: s.inner.State(), Labels: s.CommittedLabels()}
+	st := &SamplerState{Core: s.inner.State(), Labels: s.CommittedLabels()}
+	for _, e := range s.pendingSlab {
+		pd := PendingDraw{Pair: int(e.pair), Stratum: int(e.stratum), Weight: e.weight}
+		for _, d := range s.extraDraws[int(e.pair)] {
+			pd.Extra = append(pd.Extra, DrawTerm{Stratum: d.Stratum, Weight: d.Weight})
+		}
+		st.Pending = append(st.Pending, pd)
+	}
+	return st
 }
 
 // RestoreState overwrites the sampler's mutable state from a snapshot taken
-// on a sampler with the same pool and Options. Outstanding proposals (on
-// either side) are discarded.
+// on a sampler with the same pool and Options, including its outstanding
+// proposals. The caller decides what to do with the restored proposals:
+// the session layer re-leases them (graceful snapshot restarts) or releases
+// them after WAL tail replay (the boot barrier's crash contract).
 func (s *Sampler) RestoreState(st *SamplerState) error {
 	if st == nil || st.Core == nil {
 		return errors.New("oasis: nil sampler state")
@@ -640,6 +747,24 @@ func (s *Sampler) RestoreState(st *SamplerState) error {
 			return fmt.Errorf("oasis: snapshot label for pair %d outside pool of %d", pair, s.str.N())
 		}
 	}
+	seen := make(map[int]bool, len(st.Pending))
+	for _, p := range st.Pending {
+		if p.Pair < 0 || p.Pair >= s.str.N() {
+			return fmt.Errorf("oasis: snapshot proposal for pair %d outside pool of %d", p.Pair, s.str.N())
+		}
+		if _, labelled := st.Labels[p.Pair]; labelled || seen[p.Pair] {
+			return fmt.Errorf("oasis: snapshot proposal for pair %d clashes with its label state", p.Pair)
+		}
+		seen[p.Pair] = true
+		if p.Stratum != s.str.Assign[p.Pair] || !(p.Weight > 0) || math.IsInf(p.Weight, 0) {
+			return fmt.Errorf("oasis: snapshot proposal for pair %d has invalid draw {k:%d w:%v}", p.Pair, p.Stratum, p.Weight)
+		}
+		for _, e := range p.Extra {
+			if e.Stratum != s.str.Assign[p.Pair] || !(e.Weight > 0) || math.IsInf(e.Weight, 0) {
+				return fmt.Errorf("oasis: snapshot proposal for pair %d has invalid re-draw %+v", p.Pair, e)
+			}
+		}
+	}
 	if err := s.inner.Restore(st.Core); err != nil {
 		return err
 	}
@@ -647,12 +772,20 @@ func (s *Sampler) RestoreState(st *SamplerState) error {
 	for i, l := range st.Labels {
 		s.labels[i] = l
 	}
-	// Rebuild the proposability accounting (dropping outstanding proposals)
-	// and invalidate the masked sampler; the core restore already
-	// invalidated the cached v(t). All of it is derived from the committed
-	// labels, so the restored sampler proposes exactly what the snapshotted
-	// one would have.
+	// Rebuild the proposability accounting and invalidate the masked
+	// sampler; the core restore already invalidated the cached v(t). All of
+	// it is derived from (labels, pending), so the restored sampler proposes
+	// exactly what the snapshotted one would have.
 	s.resetAvailability()
+	for _, p := range st.Pending {
+		s.propose(int(s.posOfPair[p.Pair]), p.Stratum, p.Weight)
+		for _, e := range p.Extra {
+			if s.extraDraws == nil {
+				s.extraDraws = make(map[int][]core.Draw)
+			}
+			s.extraDraws[p.Pair] = append(s.extraDraws[p.Pair], core.Draw{Pair: p.Pair, Stratum: e.Stratum, Weight: e.Weight})
+		}
+	}
 	return nil
 }
 
