@@ -72,8 +72,12 @@ type Event struct {
 // use, must assign strictly increasing LSNs in append order, and must make
 // failures sticky: once an append fails every later append (and Err) must
 // report failure, so the service fail-stops instead of acknowledging labels
-// the log does not hold. internal/wal provides the production
-// implementation.
+// the log does not hold. One carve-out: a create append the journal rejects
+// before writing anything (an oversized payload, say) may return a per-call
+// error without entering the failure state — the create is the only event
+// appended before the session layer holds state for it, so nothing has
+// drifted from the log and one bad request need not take the service down.
+// internal/wal provides the production implementation.
 type Journal interface {
 	// Append durably records ev, assigning and returning its LSN.
 	Append(ev *Event) (uint64, error)

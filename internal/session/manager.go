@@ -39,6 +39,13 @@ type Manager struct {
 	// fsync of the create record runs outside m.mu (so it never stalls other
 	// sessions' traffic), and the reservation keeps the ID unique meanwhile.
 	reserved map[string]bool
+	// createMu orders in-flight creates against journal compaction: Create
+	// holds the read side from before its journal append until the session is
+	// registered, and CreateBarrier takes the write side. Without it a
+	// compaction could fold the segment holding a create record, snapshot
+	// before the session is registered, and delete the folded segment — losing
+	// the acknowledged session and every later event replay would skip.
+	createMu sync.RWMutex
 	opts     ManagerOptions
 	jrn      *journalHolder
 }
@@ -102,6 +109,10 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	}
 	m.reserved[cfg.ID] = true
 	m.mu.Unlock()
+	// Hold the create barrier across append+register so a concurrent
+	// compaction cannot snapshot between the two: see createMu.
+	m.createMu.RLock()
+	defer m.createMu.RUnlock()
 	var lsn uint64
 	var jerr error
 	if j := m.jrn.get(); j != nil {
@@ -116,6 +127,20 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	s.lastLSN = lsn
 	m.sessions[cfg.ID] = s
 	return s, nil
+}
+
+// CreateBarrier returns once every in-flight Create — one that may already
+// have journaled its create event — has registered (or abandoned) its
+// session, so a Snapshot taken afterwards cannot miss a session whose create
+// record sits in an already-rotated segment. wal.Journal.Compact calls it
+// between rotating to a fresh segment and snapshotting: creates that start
+// after the rotation append beyond the compaction boundary and need no
+// barrier.
+func (m *Manager) CreateBarrier() {
+	// The empty critical section is the barrier: Lock waits for every
+	// outstanding RLock held by an in-flight Create.
+	m.createMu.Lock()
+	m.createMu.Unlock()
 }
 
 // Get returns the named session or ErrNotFound.

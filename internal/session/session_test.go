@@ -439,3 +439,78 @@ func TestBudgetEnforcement(t *testing.T) {
 		t.Fatalf("remaining = %d, want 0", st.Remaining)
 	}
 }
+
+// blockingJournal is a Journal stub whose create appends stall until
+// released — a slow fsync frozen mid-flight, so tests can observe the gap
+// between a create's journal append and its registration.
+type blockingJournal struct {
+	entered chan struct{} // receives when a create append begins
+	release chan struct{} // closed to let the stalled append finish
+	mu      sync.Mutex
+	lsn     uint64
+}
+
+func (b *blockingJournal) Append(ev *Event) (uint64, error) {
+	if ev.Type == EventCreate {
+		b.entered <- struct{}{}
+		<-b.release
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lsn++
+	ev.LSN = b.lsn
+	return b.lsn, nil
+}
+
+func (b *blockingJournal) Err() error { return nil }
+
+// TestCreateBarrierWaitsForInflightCreate pins the ordering contract WAL
+// compaction relies on: CreateBarrier must not return while a Create sits
+// between its journal append and its registration — a snapshot taken in
+// that gap would miss a session whose create record compaction is about to
+// fold away and delete, silently losing the acknowledged session.
+func TestCreateBarrierWaitsForInflightCreate(t *testing.T) {
+	scores, preds, _ := testPool(50, 1)
+	jrn := &blockingJournal{entered: make(chan struct{}), release: make(chan struct{})}
+	m := NewManager(ManagerOptions{Journal: jrn})
+
+	created := make(chan error, 1)
+	go func() {
+		_, err := m.Create(Config{
+			ID: "inflight", Scores: scores, Preds: preds, Calibrated: true,
+			Options: oasis.Options{Strata: 4, Seed: 3},
+		})
+		created <- err
+	}()
+	<-jrn.entered // the create event is journaling; the session is not yet registered
+
+	barrier := make(chan struct{})
+	go func() {
+		m.CreateBarrier()
+		close(barrier)
+	}()
+	select {
+	case <-barrier:
+		t.Fatal("CreateBarrier returned while a journaled create was still unregistered")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(jrn.release)
+	if err := <-created; err != nil {
+		t.Fatal(err)
+	}
+	<-barrier
+
+	// The snapshot a compaction takes after the barrier holds the session.
+	data, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file snapshotFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Sessions) != 1 || file.Sessions[0].Config.ID != "inflight" {
+		t.Fatalf("snapshot after the barrier misses the in-flight create: %+v", file.Sessions)
+	}
+}

@@ -23,8 +23,10 @@ import (
 
 const (
 	recordHeaderSize = 8
-	// maxRecordSize bounds one record; a create event embeds the session's
-	// whole pool, so the cap is generous.
+	// maxRecordSize bounds one record's payload; a create event embeds the
+	// session's whole pool, so the cap is generous. Journal.Append enforces
+	// it (and with it the uint32 length field): a larger payload is rejected
+	// before it is written, never acknowledged and then unreadable at replay.
 	maxRecordSize = 1 << 30
 )
 
@@ -118,6 +120,30 @@ func parseIndexed(name, prefix, suffix string) (uint64, bool) {
 		return 0, false
 	}
 	return idx, true
+}
+
+// truncateDurable truncates path to size and makes the truncation durable:
+// fsync through the file handle (the new length is inode metadata) and fsync
+// the parent directory for good measure. Used when recovery drops a torn
+// tail — the shorter file must be on stable storage before this boot
+// creates new segments, or a power cut could resurrect the torn suffix
+// mid-log.
+func truncateDurable(path string, size int64, dir string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	err = f.Truncate(size)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return syncDir(dir)
 }
 
 // syncDir fsyncs a directory so freshly created/renamed entries are durable.

@@ -105,6 +105,7 @@ type Journal struct {
 
 	always   bool          // fsync per append
 	interval time.Duration // background fsync interval (0: none)
+	maxRec   int           // payload cap; maxRecordSize, lowered only in tests
 
 	mu       sync.Mutex
 	f        *os.File
@@ -175,6 +176,7 @@ func Open(dir string, mgr *session.Manager, opts Options) (*Journal, error) {
 		opts:     opts,
 		always:   always,
 		interval: interval,
+		maxRec:   maxRecordSize,
 	}
 
 	segs, snaps, err := listDir(dir)
@@ -312,9 +314,13 @@ func (j *Journal) recover(mgr *session.Manager, segs, snaps []uint64) (maxLSN ui
 			}
 			// A crash mid-write: drop the torn suffix and truncate so the
 			// invariant "only the newest segment can be torn" keeps holding
-			// after this boot rotates to a new segment.
+			// after this boot rotates to a new segment. The truncation must be
+			// durable (fsync file and directory) before any new segment is
+			// created: were power lost with the truncate still in the page
+			// cache, the torn suffix would reappear in what is by then a
+			// non-final segment and the next recovery would refuse to boot.
 			j.replay.tornBytes = len(data) - consumed
-			if err := os.Truncate(path, int64(consumed)); err != nil {
+			if err := truncateDurable(path, int64(consumed), j.dir); err != nil {
 				return 0, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
 			}
 		}
@@ -387,7 +393,30 @@ func (j *Journal) Append(ev *session.Event) (uint64, error) {
 	ev.LSN = j.lsn + 1
 	payload, err := json.Marshal(ev)
 	if err != nil {
+		// Same carve-out as the size check below: an unmarshalable create (a
+		// NaN in the config, say) wrote nothing and the session layer holds no
+		// state for it, so it is a per-request error, not a service fail-stop.
+		if ev.Type == session.EventCreate {
+			return 0, fmt.Errorf("wal: marshal create: %w", err)
+		}
 		j.fail(err)
+		return 0, j.err
+	}
+	// Enforce the framing cap before writing: an oversized frame would be
+	// acknowledged now but classified as torn or corrupt by replay — an
+	// acknowledged record silently truncated away, or a log that refuses to
+	// boot. Nothing is written either way, but the failure mode differs by
+	// event type. A create is appended before the session layer holds any
+	// state for it, so rejecting it is a per-request error (one hostile
+	// oversized pool must not fail-stop the whole service). Every other type
+	// is appended after the session applied the event in memory; there the
+	// in-memory state is already ahead of the log, and the sticky fail-stop
+	// of the session.Journal contract is the only safe answer.
+	if len(payload) > j.maxRec {
+		if ev.Type == session.EventCreate {
+			return 0, fmt.Errorf("wal: create payload is %d bytes, over the %d-byte record cap", len(payload), j.maxRec)
+		}
+		j.fail(fmt.Errorf("event payload is %d bytes, over the %d-byte record cap", len(payload), j.maxRec))
 		return 0, j.err
 	}
 	j.buf = appendRecord(j.buf[:0], payload)
@@ -476,7 +505,10 @@ func (j *Journal) syncLoop() {
 // in the old segments is therefore covered by the snapshot, and the few
 // events appended between rotation and snapshot are both in the snapshot
 // and in the tail — replay skips them by their per-session LSN watermark.
-// Safe to run concurrently with serving traffic.
+// Between the two it waits on the manager's create barrier: a Create whose
+// record went into a now-folded segment may not have registered its session
+// yet, and snapshotting before it does would lose the session when the
+// folded segment is deleted. Safe to run concurrently with serving traffic.
 func (j *Journal) Compact() error {
 	j.mu.Lock()
 	if j.err != nil {
@@ -490,6 +522,7 @@ func (j *Journal) Compact() error {
 	boundary := j.seg
 	j.mu.Unlock()
 
+	j.mgr.CreateBarrier()
 	data, err := j.mgr.Snapshot()
 	if err != nil {
 		return fmt.Errorf("wal: compact: %w", err)

@@ -2,9 +2,12 @@ package wal
 
 import (
 	"errors"
+	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -301,6 +304,11 @@ func TestTornTailDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	newest := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	fi, err := os.Stat(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanSize := fi.Size()
 	f, err := os.OpenFile(newest, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -315,6 +323,13 @@ func TestTornTailDropped(t *testing.T) {
 	defer j2.Close()
 	if st := j2.Stats(); st.ReplayTornBytes != 3 {
 		t.Fatalf("torn bytes dropped = %d, want 3", st.ReplayTornBytes)
+	}
+	// The torn suffix is truncated away on disk, not just skipped: a later
+	// recovery must not find it again in a by-then non-final segment.
+	if fi, err := os.Stat(newest); err != nil {
+		t.Fatal(err)
+	} else if fi.Size() != cleanSize {
+		t.Fatalf("segment is %d bytes after recovery, want the clean %d", fi.Size(), cleanSize)
 	}
 	r, err := recovered.Get("torn")
 	if err != nil {
@@ -523,4 +538,230 @@ func TestFsyncPolicies(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestCompactionKeepsConcurrentCreates races Create against Compact and
+// verifies every acknowledged session survives recovery. A create whose
+// record lands in a segment the compaction folds must be caught by the
+// manager's create barrier and included in the snapshot — without it the
+// folded segment (and the create with it) is deleted before the session is
+// registered, and the session plus all its later labels silently vanish on
+// the next boot.
+func TestCompactionKeepsConcurrentCreates(t *testing.T) {
+	scores, preds, _ := walPool(80, 31)
+	dir := t.TempDir()
+	live := session.NewManager(session.ManagerOptions{})
+	j := mustOpen(t, dir, live, Options{Fsync: "off", SegmentBytes: 1 << 10})
+
+	const workers, perWorker = 4, 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := live.Create(session.Config{
+					ID:     fmt.Sprintf("race-%d-%d", w, i),
+					Scores: scores, Preds: preds, Calibrated: true,
+					Options: oasis.Options{Strata: 4, Seed: uint64(w*100 + i + 1)},
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	compactDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < 20; i++ {
+			if err := j.Compact(); err != nil {
+				compactDone <- err
+				return
+			}
+		}
+		compactDone <- nil
+	}()
+	wg.Wait()
+	if err := <-compactDone; err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := session.NewManager(session.ManagerOptions{})
+	j2 := mustOpen(t, dir, recovered, Options{Fsync: "off"})
+	defer j2.Close()
+	if got, want := recovered.Len(), workers*perWorker; got != want {
+		t.Fatalf("recovered %d sessions, want %d: a create raced compaction away", got, want)
+	}
+}
+
+// TestOversizedAppendRejected lowers the record cap and checks an event
+// whose payload exceeds it is rejected before it is written, so nothing is
+// ever acknowledged that replay cannot read. An oversized create is a
+// per-request error — the session layer holds no state for it yet, and one
+// hostile pool must not fail-stop the service. An oversized session event
+// (here a propose) is sticky per the session.Journal contract: the session
+// already applied it in memory, so continuing would drift from the log.
+func TestOversizedAppendRejected(t *testing.T) {
+	scores, preds, truth := walPool(400, 21)
+	dir := t.TempDir()
+	mgr := session.NewManager(session.ManagerOptions{})
+	j := mustOpen(t, dir, mgr, Options{Fsync: "off"})
+	s, err := mgr.Create(session.Config{
+		ID: "big", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 5, Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := len(driveRound(t, s, 6, truth))
+
+	setCap := func(n int) {
+		j.mu.Lock()
+		j.maxRec = n
+		j.mu.Unlock()
+	}
+	setCap(64) // below any event payload in this test
+	if _, err := mgr.Create(session.Config{
+		ID: "huge", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 5, Seed: 9},
+	}); err == nil || !strings.Contains(err.Error(), "record cap") {
+		t.Fatalf("oversized create not rejected: %v", err)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("oversized create poisoned the journal: %v", err)
+	}
+	setCap(maxRecordSize)
+	committed += len(driveRound(t, s, 4, truth)) // service still healthy
+
+	setCap(64)
+	if _, err := s.Propose(4); err == nil || !strings.Contains(err.Error(), "record cap") {
+		t.Fatalf("oversized append not rejected: %v", err)
+	}
+	if j.Err() == nil {
+		t.Fatal("oversized session append was not a sticky failure")
+	}
+
+	recovered := session.NewManager(session.ManagerOptions{})
+	j2 := mustOpen(t, dir, recovered, Options{Fsync: "off"})
+	defer j2.Close()
+	r, err := recovered.Get("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Status().LabelsCommitted; got != committed {
+		t.Fatalf("recovered %d labels, want %d", got, committed)
+	}
+}
+
+// stallCreateJournal delegates to a real WAL journal but freezes create
+// appends after the record is durably on disk and before Create can
+// register the session — the exact window the compaction create barrier
+// exists for.
+type stallCreateJournal struct {
+	inner   *Journal
+	entered chan struct{} // receives once the create record is appended
+	release chan struct{} // closed to unfreeze the create
+}
+
+func (w *stallCreateJournal) Append(ev *session.Event) (uint64, error) {
+	lsn, err := w.inner.Append(ev)
+	if ev.Type == session.EventCreate {
+		w.entered <- struct{}{}
+		<-w.release
+	}
+	return lsn, err
+}
+
+func (w *stallCreateJournal) Err() error { return w.inner.Err() }
+
+// TestCompactionWaitsForInflightCreate reproduces the create/compaction race
+// deterministically: a create whose record is already on disk but whose
+// session is not yet registered is frozen mid-flight while Compact runs.
+// Compact must wait on the manager's create barrier before snapshotting —
+// otherwise it folds and deletes the segment holding the only copy of the
+// create record, the snapshot misses the unregistered session, and the
+// acknowledged session (plus every later label) silently vanishes on the
+// next boot.
+func TestCompactionWaitsForInflightCreate(t *testing.T) {
+	scores, preds, truth := walPool(200, 41)
+	dir := t.TempDir()
+	live := session.NewManager(session.ManagerOptions{})
+	j := mustOpen(t, dir, live, Options{Fsync: "off"})
+
+	warm, err := live.Create(session.Config{
+		ID: "warm", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 5, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, warm, 6, truth)
+
+	stall := &stallCreateJournal{inner: j, entered: make(chan struct{}), release: make(chan struct{})}
+	live.SetJournal(stall)
+	created := make(chan error, 1)
+	go func() {
+		_, err := live.Create(session.Config{
+			ID: "inflight", Scores: scores, Preds: preds, Calibrated: true,
+			Options: oasis.Options{Strata: 5, Seed: 2},
+		})
+		created <- err
+	}()
+	<-stall.entered // create record on disk; session not yet registered
+
+	compacted := make(chan error, 1)
+	go func() { compacted <- j.Compact() }()
+	select {
+	case err := <-compacted:
+		t.Fatalf("Compact finished (err=%v) while a journaled create was still unregistered", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(stall.release)
+	if err := <-created; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-compacted; err != nil {
+		t.Fatal(err)
+	}
+	live.SetJournal(nil) // detach: the recovery below opens its own journal
+
+	recovered := session.NewManager(session.ManagerOptions{})
+	j2 := mustOpen(t, dir, recovered, Options{Fsync: "off"})
+	defer j2.Close()
+	if _, err := recovered.Get("inflight"); err != nil {
+		t.Fatalf("the in-flight create was lost to compaction: %v", err)
+	}
+	if _, err := recovered.Get("warm"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnmarshalableCreateNotSticky covers the other pre-write create
+// rejection: a config json.Marshal cannot encode (a NaN threshold survives
+// pool validation) is a per-request error — nothing was written, the session
+// layer holds no state — and must not fail-stop the journal.
+func TestUnmarshalableCreateNotSticky(t *testing.T) {
+	scores, preds, truth := walPool(300, 27)
+	mgr := session.NewManager(session.ManagerOptions{})
+	j := mustOpen(t, t.TempDir(), mgr, Options{Fsync: "off"})
+	defer j.Close()
+	if _, err := mgr.Create(session.Config{
+		ID: "nan", Scores: scores, Preds: preds, Calibrated: true,
+		Threshold: math.NaN(),
+		Options:   oasis.Options{Strata: 5, Seed: 2},
+	}); err == nil || !strings.Contains(err.Error(), "marshal create") {
+		t.Fatalf("unmarshalable create not rejected at the journal: %v", err)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("unmarshalable create poisoned the journal: %v", err)
+	}
+	s, err := mgr.Create(session.Config{
+		ID: "ok", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 5, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, s, 6, truth)
 }
