@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-json bench-smoke fuzz-smoke serve serve-wal example clean
+.PHONY: build vet test test-stress race bench bench-json bench-smoke fuzz-smoke serve serve-wal example clean
 
 build:
 	$(GO) build ./...
@@ -10,15 +10,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomises test (and subtest) execution order, so an
+# order-dependent test fails loudly here instead of flaking later.
 test: vet
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# Stress gate for the concurrent subsystems: the session manager shards, the
+# WAL lanes and the HTTP layer, raced three times in shuffled order.
+test-stress:
+	$(GO) test -race -count=3 -shuffle=on ./internal/session ./internal/wal ./internal/server
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # Hot-path microbenchmarks: core draw/commit, public batched proposals, the
-# HTTP propose/labels round trip, and the WAL durability tax.
-HOT_BENCH = BenchmarkDraw$$|BenchmarkDrawCommit$$|BenchmarkInstrumental$$|BenchmarkProposeBatch|BenchmarkProposeCommit$$|BenchmarkServerPropose$$|BenchmarkCommitDurable
+# HTTP propose/labels round trip, the WAL durability tax, and the parallel
+# commit throughput of the sharded manager + WAL lanes.
+HOT_BENCH = BenchmarkDraw$$|BenchmarkDrawCommit$$|BenchmarkInstrumental$$|BenchmarkProposeBatch|BenchmarkProposeCommit$$|BenchmarkServerPropose$$|BenchmarkCommitDurable|BenchmarkManagerParallel|BenchmarkServerProposeParallel
 HOT_BENCH_PKGS = ./internal/core ./internal/server ./internal/wal .
 
 # Run the hot-path microbenchmarks and append the results to the

@@ -6,10 +6,19 @@
 //
 // Usage:
 //
-//	oasis-server [-addr :8080] [-lease 1m]
+//	oasis-server [-addr :8080] [-lease 1m] [-shards N]
 //	             [-wal dir] [-fsync always|off|100ms] [-compact-every 10m]
 //	             [-snapshot state.json] [-snapshot-interval 1m]
 //	             [-pprof addr]
+//
+// -shards splits the session manager into N independent lock domains
+// (rounded up to a power of two; default: an existing WAL directory's
+// recorded lane count, else the next power of two at or above GOMAXPROCS),
+// so requests for sessions in different shards never contend on one lock.
+// With -wal, each shard journals to its own WAL lane, so commit fsyncs in
+// different shards overlap too. A WAL directory's lane count is fixed when
+// it is first created: an explicit -shards must match it on reopen (legacy
+// pre-lane directories are upgraded in place to the chosen count).
 //
 // Durability comes in two exclusive modes:
 //
@@ -52,6 +61,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		lease        = flag.Duration("lease", session.DefaultLeaseTTL, "default proposal lease TTL")
+		shards       = flag.Int("shards", 0, "session-manager shard count, rounded up to a power of two (0 = derive from GOMAXPROCS); with -wal, must match the directory's lane count once created")
 		snapshot     = flag.String("snapshot", "", "snapshot file: restored at startup, saved at shutdown (exclusive with -wal)")
 		snapInterval = flag.Duration("snapshot-interval", 0, "with -snapshot: also save atomically every interval (0 = only at graceful shutdown)")
 		walDir       = flag.String("wal", "", "write-ahead-log directory: replayed at startup, appended before every acknowledgement (exclusive with -snapshot)")
@@ -79,7 +89,24 @@ func main() {
 		}()
 	}
 
-	mgr := session.NewManager(session.ManagerOptions{DefaultLeaseTTL: *lease})
+	nShards := *shards
+	if nShards <= 0 {
+		// Unset: prefer an existing journal's recorded lane count (the lane
+		// count is fixed per directory, and GOMAXPROCS may have changed since
+		// it was created); otherwise derive from the hardware.
+		nShards = session.DefaultShards()
+		if *walDir != "" {
+			lanes, err := wal.DirLanes(*walDir)
+			if err != nil {
+				log.Fatalf("read wal meta: %v", err)
+			}
+			if lanes > 0 {
+				nShards = lanes
+			}
+		}
+	}
+	mgr := session.NewManager(session.ManagerOptions{DefaultLeaseTTL: *lease, Shards: nShards})
+	log.Printf("session manager sharded %d way(s)", mgr.Shards())
 	var journal *wal.Journal
 	switch {
 	case *walDir != "":
@@ -89,8 +116,8 @@ func main() {
 		}
 		journal = j
 		st := j.Stats()
-		log.Printf("wal %s: recovered %d session(s) — snapshot=%v, %d event(s) replayed, %d skipped, %d torn byte(s) dropped (fsync %s)",
-			*walDir, mgr.Len(), st.ReplaySnapshot, st.ReplayApplied, st.ReplaySkipped, st.ReplayTornBytes, *fsync)
+		log.Printf("wal %s: recovered %d session(s) across %d lane(s) — snapshot=%v, %d event(s) replayed, %d skipped, %d torn byte(s) dropped (fsync %s)",
+			*walDir, mgr.Len(), st.LaneCount, st.ReplaySnapshot, st.ReplayApplied, st.ReplaySkipped, st.ReplayTornBytes, *fsync)
 	case *snapshot != "":
 		data, err := os.ReadFile(*snapshot)
 		switch {

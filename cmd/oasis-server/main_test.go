@@ -191,7 +191,10 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 	}
 
 	// Phase 1: live server, create + label, then SIGKILL between batches.
-	cmd, addr := startServer(t, bin, "-addr", "127.0.0.1:0", "-wal", walDir, "-fsync", "always")
+	// -shards 4 exercises the multi-lane WAL: the journal's lane count is
+	// fixed at creation, so the restarted server must come back with the
+	// same value.
+	cmd, addr := startServer(t, bin, "-addr", "127.0.0.1:0", "-wal", walDir, "-fsync", "always", "-shards", "4")
 	base := "http://" + addr
 	if code := postJSON(t, base+"/v1/sessions", cfg, nil); code != http.StatusCreated {
 		cmd.Process.Kill()
@@ -225,7 +228,7 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 
 	// Phase 2: restart from the WAL; the recovered sampler must continue
 	// the exact sequence the uninterrupted reference produces.
-	cmd2, addr2 := startServer(t, bin, "-addr", "127.0.0.1:0", "-wal", walDir, "-fsync", "always")
+	cmd2, addr2 := startServer(t, bin, "-addr", "127.0.0.1:0", "-wal", walDir, "-fsync", "always", "-shards", "4")
 	defer func() {
 		cmd2.Process.Signal(os.Interrupt)
 		done := make(chan struct{})

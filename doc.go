@@ -56,6 +56,22 @@
 // trimmed tail, and the -fsync policy (per-record / interval / off) sets
 // the durability/latency trade-off, measured by BenchmarkCommitDurable.
 //
+// The service scales across cores by sharding: sessions are independent
+// samplers, so the manager splits its session map into power-of-two shards
+// (session-ID hash → shard, -shards, default derived from GOMAXPROCS) with
+// per-shard locks and create barriers, and the WAL journals each shard to
+// its own lane — its own segment stream, append lock and LSN sequence — so
+// commit fsyncs only serialise within a shard and recovery replays lanes
+// concurrently. Shard count changes which lock and lane serialise a
+// session, never what the session does: TestShardedReplayEquivalence holds
+// proposal sequences and estimates bit-for-bit identical across 1, 4 and 8
+// shards, including through crash recovery. The lane format is WAL record
+// version 2 (a shard tag and format version joined the record header, CRC
+// covering both); v1 single-stream journals are read-compatible and
+// upgraded in place on first open. BenchmarkManagerParallel and
+// BenchmarkServerProposeParallel track the multi-worker commit throughput
+// scaling with shard count.
+//
 // # Performance
 //
 // The draw/commit hot path is amortized O(1) per draw. The instrumental

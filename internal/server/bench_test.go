@@ -11,11 +11,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"oasis"
 	"oasis/internal/rng"
 	"oasis/internal/session"
+	"oasis/internal/wal"
 )
 
 func benchPool(n int, seed uint64) (scores []float64, preds, truth []bool) {
@@ -30,6 +33,96 @@ func benchPool(n int, seed uint64) (scores []float64, preds, truth []bool) {
 		truth[i] = r.Bernoulli(scores[i])
 	}
 	return scores, preds, truth
+}
+
+// BenchmarkServerProposeParallel measures the service's multi-worker hot
+// path end to end — HTTP propose + labels round trips from 8 concurrent
+// clients, each on its own session, against a sharded manager journaling to
+// per-shard WAL lanes with fsync=always. One benchmark op is one
+// propose?n=16 + one labels POST. At shards=1 every commit's fsync queues
+// on one lane; at shards=8 the lanes sync concurrently. Tracked in
+// BENCH_core.json via `make bench-json` alongside the single-worker
+// BenchmarkServerPropose baseline.
+func BenchmarkServerProposeParallel(b *testing.B) {
+	scores, preds, truth := benchPool(50_000, 5)
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			mgr := session.NewManager(session.ManagerOptions{Shards: shards})
+			j, err := wal.Open(b.TempDir(), mgr, wal.Options{Fsync: "always"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			srv := New(mgr)
+			srv.SetJournal(j)
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			const nSessions = 8
+			ids := make([]string, nSessions)
+			for i := range ids {
+				// Spread the sessions evenly across shards, whatever the count.
+				for n := 0; ; n++ {
+					id := fmt.Sprintf("pbench-%d-%d", i, n)
+					if session.ShardOf(id, mgr.Shards()) == i%mgr.Shards() {
+						ids[i] = id
+						break
+					}
+				}
+				if _, err := mgr.Create(session.Config{
+					ID: ids[i], Scores: scores, Preds: preds, Calibrated: true,
+					Options: oasis.Options{Strata: 30, Seed: uint64(9 + i)},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetParallelism(max(1, (nSessions+runtime.GOMAXPROCS(0)-1)/runtime.GOMAXPROCS(0)))
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				url := fmt.Sprintf("%s/v1/sessions/%s", ts.URL, ids[int(next.Add(1)-1)%nSessions])
+				client := ts.Client()
+				for pb.Next() {
+					resp, err := client.Get(url + "/propose?n=16")
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					var pr ProposeResponse
+					if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+						b.Error(err)
+						return
+					}
+					resp.Body.Close()
+					req := LabelsRequest{Labels: make([]Label, len(pr.Proposals))}
+					for k, p := range pr.Proposals {
+						req.Labels[k] = Label{Pair: p.Pair, Label: truth[p.Pair]}
+					}
+					body, err := json.Marshal(req)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					resp, err = client.Post(url+"/labels", "application/json", bytes.NewReader(body))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					var lr LabelsResponse
+					if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+						b.Error(err)
+						return
+					}
+					resp.Body.Close()
+					if lr.Committed != len(req.Labels) {
+						b.Errorf("committed %d of %d", lr.Committed, len(req.Labels))
+						return
+					}
+				}
+			})
+		})
+	}
 }
 
 func BenchmarkServerPropose(b *testing.B) {

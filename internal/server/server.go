@@ -84,21 +84,42 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
 }
 
-// StatsResponse is the body of GET /v1/stats: service-wide totals plus the
-// WAL's segment/sync counters when durability is enabled.
-type StatsResponse struct {
-	Sessions         int        `json:"sessions"`
-	LabelsCommitted  int        `json:"labelsCommitted"`
-	PendingProposals int        `json:"pendingProposals"`
-	WAL              *wal.Stats `json:"wal,omitempty"`
+// ShardStats is one session-manager shard's slice of the totals. With a WAL
+// attached, shard i's journal lane counters appear as lane i in the WAL
+// block.
+type ShardStats struct {
+	Shard            int `json:"shard"`
+	Sessions         int `json:"sessions"`
+	LabelsCommitted  int `json:"labelsCommitted"`
+	PendingProposals int `json:"pendingProposals"`
 }
 
+// StatsResponse is the body of GET /v1/stats: service-wide totals, the
+// per-shard breakdown, plus the WAL's segment/sync counters (aggregate and
+// per lane) when durability is enabled.
+type StatsResponse struct {
+	Sessions         int          `json:"sessions"`
+	LabelsCommitted  int          `json:"labelsCommitted"`
+	PendingProposals int          `json:"pendingProposals"`
+	Shards           []ShardStats `json:"shards"`
+	WAL              *wal.Stats   `json:"wal,omitempty"`
+}
+
+// stats aggregates shard by shard: each shard's sessions are snapshotted
+// under that shard's lock alone, so a stats poll never stops the world.
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
-	var resp StatsResponse
-	for _, st := range s.mgr.List() {
-		resp.Sessions++
-		resp.LabelsCommitted += st.LabelsCommitted
-		resp.PendingProposals += st.PendingProposals
+	resp := StatsResponse{Shards: make([]ShardStats, s.mgr.Shards())}
+	for shard := 0; shard < s.mgr.Shards(); shard++ {
+		ss := ShardStats{Shard: shard}
+		for _, st := range s.mgr.ListShard(shard) {
+			ss.Sessions++
+			ss.LabelsCommitted += st.LabelsCommitted
+			ss.PendingProposals += st.PendingProposals
+		}
+		resp.Shards[shard] = ss
+		resp.Sessions += ss.Sessions
+		resp.LabelsCommitted += ss.LabelsCommitted
+		resp.PendingProposals += ss.PendingProposals
 	}
 	if s.jrn != nil {
 		st := s.jrn.Stats()

@@ -54,9 +54,9 @@ type CommitRecord struct {
 }
 
 // Event is one journaled state change. LSN is the log sequence number the
-// journal assigns at append time; it is strictly increasing per session, and
-// snapshots record each session's high-water LSN so replay can skip events
-// the snapshot already folded.
+// journal assigns at append time (per lane, in the sharded WAL); it is
+// strictly increasing per session, and snapshots record each session's
+// high-water LSN so replay can skip events the snapshot already folded.
 type Event struct {
 	LSN     uint64         `json:"lsn"`
 	Type    EventType      `json:"type"`
@@ -69,7 +69,10 @@ type Event struct {
 
 // Journal is the durable sink the Manager appends every state-changing event
 // to before acknowledging it. Implementations must be safe for concurrent
-// use, must assign strictly increasing LSNs in append order, and must make
+// use, must assign LSNs that strictly increase in append order for any one
+// session (the production WAL shards its log into per-shard lanes, so LSNs
+// are per-lane sequences — a session's events all land in one lane, which
+// is all the ordering the per-session watermarks compare), and must make
 // failures sticky: once an append fails every later append (and Err) must
 // report failure, so the service fail-stops instead of acknowledging labels
 // the log does not hold. One carve-out: a create append the journal rejects

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -15,6 +16,46 @@ import (
 // DefaultLeaseTTL is the proposal lease used when neither the manager nor
 // the session config sets one.
 const DefaultLeaseTTL = time.Minute
+
+// MaxShards caps the shard count. 256 independent lock domains are far past
+// the point of diminishing returns for any machine this serves on, and the
+// WAL's record header reserves a 16-bit lane tag, so the cap is generous on
+// both sides.
+const MaxShards = 256
+
+// NormalizeShards clamps n into [1, MaxShards] and rounds it up to the next
+// power of two, which is what lets ShardOf mask instead of mod.
+func NormalizeShards(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// DefaultShards is the GOMAXPROCS-derived shard count oasis-server uses when
+// -shards is not set: the next power of two at or above the core count, so
+// every core can make independent progress through the session layer.
+func DefaultShards() int { return NormalizeShards(runtime.GOMAXPROCS(0)) }
+
+// ShardOf maps a session ID to its shard among `shards` (a power of two),
+// via FNV-1a. The mapping is a pure function of the ID, so the WAL computes
+// the same lane for a session's records that the manager computes for its
+// lock domain.
+func ShardOf(id string, shards int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h & uint32(shards-1))
+}
 
 // ManagerOptions configures a Manager.
 type ManagerOptions struct {
@@ -27,27 +68,44 @@ type ManagerOptions struct {
 	// it is acknowledged. When recovery must run first (the WAL replays into
 	// a journal-less manager), leave it nil and attach with SetJournal.
 	Journal Journal
+	// Shards splits the session map into that many independent lock domains
+	// (rounded up to a power of two, capped at MaxShards; 0 means 1).
+	// Operations on sessions in different shards never contend on a manager
+	// lock. The shard count never changes any session's behaviour — sessions
+	// are independent samplers — only which lock (and WAL lane) serialises
+	// them.
+	Shards int
 }
 
-// Manager owns named evaluation sessions. All methods are safe for
-// concurrent use; each session additionally serialises its own state, so
-// operations on distinct sessions never contend.
-type Manager struct {
+// shard is one lock domain of the manager: a slice of the session map with
+// its own mutex, reservation set and create barrier.
+type shard struct {
 	mu       sync.RWMutex
 	sessions map[string]*Session
 	// reserved holds IDs whose create event is being journaled: the slow
-	// fsync of the create record runs outside m.mu (so it never stalls other
-	// sessions' traffic), and the reservation keeps the ID unique meanwhile.
+	// fsync of the create record runs outside sh.mu (so it never stalls the
+	// shard's other sessions), and the reservation keeps the ID unique
+	// meanwhile.
 	reserved map[string]bool
 	// createMu orders in-flight creates against journal compaction: Create
 	// holds the read side from before its journal append until the session is
-	// registered, and CreateBarrier takes the write side. Without it a
+	// registered, and ShardCreateBarrier takes the write side. Without it a
 	// compaction could fold the segment holding a create record, snapshot
-	// before the session is registered, and delete the folded segment — losing
-	// the acknowledged session and every later event replay would skip.
+	// before the session is registered, and delete the folded segment —
+	// losing the acknowledged session and every later event replay would
+	// skip. Per-shard, so a slow create in one shard never blocks another
+	// shard's compaction.
 	createMu sync.RWMutex
-	opts     ManagerOptions
-	jrn      *journalHolder
+}
+
+// Manager owns named evaluation sessions, split across power-of-two shards
+// (session-ID hash → shard) so operations on different sessions never
+// contend on one lock. All methods are safe for concurrent use; each session
+// additionally serialises its own state.
+type Manager struct {
+	shards []*shard
+	opts   ManagerOptions
+	jrn    *journalHolder
 }
 
 // NewManager returns an empty manager.
@@ -58,13 +116,28 @@ func NewManager(opts ManagerOptions) *Manager {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
+	opts.Shards = NormalizeShards(opts.Shards)
+	shards := make([]*shard, opts.Shards)
+	for i := range shards {
+		shards[i] = &shard{
+			sessions: make(map[string]*Session),
+			reserved: make(map[string]bool),
+		}
+	}
 	return &Manager{
-		sessions: make(map[string]*Session),
-		reserved: make(map[string]bool),
-		opts:     opts,
-		jrn:      &journalHolder{j: opts.Journal},
+		shards: shards,
+		opts:   opts,
+		jrn:    &journalHolder{j: opts.Journal},
 	}
 }
+
+// Shards returns the manager's shard count (a power of two).
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// ShardFor returns the shard index session id maps to.
+func (m *Manager) ShardFor(id string) int { return ShardOf(id, len(m.shards)) }
+
+func (m *Manager) shardFor(id string) *shard { return m.shards[m.ShardFor(id)] }
 
 // SetJournal attaches the durable event journal. wal.Open calls it once
 // replay is done — so recovered operations are not re-journaled — and before
@@ -98,56 +171,69 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	}
 	s.id = cfg.ID
 	s.jrn = m.jrn
-	// Reserve the ID, journal the creation outside m.mu (the create record's
-	// fsync must not stall every other session's traffic behind the manager
-	// lock), then register. The session becomes reachable only after the
-	// append, so the log still orders the create ahead of all its events.
-	m.mu.Lock()
-	if m.sessions[cfg.ID] != nil || m.reserved[cfg.ID] {
-		m.mu.Unlock()
+	sh := m.shardFor(cfg.ID)
+	// Reserve the ID, journal the creation outside sh.mu (the create record's
+	// fsync must not stall the shard's other sessions behind the shard lock),
+	// then register. The session becomes reachable only after the append, so
+	// the log still orders the create ahead of all its events.
+	sh.mu.Lock()
+	if sh.sessions[cfg.ID] != nil || sh.reserved[cfg.ID] {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("session: id %q already exists", cfg.ID)
 	}
-	m.reserved[cfg.ID] = true
-	m.mu.Unlock()
-	// Hold the create barrier across append+register so a concurrent
-	// compaction cannot snapshot between the two: see createMu.
-	m.createMu.RLock()
-	defer m.createMu.RUnlock()
+	sh.reserved[cfg.ID] = true
+	sh.mu.Unlock()
+	// Hold the shard's create barrier across append+register so a concurrent
+	// compaction of this shard's lane cannot snapshot between the two: see
+	// shard.createMu.
+	sh.createMu.RLock()
+	defer sh.createMu.RUnlock()
 	var lsn uint64
 	var jerr error
 	if j := m.jrn.get(); j != nil {
 		lsn, jerr = j.Append(&Event{Type: EventCreate, Session: cfg.ID, Config: &cfg})
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	delete(m.reserved, cfg.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.reserved, cfg.ID)
 	if jerr != nil {
 		return nil, fmt.Errorf("session: journal create: %w", jerr)
 	}
 	s.lastLSN = lsn
-	m.sessions[cfg.ID] = s
+	sh.sessions[cfg.ID] = s
 	return s, nil
 }
 
-// CreateBarrier returns once every in-flight Create — one that may already
-// have journaled its create event — has registered (or abandoned) its
-// session, so a Snapshot taken afterwards cannot miss a session whose create
-// record sits in an already-rotated segment. wal.Journal.Compact calls it
-// between rotating to a fresh segment and snapshotting: creates that start
-// after the rotation append beyond the compaction boundary and need no
-// barrier.
-func (m *Manager) CreateBarrier() {
+// ShardCreateBarrier returns once every in-flight Create targeting the given
+// shard — one that may already have journaled its create event — has
+// registered (or abandoned) its session, so a shard snapshot taken
+// afterwards cannot miss a session whose create record sits in an
+// already-rotated lane segment. wal.Journal.CompactShard calls it between
+// rotating the shard's lane to a fresh segment and snapshotting the shard:
+// creates that start after the rotation append beyond the compaction
+// boundary and need no barrier.
+func (m *Manager) ShardCreateBarrier(shard int) {
+	sh := m.shards[shard]
 	// The empty critical section is the barrier: Lock waits for every
 	// outstanding RLock held by an in-flight Create.
-	m.createMu.Lock()
-	m.createMu.Unlock()
+	sh.createMu.Lock()
+	sh.createMu.Unlock() //nolint:staticcheck // empty critical section is the point
+}
+
+// CreateBarrier waits on every shard's create barrier (see
+// ShardCreateBarrier). Whole-manager snapshots take it before reading.
+func (m *Manager) CreateBarrier() {
+	for i := range m.shards {
+		m.ShardCreateBarrier(i)
+	}
 }
 
 // Get returns the named session or ErrNotFound.
 func (m *Manager) Get(id string) (*Session, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	s, ok := m.sessions[id]
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s, ok := sh.sessions[id]
 	if !ok {
 		return nil, ErrNotFound
 	}
@@ -157,32 +243,44 @@ func (m *Manager) Get(id string) (*Session, error) {
 // Delete removes the named session, releasing its memory. With a journal
 // attached the deletion is durably appended first.
 func (m *Manager) Delete(id string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.sessions[id]; !ok {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.sessions[id]; !ok {
 		return ErrNotFound
 	}
-	// Unlike Create, the delete append stays under m.mu: releasing the lock
-	// before the append would let a racing re-Create of the same ID journal
-	// its create record ahead of this delete, which replay would reject as a
-	// duplicate. Deletes are rare; the one fsync under the lock is fine.
+	// Unlike Create, the delete append stays under sh.mu: releasing the lock
+	// before the append would let a racing re-Create of the same ID (same
+	// shard, by construction) journal its create record ahead of this delete,
+	// which replay would reject as a duplicate. Deletes are rare; the one
+	// fsync under the shard lock is fine — and it stalls only this shard.
 	if j := m.jrn.get(); j != nil {
 		if _, err := j.Append(&Event{Type: EventDelete, Session: id}); err != nil {
 			return fmt.Errorf("session: journal delete: %w", err)
 		}
 	}
-	delete(m.sessions, id)
+	delete(sh.sessions, id)
 	return nil
 }
 
-// List reports the status of every session, sorted by ID.
-func (m *Manager) List() []Status {
-	m.mu.RLock()
-	all := make([]*Session, 0, len(m.sessions))
-	for _, s := range m.sessions {
+// sessionsOfShard snapshots one shard's session pointers under its read
+// lock.
+func (m *Manager) sessionsOfShard(shard int) []*Session {
+	sh := m.shards[shard]
+	sh.mu.RLock()
+	all := make([]*Session, 0, len(sh.sessions))
+	for _, s := range sh.sessions {
 		all = append(all, s)
 	}
-	m.mu.RUnlock()
+	sh.mu.RUnlock()
+	return all
+}
+
+// ListShard reports the status of one shard's sessions, sorted by ID. The
+// shard lock is held only while copying pointers; status marshalling runs
+// against each session's own lock.
+func (m *Manager) ListShard(shard int) []Status {
+	all := m.sessionsOfShard(shard)
 	out := make([]Status, len(all))
 	for i, s := range all {
 		out[i] = s.Status()
@@ -191,11 +289,27 @@ func (m *Manager) List() []Status {
 	return out
 }
 
+// List reports the status of every session, sorted by ID. It snapshots each
+// shard in turn and merges — no lock is global, and no shard lock is held
+// while statuses are marshalled.
+func (m *Manager) List() []Status {
+	var out []Status
+	for i := range m.shards {
+		out = append(out, m.ListShard(i)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Len returns the number of live sessions.
 func (m *Manager) Len() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.sessions)
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		n += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // sessionSnapshot pairs a session's config with its method state. Exactly
@@ -244,32 +358,56 @@ func (s *Session) snapshot() sessionSnapshot {
 	return snap
 }
 
-// Snapshot serialises every session — pool, configuration, posterior state,
-// random stream and purchased labels — to JSON.
-func (m *Manager) Snapshot() ([]byte, error) {
-	m.mu.RLock()
-	ids := make([]string, 0, len(m.sessions))
-	for id := range m.sessions {
-		ids = append(ids, id)
-	}
-	m.mu.RUnlock()
-	sort.Strings(ids)
+// snapshotSessions serialises the given sessions, sorted by ID, in the
+// snapshotFile format.
+func snapshotSessions(all []*Session) ([]byte, error) {
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
 	file := snapshotFile{Version: 1}
-	for _, id := range ids {
-		s, err := m.Get(id)
-		if err != nil {
-			continue // deleted concurrently
-		}
+	for _, s := range all {
 		file.Sessions = append(file.Sessions, s.snapshot())
 	}
 	return json.Marshal(file)
+}
+
+// Snapshot serialises every session — pool, configuration, posterior state,
+// random stream and purchased labels — to JSON. The format is independent of
+// the shard count: sessions are sorted by ID, so managers with different
+// shard counts produce identical snapshots of identical state.
+func (m *Manager) Snapshot() ([]byte, error) {
+	var all []*Session
+	for i := range m.shards {
+		all = append(all, m.sessionsOfShard(i)...)
+	}
+	return snapshotSessions(all)
+}
+
+// SnapshotShard serialises one shard's sessions in the same format as
+// Snapshot. WAL per-shard compaction folds a shard's journal lane into it.
+func (m *Manager) SnapshotShard(shard int) ([]byte, error) {
+	return snapshotSessions(m.sessionsOfShard(shard))
+}
+
+// lockAll write-locks every shard in index order (the one lock ordering,
+// so concurrent Restores cannot deadlock).
+func (m *Manager) lockAll() {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (m *Manager) unlockAll() {
+	for _, sh := range m.shards {
+		sh.mu.Unlock()
+	}
 }
 
 // Restore registers every session in a Snapshot payload, resuming each
 // sampler exactly where it left off: estimates, posteriors, random streams
 // and outstanding proposals are bit-identical, with each leased pair
 // re-leased for one fresh TTL. Existing sessions with clashing IDs are an
-// error and abort the restore before any registration.
+// error and abort the restore before any registration. Sessions land in the
+// shard their ID hashes to, so a snapshot taken at one shard count restores
+// into a manager with any other.
 func (m *Manager) Restore(data []byte) error {
 	var file snapshotFile
 	if err := json.Unmarshal(data, &file); err != nil {
@@ -280,19 +418,19 @@ func (m *Manager) Restore(data []byte) error {
 	}
 	restored := make([]*Session, 0, len(file.Sessions))
 	seen := make(map[string]bool, len(file.Sessions))
-	m.mu.RLock()
 	for _, snap := range file.Sessions {
 		if seen[snap.Config.ID] {
-			m.mu.RUnlock()
 			return fmt.Errorf("session: duplicate id %q in snapshot", snap.Config.ID)
 		}
 		seen[snap.Config.ID] = true
-		if m.sessions[snap.Config.ID] != nil || m.reserved[snap.Config.ID] {
-			m.mu.RUnlock()
+		sh := m.shardFor(snap.Config.ID)
+		sh.mu.RLock()
+		clash := sh.sessions[snap.Config.ID] != nil || sh.reserved[snap.Config.ID]
+		sh.mu.RUnlock()
+		if clash {
 			return fmt.Errorf("session: id %q already exists", snap.Config.ID)
 		}
 	}
-	m.mu.RUnlock()
 	for _, snap := range file.Sessions {
 		s, err := newSession(snap.Config, m.opts.DefaultLeaseTTL, m.opts.Now)
 		if err != nil {
@@ -342,45 +480,53 @@ func (m *Manager) Restore(data []byte) error {
 		}
 		restored = append(restored, s)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	// Registration is all-or-nothing across shards: take every shard lock (in
+	// index order), re-check for clashes, then register.
+	m.lockAll()
+	defer m.unlockAll()
 	for _, s := range restored {
-		if m.sessions[s.id] != nil || m.reserved[s.id] {
+		sh := m.shardFor(s.id)
+		if sh.sessions[s.id] != nil || sh.reserved[s.id] {
 			return fmt.Errorf("session: id %q already exists", s.id)
 		}
 	}
 	for _, s := range restored {
-		m.sessions[s.id] = s
+		m.shardFor(s.id).sessions[s.id] = s
 	}
 	return nil
 }
 
+// ReplayShardRestart applies a journaled restart to one shard: every
+// outstanding lease of the shard's sessions is dropped. WAL lane replay
+// calls it for the per-lane restart records, so concurrent lane recoveries
+// only touch their own shard.
+func (m *Manager) ReplayShardRestart(shard int) {
+	for _, s := range m.sessionsOfShard(shard) {
+		s.dropAllLeases()
+	}
+}
+
 // ReplayEvent applies one journaled event during write-ahead-log recovery
-// (wal.Open drives it record by record, in log order). Events already folded
-// into the snapshot the manager was restored from — per-session LSN at or
-// below the restored watermark — and events for unknown (since-deleted)
-// sessions are skipped. ReplayEvent never appends to the journal; it returns
-// whether the event was applied.
+// (wal.Open drives it record by record, in per-lane log order). Events
+// already folded into the snapshot the manager was restored from —
+// per-session LSN at or below the restored watermark — and events for
+// unknown (since-deleted) sessions are skipped. ReplayEvent never appends to
+// the journal; it returns whether the event was applied.
 func (m *Manager) ReplayEvent(ev *Event) (bool, error) {
 	switch ev.Type {
 	case EventRestart:
-		m.mu.RLock()
-		all := make([]*Session, 0, len(m.sessions))
-		for _, s := range m.sessions {
-			all = append(all, s)
-		}
-		m.mu.RUnlock()
-		for _, s := range all {
-			s.dropAllLeases()
+		for i := range m.shards {
+			m.ReplayShardRestart(i)
 		}
 		return true, nil
 	case EventCreate:
 		if ev.Config == nil {
 			return false, fmt.Errorf("session: replay create %q without config", ev.Session)
 		}
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		if cur, ok := m.sessions[ev.Session]; ok {
+		sh := m.shardFor(ev.Session)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if cur, ok := sh.sessions[ev.Session]; ok {
 			if ev.LSN <= cur.LastLSN() {
 				return false, nil // folded into the snapshot
 			}
@@ -395,21 +541,23 @@ func (m *Manager) ReplayEvent(ev *Event) (bool, error) {
 		s.id = cfg.ID
 		s.jrn = m.jrn
 		s.lastLSN = ev.LSN
-		m.sessions[cfg.ID] = s
+		sh.sessions[cfg.ID] = s
 		return true, nil
 	case EventDelete:
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		s, ok := m.sessions[ev.Session]
+		sh := m.shardFor(ev.Session)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		s, ok := sh.sessions[ev.Session]
 		if !ok || ev.LSN <= s.LastLSN() {
 			return false, nil
 		}
-		delete(m.sessions, ev.Session)
+		delete(sh.sessions, ev.Session)
 		return true, nil
 	case EventPropose, EventCommit, EventRelease:
-		m.mu.RLock()
-		s, ok := m.sessions[ev.Session]
-		m.mu.RUnlock()
+		sh := m.shardFor(ev.Session)
+		sh.mu.RLock()
+		s, ok := sh.sessions[ev.Session]
+		sh.mu.RUnlock()
 		if !ok {
 			return false, nil
 		}
@@ -423,16 +571,12 @@ func (m *Manager) ReplayEvent(ev *Event) (bool, error) {
 // — the watermark above which the WAL resumes sequence numbers after a
 // snapshot-based recovery.
 func (m *Manager) MaxJournalLSN() uint64 {
-	m.mu.RLock()
-	all := make([]*Session, 0, len(m.sessions))
-	for _, s := range m.sessions {
-		all = append(all, s)
-	}
-	m.mu.RUnlock()
 	var max uint64
-	for _, s := range all {
-		if l := s.LastLSN(); l > max {
-			max = l
+	for i := range m.shards {
+		for _, s := range m.sessionsOfShard(i) {
+			if l := s.LastLSN(); l > max {
+				max = l
+			}
 		}
 	}
 	return max

@@ -1,0 +1,245 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oasis"
+)
+
+// stressClock is a thread-safe fake clock the stress test advances to force
+// lease expiries while workers are mid-flight.
+type stressClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *stressClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *stressClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// TestShardedManagerStress hammers an 8-shard manager from many goroutines —
+// create/propose/commit/delete on per-worker sessions, all workers together
+// on one shared budgeted session, list/len readers, and a clock goroutine
+// forcing lease expiries — under -race, with the invariants checked
+// throughout and at the end:
+//
+//   - no lost labels: every Committed result is counted, and the session's
+//     LabelsCommitted must equal the count (per worker session before its
+//     delete, and for the shared session at the end);
+//   - budgets monotone and bounded: the shared session's LabelsCommitted
+//     never decreases between polls and never exceeds its budget;
+//   - Len consistent: Len() always equals the ListShard sum, and ends at
+//     exactly the sessions never deleted.
+func TestShardedManagerStress(t *testing.T) {
+	scores, preds, truth := testPool(900, 41)
+	clock := &stressClock{now: time.Unix(1000, 0)}
+	m := NewManager(ManagerOptions{Shards: 8, Now: clock.Now, DefaultLeaseTTL: 50 * time.Millisecond})
+	if m.Shards() != 8 {
+		t.Fatalf("manager has %d shards, want 8", m.Shards())
+	}
+
+	const (
+		workers    = 8
+		ownPer     = 6  // sessions each worker creates, drives and deletes
+		ownRounds  = 8  // propose/commit rounds per own session
+		sharedSpin = 60 // shared-session rounds per worker
+		budget     = 500
+	)
+	shared, err := m.Create(Config{
+		ID: "shared", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 12, Seed: 5},
+		Budget:  budget, LeaseTTL: time.Hour, // shared leases never expire: every proposal is committed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sharedCommitted atomic.Int64
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+
+	// Budget monotonicity + Len consistency monitor.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		last := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := shared.Status()
+			if st.LabelsCommitted < last {
+				t.Errorf("shared LabelsCommitted went backwards: %d -> %d", last, st.LabelsCommitted)
+				return
+			}
+			if st.LabelsCommitted > budget {
+				t.Errorf("shared LabelsCommitted %d exceeds budget %d", st.LabelsCommitted, budget)
+				return
+			}
+			last = st.LabelsCommitted
+			total := 0
+			for shard := 0; shard < m.Shards(); shard++ {
+				total += len(m.ListShard(shard))
+			}
+			if n := m.Len(); n != total {
+				// Len and the shard lists are read shard by shard, so a
+				// create/delete can land between reads; re-check once settled
+				// is impossible mid-stress — instead require they agree within
+				// the churn bound (workers hold at most workers sessions of
+				// slack between the two scans).
+				if diff := n - total; diff < -workers || diff > workers {
+					t.Errorf("Len()=%d vs ListShard sum %d, apart by more than the churn bound", n, total)
+					return
+				}
+			}
+		}
+	}()
+
+	// Expiry pressure: advance the clock past the default lease TTL so
+	// per-worker sessions' dangling proposals expire mid-run.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				clock.Advance(60 * time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Own sessions: full lifecycle with expiry pressure in between.
+			for i := 0; i < ownPer; i++ {
+				id := fmt.Sprintf("own-%d-%d", w, i)
+				s, err := m.Create(Config{
+					ID: id, Scores: scores, Preds: preds, Calibrated: true,
+					Options: oasis.Options{Strata: 6, Seed: uint64(w*100 + i + 1)},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				committed := 0
+				for round := 0; round < ownRounds; round++ {
+					props, err := s.Propose(4)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for _, pr := range props {
+						err := s.Commit(pr.Pair, truth[pr.Pair])
+						switch {
+						case err == nil:
+							committed++
+						case errors.Is(err, ErrNotProposed):
+							// The clock goroutine expired the lease first:
+							// the pair went back to the pool, not lost.
+						default:
+							t.Error(err)
+							return
+						}
+					}
+					if round == ownRounds/2 {
+						// Leave a batch dangling for the expiry goroutine.
+						if _, err := s.Propose(3); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+				if got := s.Status().LabelsCommitted; got != committed {
+					t.Errorf("session %s: status reports %d labels, worker committed %d", id, got, committed)
+					return
+				}
+				if err := m.Delete(id); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := m.Get(id); !errors.Is(err, ErrNotFound) {
+					t.Errorf("deleted session %s still reachable (err=%v)", id, err)
+					return
+				}
+			}
+			// Shared session: all workers race propose/commit on one sampler.
+			for spin := 0; spin < sharedSpin; spin++ {
+				props, err := shared.Propose(5)
+				if errors.Is(err, ErrBudgetExhausted) {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				pairs := make([]int, len(props))
+				labels := make([]bool, len(props))
+				for i, pr := range props {
+					pairs[i] = pr.Pair
+					labels[i] = truth[pr.Pair]
+				}
+				results, err := shared.CommitBatch(pairs, labels)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i, r := range results {
+					switch r {
+					case Committed:
+						sharedCommitted.Add(1)
+					case Duplicate, Expired:
+						t.Errorf("fresh proposal %d came back %v on the shared session", pairs[i], r)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// No lost labels on the shared session: every Committed acknowledgement
+	// is visible in the final status, exactly once.
+	if got, want := shared.Status().LabelsCommitted, int(sharedCommitted.Load()); got != want {
+		t.Fatalf("shared session reports %d labels, workers were acknowledged %d", got, want)
+	}
+	// Every own session was deleted; only the shared one remains, and the
+	// shard views agree with the global ones.
+	if n := m.Len(); n != 1 {
+		t.Fatalf("%d sessions left after the stress, want 1", n)
+	}
+	if l := m.List(); len(l) != 1 || l[0].ID != "shared" {
+		t.Fatalf("List() = %+v, want just the shared session", l)
+	}
+	total := 0
+	for shard := 0; shard < m.Shards(); shard++ {
+		total += len(m.ListShard(shard))
+	}
+	if total != 1 {
+		t.Fatalf("ListShard sum %d, want 1", total)
+	}
+}

@@ -2,8 +2,8 @@
 // segmented, append-only, CRC-checked write-ahead log of session lifecycle
 // events (create, propose, label-commit, release, delete) with a
 // configurable fsync policy, deterministic replay on startup, and
-// compaction that folds cold segments into a session.Manager snapshot plus
-// a trimmed tail.
+// compaction that folds cold segments into session.Manager snapshots plus
+// trimmed tails.
 //
 // Ground-truth labels are bought from a crowd or expert oracle, so losing
 // them to a crash means paying the oracle twice. The session subsystem is a
@@ -16,10 +16,27 @@
 // TestRecoveryContinuesExactly and the kill-9 end-to-end test in
 // cmd/oasis-server).
 //
-// Layout of the WAL directory:
+// The journal is sharded into per-shard lanes, mirroring the session
+// manager's shards: a session's records all land in the lane its ID hashes
+// to, each lane appends under its own lock to its own segment stream, and
+// per-append fsyncs only barrier their lane — so commits on sessions in
+// different shards never queue behind one writer or one fsync. Because
+// sessions are independent samplers, per-lane order is all the order there
+// is: recovery replays lanes concurrently and the result is identical for
+// any shard count (TestShardedReplayEquivalence pins that down).
 //
-//	wal-<n>.log   append-only record segments, rotated by size and on boot
-//	snap-<n>.json compaction snapshot folding every segment with index < n
+// Layout of the WAL directory (format version 2):
+//
+//	wal-meta.json              format version and fixed lane count
+//	wal-<lane>-<n>.log         append-only record segments of one lane,
+//	                           rotated by size and on boot
+//	snap-<lane>-<n>.json       per-lane compaction snapshot folding every
+//	                           segment of that lane with index < n
+//
+// Version 1 directories (a single un-tagged segment stream, 8-byte record
+// headers) are read-compatible: Open recovers them and upgrades the
+// directory in place, folding the legacy log into per-lane snapshots with
+// wal-meta.json as the commit marker.
 //
 // Torn or truncated final records — a crash mid-write — are detected by CRC,
 // dropped, and the tail truncated; damage anywhere else is fatal. A commit
@@ -30,11 +47,14 @@ package wal
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oasis/internal/session"
@@ -49,17 +69,20 @@ type Options struct {
 	//	          records ride on the next such barrier, which losing is
 	//	          exactly the lease-drop contract. An acknowledged label
 	//	          survives kill -9 and power loss. Slowest: one fsync per
-	//	          propose/commit round trip.
+	//	          propose/commit round trip — but the fsync only barriers
+	//	          the session's own lane, so commits in other shards
+	//	          proceed concurrently.
 	//	interval  a Go duration such as "100ms": appends are write(2)s and a
-	//	          background flusher fsyncs on that interval. Kill -9 loses
-	//	          nothing (the page cache survives the process); power loss
-	//	          can lose up to one interval of acknowledged labels.
+	//	          background flusher fsyncs every lane on that interval.
+	//	          Kill -9 loses nothing (the page cache survives the
+	//	          process); power loss can lose up to one interval of
+	//	          acknowledged labels.
 	//	"off"     never fsync explicitly. Same kill-9 safety as interval
 	//	          (every append is still a write(2)); power loss can lose
 	//	          whatever the OS had not written back.
 	Fsync string
-	// SegmentBytes rotates the active segment once it exceeds this size; 0
-	// means 8 MiB.
+	// SegmentBytes rotates a lane's active segment once it exceeds this
+	// size; 0 means 8 MiB.
 	SegmentBytes int64
 }
 
@@ -67,58 +90,110 @@ type Options struct {
 // is zero.
 const DefaultSegmentBytes = 8 << 20
 
-// Stats is a snapshot of the journal's counters, exposed by the server's
-// /v1/stats endpoint.
-type Stats struct {
-	// Segments counts live segment files; ActiveSegment is the index the
-	// journal is appending to.
+// LaneStats is one journal lane's slice of the counters.
+type LaneStats struct {
+	// Lane is the lane index — equal to the session-manager shard whose
+	// sessions it journals.
+	Lane int `json:"lane"`
+	// Segments counts the lane's live segment files; ActiveSegment is the
+	// index the lane is appending to.
 	Segments      int    `json:"segments"`
 	ActiveSegment uint64 `json:"activeSegment"`
 	// RecordsAppended / BytesAppended / Syncs count appends since Open.
 	RecordsAppended uint64 `json:"recordsAppended"`
 	BytesAppended   uint64 `json:"bytesAppended"`
 	Syncs           uint64 `json:"syncs"`
-	// Compactions counts successful Compact calls since Open.
+	// LastLSN is the lane's most recently assigned log sequence number.
+	LastLSN uint64 `json:"lastLSN"`
+}
+
+// Stats is a snapshot of the journal's counters, exposed by the server's
+// /v1/stats endpoint. The top-level counters aggregate every lane; Lanes
+// breaks them down per shard.
+type Stats struct {
+	// Lanes is the journal's fixed lane count (the shard count it was
+	// created with).
+	LaneCount int `json:"laneCount"`
+	// Segments counts live segment files across all lanes; ActiveSegment is
+	// the index lane 0 is appending to (kept for single-lane dashboards —
+	// see Lanes for the rest).
+	Segments      int    `json:"segments"`
+	ActiveSegment uint64 `json:"activeSegment"`
+	// RecordsAppended / BytesAppended / Syncs count appends since Open.
+	RecordsAppended uint64 `json:"recordsAppended"`
+	BytesAppended   uint64 `json:"bytesAppended"`
+	Syncs           uint64 `json:"syncs"`
+	// Compactions counts successful per-shard compactions since Open.
 	Compactions uint64 `json:"compactions"`
-	// LastLSN is the most recently assigned log sequence number.
+	// LastLSN is the highest log sequence number assigned by any lane.
 	LastLSN uint64 `json:"lastLSN"`
 	// Replay* describe the recovery that Open performed: events applied,
-	// events skipped (already folded into the snapshot, or for sessions
+	// events skipped (already folded into a snapshot, or for sessions
 	// deleted later in the log), and torn tail bytes dropped.
 	ReplayApplied   uint64 `json:"replayApplied"`
 	ReplaySkipped   uint64 `json:"replaySkipped"`
 	ReplayTornBytes int    `json:"replayTornBytes"`
 	ReplaySnapshot  bool   `json:"replaySnapshot"`
 	ReplaySegments  int    `json:"replaySegments"`
+	// Lanes is the per-lane breakdown.
+	Lanes []LaneStats `json:"lanes,omitempty"`
+}
+
+// lane is one shard's journal stream: its own lock, file, segment counter
+// and LSN sequence. Appends to different lanes never contend.
+type lane struct {
+	idx int
+
+	// compactMu serialises compactions of this lane; held across the whole
+	// rotate/barrier/snapshot/trim sequence so two overlapping CompactShard
+	// calls (a periodic sweep racing an explicit one, say) cannot interleave
+	// their boundaries.
+	compactMu sync.Mutex
+
+	mu       sync.Mutex
+	f        *os.File
+	seg      uint64 // active segment index
+	oldest   uint64 // first live segment index (segments below it are folded)
+	snapAt   uint64 // boundary of the lane's newest snapshot (0: none)
+	segSize  int64
+	segCount int
+	lsn      uint64
+	buf      []byte // scratch frame buffer, reused across appends
+
+	records uint64
+	bytes   uint64
+	syncs   uint64
 }
 
 // Journal is the durable event log. It implements session.Journal: the
-// session layer appends every state-changing event before acknowledging it.
-// All methods are safe for concurrent use. Failures are sticky — after one
-// failed append or sync every later Append fails and Err reports the cause —
-// so the service fail-stops instead of acknowledging labels the log does
-// not hold.
+// session layer appends every state-changing event before acknowledging it,
+// and the journal routes it to the lane of the session's shard. All methods
+// are safe for concurrent use. Failures are sticky and journal-wide — after
+// one failed append or sync on any lane every later Append fails and Err
+// reports the cause — so the service fail-stops instead of acknowledging
+// labels the log does not hold.
 type Journal struct {
 	dir  string
 	mgr  *session.Manager
 	opts Options
 
-	always   bool          // fsync per append
+	always   bool          // fsync per label-affecting append
 	interval time.Duration // background fsync interval (0: none)
-	maxRec   int           // payload cap; maxRecordSize, lowered only in tests
 
-	mu       sync.Mutex
-	f        *os.File
-	seg      uint64 // active segment index
-	segSize  int64
-	segCount int
-	lsn      uint64
-	err      error
-	buf      []byte // scratch frame buffer, reused across appends
+	lanes []*lane
 
-	records     uint64
-	bytes       uint64
-	syncs       uint64
+	// The sticky failure and the record cap are atomics, not mutex state:
+	// every append on every lane reads both, and a shared lock there would
+	// re-serialise the hot path the lanes exist to unshare. err is
+	// write-once (the first failure wins); maxRec is fixed after Open and
+	// lowered only by tests.
+	err    atomic.Pointer[error]
+	maxRec atomic.Int64
+
+	// mu guards the journal-wide cold state: the compaction counter and the
+	// replay report. Lock ordering: a lane's mu may be held while taking
+	// j.mu, so j.mu must never be held while taking a lane's mu.
+	mu          sync.Mutex
 	compactions uint64
 	replay      replayInfo
 
@@ -126,7 +201,7 @@ type Journal struct {
 	done chan struct{}
 }
 
-// replayInfo captures what Open's recovery did.
+// replayInfo captures what Open's recovery did, aggregated across lanes.
 type replayInfo struct {
 	applied   uint64
 	skipped   uint64
@@ -151,14 +226,17 @@ func parseFsync(s string) (always bool, interval time.Duration, err error) {
 	}
 }
 
-// Open recovers the WAL in dir into mgr and returns a journal appending to a
-// fresh segment. Recovery loads the newest compaction snapshot (if any),
-// replays the remaining segments event by event — skipping events the
-// snapshot already folded — truncates a torn tail, drops every outstanding
-// lease (the crash reading of the lease contract, made durable by a restart
-// record), and finally attaches itself to mgr with SetJournal so live
-// operations are journaled from here on. mgr must not be serving traffic
-// yet.
+// Open recovers the WAL in dir into mgr and returns a journal with one lane
+// per manager shard, each appending to a fresh segment. Recovery loads each
+// lane's newest compaction snapshot (if any), replays the lanes' remaining
+// segments concurrently — skipping events the snapshots already folded —
+// truncates torn tails, drops every outstanding lease (the crash reading of
+// the lease contract, made durable by per-lane restart records), and
+// finally attaches itself to mgr with SetJournal so live operations are
+// journaled from here on. A legacy single-stream (v1) directory is
+// recovered and upgraded in place. The lane count is fixed when the journal
+// is created: reopening with a different manager shard count is an error.
+// mgr must not be serving traffic yet.
 func Open(dir string, mgr *session.Manager, opts Options) (*Journal, error) {
 	if mgr == nil {
 		return nil, fmt.Errorf("wal: nil session manager")
@@ -176,40 +254,105 @@ func Open(dir string, mgr *session.Manager, opts Options) (*Journal, error) {
 		opts:     opts,
 		always:   always,
 		interval: interval,
-		maxRec:   maxRecordSize,
+		lanes:    make([]*lane, mgr.Shards()),
+	}
+	j.maxRec.Store(maxRecordSize)
+	for i := range j.lanes {
+		j.lanes[i] = &lane{idx: i}
 	}
 
-	segs, snaps, err := listDir(dir)
+	inv, err := readDirState(dir)
 	if err != nil {
 		return nil, err
 	}
-	maxLSN, err := j.recover(mgr, segs, snaps)
-	if err != nil {
-		return nil, err
-	}
-	j.lsn = maxLSN
-	if n := len(segs); n > 0 {
-		j.seg = segs[n-1]
-		j.segCount = n
-	}
-	// The fresh boot segment must sort after the snapshot boundary, or a
-	// later recovery would skip it as folded.
-	if n := len(snaps); n > 0 && snaps[n-1] > j.seg {
-		j.seg = snaps[n-1]
-	}
-	if err := j.rotateLocked(); err != nil {
-		return nil, j.err
+	switch {
+	case inv.meta == nil && (len(inv.legacySegs) > 0 || len(inv.legacySnaps) > 0):
+		// A legacy v1 journal: recover the single stream, then upgrade the
+		// directory to per-lane format in place.
+		if err := j.recoverLegacy(mgr, inv); err != nil {
+			return nil, err
+		}
+		if err := j.upgradeLegacy(inv); err != nil {
+			return nil, err
+		}
+	case inv.meta == nil:
+		// Lane segments without the meta marker mean someone deleted
+		// wal-meta.json from a live journal; refusing beats guessing the
+		// lane count.
+		if len(inv.laneSegs) > 0 || len(inv.laneSnaps) > 0 {
+			return nil, fmt.Errorf("wal: %s is missing but lane files exist; the journal's lane count is unrecoverable", metaName)
+		}
+		// A fresh directory: stamp the format before writing anything else.
+		if err := j.writeMeta(); err != nil {
+			return nil, err
+		}
+	default:
+		if inv.meta.Version != recordVersion {
+			return nil, fmt.Errorf("wal: unsupported journal format version %d", inv.meta.Version)
+		}
+		if inv.meta.Lanes != len(j.lanes) {
+			return nil, fmt.Errorf("wal: journal has %d lanes but the manager has %d shards; a session's records all live in one lane, so an existing journal cannot be re-sharded — reopen with -shards %d",
+				inv.meta.Lanes, len(j.lanes), inv.meta.Lanes)
+		}
+		for ln := range inv.laneSegs {
+			if ln >= len(j.lanes) {
+				return nil, fmt.Errorf("wal: segment for lane %d in a %d-lane journal", ln, len(j.lanes))
+			}
+		}
+		for ln := range inv.laneSnaps {
+			if ln >= len(j.lanes) {
+				return nil, fmt.Errorf("wal: snapshot for lane %d in a %d-lane journal", ln, len(j.lanes))
+			}
+		}
+		// Legacy leftovers after an interrupted upgrade: the upgrade wrote
+		// every lane snapshot before committing the meta marker, so the
+		// legacy files are fully folded and safe to drop.
+		for _, idx := range inv.legacySegs {
+			os.Remove(filepath.Join(dir, legacySegmentName(idx)))
+		}
+		for _, idx := range inv.legacySnaps {
+			os.Remove(filepath.Join(dir, legacySnapshotName(idx)))
+		}
+		if err := j.recoverLanes(mgr, inv); err != nil {
+			return nil, err
+		}
 	}
 
-	// The boot barrier: drop every outstanding lease in memory and append
-	// the restart record that makes the drop replayable, so later recoveries
-	// see the same availability this process does.
-	restart := &session.Event{Type: session.EventRestart}
-	if _, err := mgr.ReplayEvent(restart); err != nil {
+	// Resume every lane's LSN sequence above everything seen anywhere:
+	// cross-lane LSNs are never compared, but per-session watermarks must
+	// stay below every future LSN even right after an upgrade moved a
+	// session's stream between lanes.
+	maxLSN := mgr.MaxJournalLSN()
+	for _, ln := range j.lanes {
+		if ln.lsn > maxLSN {
+			maxLSN = ln.lsn
+		}
+	}
+	for _, ln := range j.lanes {
+		ln.lsn = maxLSN
+		// The fresh boot segment must sort after the lane's snapshot
+		// boundary, or a later recovery would skip it as folded.
+		if ln.snapAt > ln.seg {
+			ln.seg = ln.snapAt
+		}
+		if err := j.rotateLane(ln); err != nil {
+			return nil, err
+		}
+	}
+
+	// The boot barrier: drop every outstanding lease in memory and append a
+	// restart record to every lane so the drop replays per shard — later
+	// recoveries see the same availability this process does, lane by lane.
+	if _, err := mgr.ReplayEvent(&session.Event{Type: session.EventRestart}); err != nil {
 		return nil, err
 	}
-	if _, err := j.Append(restart); err != nil {
-		return nil, err
+	for _, ln := range j.lanes {
+		ln.mu.Lock()
+		_, err := j.appendLane(ln, &session.Event{Type: session.EventRestart})
+		ln.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
 	}
 	mgr.SetJournal(j)
 
@@ -221,68 +364,163 @@ func Open(dir string, mgr *session.Manager, opts Options) (*Journal, error) {
 	return j, nil
 }
 
-// listDir enumerates segment and snapshot indices, sorted ascending.
-func listDir(dir string) (segs, snaps []uint64, err error) {
+// DirLanes reports the lane count recorded in an existing WAL directory's
+// meta file — what a manager must be sharded to before Open will accept the
+// directory. It returns 0 for a fresh or legacy (pre-lane) directory, where
+// the caller is free to pick: oasis-server uses it so an unset -shards
+// adopts an existing journal's lane count instead of re-deriving one from
+// the hardware (which may have changed since the journal was created).
+func DirLanes(dir string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, metaName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: read %s: %w", metaName, err)
+	}
+	var m metaFile
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, fmt.Errorf("wal: %s: %w", metaName, err)
+	}
+	return m.Lanes, nil
+}
+
+// dirState is the inventory of a WAL directory.
+type dirState struct {
+	meta        *metaFile
+	legacySegs  []uint64
+	legacySnaps []uint64
+	laneSegs    map[int][]uint64
+	laneSnaps   map[int][]uint64
+	// laneDataSegs counts lane segment files with at least one byte — the
+	// signal for the missing-lane check (a lane that lost its files while
+	// sibling lanes still hold records must be rejected, never silently
+	// replayed around).
+	laneDataSegs int
+}
+
+// readDirState enumerates the directory: meta file, legacy segment and
+// snapshot indices, and per-lane v2 segment and snapshot indices, each
+// sorted ascending.
+func readDirState(dir string) (dirState, error) {
+	st := dirState{laneSegs: make(map[int][]uint64), laneSnaps: make(map[int][]uint64)}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, fmt.Errorf("wal: %w", err)
+		return st, fmt.Errorf("wal: %w", err)
 	}
 	for _, e := range entries {
-		if idx, ok := parseIndexed(e.Name(), segmentPrefix, segmentSuffix); ok {
-			segs = append(segs, idx)
-		} else if idx, ok := parseIndexed(e.Name(), snapshotPrefix, snapshotSuffix); ok {
-			snaps = append(snaps, idx)
+		name := e.Name()
+		if name == metaName {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return st, fmt.Errorf("wal: read %s: %w", metaName, err)
+			}
+			var m metaFile
+			if err := json.Unmarshal(data, &m); err != nil {
+				return st, fmt.Errorf("wal: %s: %w", metaName, err)
+			}
+			if m.Lanes < 1 || m.Lanes > session.MaxShards {
+				return st, fmt.Errorf("wal: %s declares %d lanes, outside [1, %d]", metaName, m.Lanes, session.MaxShards)
+			}
+			// writeMeta only ever records a normalized (power-of-two) shard
+			// count, and the manager normalizes every -shards value the same
+			// way — so a non-power-of-two lane count is unsatisfiable by any
+			// flag and must be called out as corruption, not echoed back as
+			// a "reopen with -shards 3" dead-end.
+			if m.Lanes != session.NormalizeShards(m.Lanes) {
+				return st, fmt.Errorf("wal: %s declares %d lanes, which is not a power of two; the meta file is corrupt", metaName, m.Lanes)
+			}
+			st.meta = &m
+			continue
+		}
+		if lane, idx, ok := parseLaneIndexed(name, segmentPrefix, segmentSuffix); ok {
+			st.laneSegs[lane] = append(st.laneSegs[lane], idx)
+			if info, err := e.Info(); err == nil && info.Size() > 0 {
+				st.laneDataSegs++
+			}
+			continue
+		}
+		if lane, idx, ok := parseLaneIndexed(name, snapshotPrefix, snapshotSuffix); ok {
+			st.laneSnaps[lane] = append(st.laneSnaps[lane], idx)
+			continue
+		}
+		if idx, ok := parseIndexed(name, segmentPrefix, segmentSuffix); ok {
+			st.legacySegs = append(st.legacySegs, idx)
+			continue
+		}
+		if idx, ok := parseIndexed(name, snapshotPrefix, snapshotSuffix); ok {
+			st.legacySnaps = append(st.legacySnaps, idx)
 		}
 	}
-	sort.Slice(segs, func(i, k int) bool { return segs[i] < segs[k] })
-	sort.Slice(snaps, func(i, k int) bool { return snaps[i] < snaps[k] })
-	return segs, snaps, nil
+	sort.Slice(st.legacySegs, func(i, k int) bool { return st.legacySegs[i] < st.legacySegs[k] })
+	sort.Slice(st.legacySnaps, func(i, k int) bool { return st.legacySnaps[i] < st.legacySnaps[k] })
+	for _, s := range st.laneSegs {
+		sort.Slice(s, func(i, k int) bool { return s[i] < s[k] })
+	}
+	for _, s := range st.laneSnaps {
+		sort.Slice(s, func(i, k int) bool { return s[i] < s[k] })
+	}
+	return st, nil
 }
 
-// snapshotEnvelope is the on-disk form of a compaction snapshot.
+// snapshotEnvelope is the on-disk form of a compaction snapshot. Version 1
+// envelopes (legacy whole-manager snapshots) have no lane; version 2
+// envelopes carry the lane they fold.
 type snapshotEnvelope struct {
 	Version  int             `json:"version"`
-	Sessions json.RawMessage `json:"sessions"` // session.Manager.Snapshot payload
+	Lane     *int            `json:"lane,omitempty"`
+	Sessions json.RawMessage `json:"sessions"` // session.Manager snapshot payload
 }
 
-// recover loads the newest snapshot and replays the tail segments into mgr,
-// returning the highest LSN seen. Only the newest snapshot is usable: the
-// segments an older one would need are deleted when its successor is
-// written.
-func (j *Journal) recover(mgr *session.Manager, segs, snaps []uint64) (maxLSN uint64, err error) {
+// writeMeta stamps the directory with the journal's format version and lane
+// count, atomically.
+func (j *Journal) writeMeta() error {
+	data, err := json.Marshal(metaFile{Version: recordVersion, Lanes: len(j.lanes)})
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := WriteFileAtomic(filepath.Join(j.dir, metaName), data, 0o644); err != nil {
+		return fmt.Errorf("wal: write %s: %w", metaName, err)
+	}
+	return nil
+}
+
+// recoverLegacy replays a v1 single-stream journal — newest legacy snapshot
+// plus remaining legacy segments — into mgr, exactly as the v1 reader did.
+func (j *Journal) recoverLegacy(mgr *session.Manager, inv dirState) error {
 	var fold uint64 // replay only segments with index >= fold
-	if n := len(snaps); n > 0 {
-		fold = snaps[n-1]
-		path := filepath.Join(j.dir, snapshotName(fold))
+	if n := len(inv.legacySnaps); n > 0 {
+		fold = inv.legacySnaps[n-1]
+		path := filepath.Join(j.dir, legacySnapshotName(fold))
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return 0, fmt.Errorf("wal: read snapshot: %w", err)
+			return fmt.Errorf("wal: read snapshot: %w", err)
 		}
 		var env snapshotEnvelope
 		if err := json.Unmarshal(data, &env); err != nil {
-			return 0, fmt.Errorf("wal: snapshot %s: %w", path, err)
+			return fmt.Errorf("wal: snapshot %s: %w", path, err)
 		}
 		if env.Version != 1 {
-			return 0, fmt.Errorf("wal: snapshot %s: unsupported version %d", path, env.Version)
+			return fmt.Errorf("wal: snapshot %s: unsupported version %d", path, env.Version)
 		}
 		if err := mgr.Restore(env.Sessions); err != nil {
-			return 0, fmt.Errorf("wal: snapshot %s: %w", path, err)
+			return fmt.Errorf("wal: snapshot %s: %w", path, err)
 		}
 		j.replay.snapshot = true
 	}
-	maxLSN = mgr.MaxJournalLSN()
+	maxLSN := mgr.MaxJournalLSN()
 
-	for i, idx := range segs {
+	for i, idx := range inv.legacySegs {
 		if idx < fold {
 			continue // folded into the snapshot; left over from a crash mid-compaction
 		}
-		path := filepath.Join(j.dir, segmentName(idx))
+		path := filepath.Join(j.dir, legacySegmentName(idx))
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return 0, fmt.Errorf("wal: read segment: %w", err)
+			return fmt.Errorf("wal: read segment: %w", err)
 		}
 		j.replay.segments++
-		consumed, torn, err := scanRecords(data, func(payload []byte) error {
+		consumed, torn, err := scanRecordsV1(data, func(payload []byte) error {
 			var ev session.Event
 			if err := json.Unmarshal(payload, &ev); err != nil {
 				return fmt.Errorf("bad event: %w", err)
@@ -302,70 +540,273 @@ func (j *Journal) recover(mgr *session.Manager, segs, snaps []uint64) (maxLSN ui
 			return nil
 		})
 		if err != nil {
-			return 0, fmt.Errorf("wal: replay %s: %w", path, err)
+			return fmt.Errorf("wal: replay %s: %w", path, err)
 		}
 		if torn {
 			// A crash-torn write is always a suffix: damage in any older
 			// segment, or damage followed by further valid records, is real
 			// mid-log corruption — refusing to boot beats silently truncating
 			// acknowledged commits away.
-			if i != len(segs)-1 || hasValidRecordAfter(data[consumed:]) {
-				return 0, fmt.Errorf("wal: segment %s is corrupt mid-log (%d clean bytes of %d); only a trailing torn record is recoverable", path, consumed, len(data))
+			if i != len(inv.legacySegs)-1 || hasValidRecordAfterV1(data[consumed:]) {
+				return fmt.Errorf("wal: segment %s is corrupt mid-log (%d clean bytes of %d); only a trailing torn record is recoverable", path, consumed, len(data))
 			}
-			// A crash mid-write: drop the torn suffix and truncate so the
-			// invariant "only the newest segment can be torn" keeps holding
-			// after this boot rotates to a new segment. The truncation must be
-			// durable (fsync file and directory) before any new segment is
-			// created: were power lost with the truncate still in the page
-			// cache, the torn suffix would reappear in what is by then a
-			// non-final segment and the next recovery would refuse to boot.
+			// A crash mid-write: drop the torn suffix and truncate durably so
+			// a power cut cannot resurrect it (the upgrade deletes the file
+			// anyway, but the truncation must hit disk before the fold does).
 			j.replay.tornBytes = len(data) - consumed
 			if err := truncateDurable(path, int64(consumed), j.dir); err != nil {
-				return 0, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+				return fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
 			}
 		}
 	}
-	return maxLSN, nil
+	for _, ln := range j.lanes {
+		ln.lsn = maxLSN
+	}
+	return nil
+}
+
+// upgradeLegacy converts a recovered v1 directory to per-lane format: fold
+// the entire recovered state into one snapshot per lane, commit the upgrade
+// by writing wal-meta.json, then drop the legacy files. The meta file is the
+// commit marker — a crash before it leaves the legacy journal intact and the
+// upgrade simply reruns; a crash after it recovers from the lane snapshots
+// and the legacy leftovers are deleted as already-folded.
+func (j *Journal) upgradeLegacy(inv dirState) error {
+	for _, ln := range j.lanes {
+		data, err := j.mgr.SnapshotShard(ln.idx)
+		if err != nil {
+			return fmt.Errorf("wal: upgrade: %w", err)
+		}
+		laneIdx := ln.idx
+		env, err := json.Marshal(snapshotEnvelope{Version: 2, Lane: &laneIdx, Sessions: data})
+		if err != nil {
+			return fmt.Errorf("wal: upgrade: %w", err)
+		}
+		// Boundary 1: every lane segment ever written (they start at 1) will
+		// replay above this snapshot, guarded by the per-session watermarks.
+		if err := WriteFileAtomic(filepath.Join(j.dir, snapshotName(ln.idx, 1)), env, 0o644); err != nil {
+			return fmt.Errorf("wal: upgrade: %w", err)
+		}
+		ln.snapAt = 1
+	}
+	if err := j.writeMeta(); err != nil {
+		return err
+	}
+	for _, idx := range inv.legacySegs {
+		os.Remove(filepath.Join(j.dir, legacySegmentName(idx)))
+	}
+	for _, idx := range inv.legacySnaps {
+		os.Remove(filepath.Join(j.dir, legacySnapshotName(idx)))
+	}
+	return nil
+}
+
+// recoverLanes replays every lane concurrently into mgr. Lanes hold
+// disjoint shards' sessions, so the replays commute; the merge is by
+// (lane, LSN) — per-lane order is preserved by the sequential scan, and no
+// cross-lane order exists to preserve.
+func (j *Journal) recoverLanes(mgr *session.Manager, inv dirState) error {
+	// The missing-lane check: once the journal has ever carried state — a
+	// segment with bytes anywhere, or any lane snapshot (compaction only
+	// runs on a booted journal) — every lane's files exist, because boot
+	// creates them all. A lane with no segments past that point means the
+	// lane's files were deleted — reject, never silently merge a partial
+	// journal. (Only a crash during the very first boot, before any record
+	// or snapshot exists, legitimately leaves lanes without files.)
+	if inv.laneDataSegs > 0 || len(inv.laneSnaps) > 0 {
+		for _, ln := range j.lanes {
+			if len(inv.laneSegs[ln.idx]) == 0 {
+				return fmt.Errorf("wal: lane %d has no segments while other lanes hold records or snapshots; the journal is missing a lane", ln.idx)
+			}
+		}
+	}
+	// Bounded fan-out: each in-flight lane holds one full segment in memory,
+	// so cap the workers at the core count instead of reading (up to) 256
+	// segment files at once on a freshly-crashed, possibly memory-pressured
+	// machine.
+	workers := min(len(j.lanes), runtime.GOMAXPROCS(0))
+	errs := make([]error, len(j.lanes))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(j.lanes) {
+					return
+				}
+				ln := j.lanes[idx]
+				errs[idx] = j.recoverLane(mgr, ln, inv.laneSegs[idx], inv.laneSnaps[idx])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recoverLane replays one lane: newest lane snapshot, then the remaining
+// lane segments in order, with the same torn-tail contract as the legacy
+// reader, applied per lane.
+func (j *Journal) recoverLane(mgr *session.Manager, ln *lane, segs, snaps []uint64) error {
+	var fold uint64
+	var applied, skipped uint64
+	var tornBytes, replayedSegs int
+	sawSnapshot := false
+	if n := len(snaps); n > 0 {
+		fold = snaps[n-1]
+		path := filepath.Join(j.dir, snapshotName(ln.idx, fold))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("wal: read snapshot: %w", err)
+		}
+		var env snapshotEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			return fmt.Errorf("wal: snapshot %s: %w", path, err)
+		}
+		if env.Version != 2 || env.Lane == nil || *env.Lane != ln.idx {
+			return fmt.Errorf("wal: snapshot %s: version %d, lane %v — want version 2 for lane %d", path, env.Version, env.Lane, ln.idx)
+		}
+		if err := mgr.Restore(env.Sessions); err != nil {
+			return fmt.Errorf("wal: snapshot %s: %w", path, err)
+		}
+		sawSnapshot = true
+	}
+
+	var maxLSN uint64
+	for i, idx := range segs {
+		if idx < fold {
+			continue // folded into the lane snapshot
+		}
+		path := filepath.Join(j.dir, segmentName(ln.idx, idx))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("wal: read segment: %w", err)
+		}
+		replayedSegs++
+		consumed, torn, err := scanRecords(data, len(j.lanes), func(shard int, payload []byte) error {
+			if shard != ln.idx {
+				return fmt.Errorf("record tagged lane %d in lane %d's segment", shard, ln.idx)
+			}
+			var ev session.Event
+			if err := json.Unmarshal(payload, &ev); err != nil {
+				return fmt.Errorf("bad event: %w", err)
+			}
+			if ev.LSN > maxLSN {
+				maxLSN = ev.LSN
+			}
+			if ev.Type == session.EventRestart {
+				// A per-lane boot barrier: drop this shard's leases only, so
+				// concurrent lane replays stay within their shard.
+				mgr.ReplayShardRestart(ln.idx)
+				applied++
+				return nil
+			}
+			if ev.Session != "" && mgr.ShardFor(ev.Session) != ln.idx {
+				return fmt.Errorf("event for session %q (shard %d) in lane %d", ev.Session, mgr.ShardFor(ev.Session), ln.idx)
+			}
+			ok, err := mgr.ReplayEvent(&ev)
+			if err != nil {
+				return err
+			}
+			if ok {
+				applied++
+			} else {
+				skipped++
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("wal: replay %s: %w", path, err)
+		}
+		if torn {
+			// Only the lane's newest segment may carry a torn suffix; see the
+			// legacy reader for the rationale.
+			if i != len(segs)-1 || hasValidRecordAfter(data[consumed:]) {
+				return fmt.Errorf("wal: segment %s is corrupt mid-log (%d clean bytes of %d); only a trailing torn record is recoverable", path, consumed, len(data))
+			}
+			tornBytes = len(data) - consumed
+			if err := truncateDurable(path, int64(consumed), j.dir); err != nil {
+				return fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+			}
+		}
+	}
+	ln.lsn = maxLSN
+	ln.snapAt = fold
+	if n := len(segs); n > 0 {
+		ln.seg = segs[n-1]
+		ln.oldest = segs[0]
+		ln.segCount = n
+	}
+	// Snapshots older than the newest are superseded leftovers of a crashed
+	// compaction; recovery is the natural place to sweep them.
+	for _, idx := range snaps[:max(0, len(snaps)-1)] {
+		os.Remove(filepath.Join(j.dir, snapshotName(ln.idx, idx)))
+	}
+	j.mu.Lock()
+	j.replay.applied += applied
+	j.replay.skipped += skipped
+	j.replay.tornBytes += tornBytes
+	j.replay.segments += replayedSegs
+	j.replay.snapshot = j.replay.snapshot || sawSnapshot
+	j.mu.Unlock()
+	return nil
 }
 
 // fail records the journal's first error; every later Append reports it.
 func (j *Journal) fail(err error) {
-	if j.err == nil {
-		j.err = fmt.Errorf("wal: %w", err)
-	}
+	wrapped := fmt.Errorf("wal: %w", err)
+	j.err.CompareAndSwap(nil, &wrapped)
 }
 
-// rotateLocked closes the active segment (if any) and opens the next one.
-// Callers hold j.mu (or, during Open, have exclusive access).
-func (j *Journal) rotateLocked() error {
-	if j.err != nil {
-		return j.err
+// errNow returns the sticky failure state.
+func (j *Journal) errNow() error {
+	if p := j.err.Load(); p != nil {
+		return *p
 	}
-	if j.f != nil {
-		if err := j.f.Sync(); err != nil {
-			j.fail(err)
-			return j.err
-		}
-		if err := j.f.Close(); err != nil {
-			j.fail(err)
-			return j.err
-		}
-		j.f = nil
+	return nil
+}
+
+// rotateLane closes the lane's active segment (if any) and opens the next
+// one. Callers hold ln.mu (or, during Open, have exclusive access).
+func (j *Journal) rotateLane(ln *lane) error {
+	if err := j.errNow(); err != nil {
+		return err
 	}
-	j.seg++
-	f, err := os.OpenFile(filepath.Join(j.dir, segmentName(j.seg)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if ln.f != nil {
+		if err := ln.f.Sync(); err != nil {
+			j.fail(err)
+			return j.errNow()
+		}
+		if err := ln.f.Close(); err != nil {
+			j.fail(err)
+			return j.errNow()
+		}
+		ln.f = nil
+	}
+	ln.seg++
+	f, err := os.OpenFile(filepath.Join(j.dir, segmentName(ln.idx, ln.seg)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		j.fail(err)
-		return j.err
+		return j.errNow()
 	}
 	if err := syncDir(j.dir); err != nil {
 		f.Close()
 		j.fail(err)
-		return j.err
+		return j.errNow()
 	}
-	j.f = f
-	j.segSize = 0
-	j.segCount++
+	ln.f = f
+	ln.segSize = 0
+	ln.segCount++
+	if ln.oldest == 0 {
+		ln.oldest = ln.seg
+	}
 	return nil
 }
 
@@ -377,20 +818,34 @@ func (j *Journal) segmentBytes() int64 {
 	return DefaultSegmentBytes
 }
 
-// Append durably records ev (per the fsync policy), assigning and returning
-// its log sequence number. It implements session.Journal.
+// Append durably records ev (per the fsync policy) in the lane of the
+// session's shard, assigning and returning its per-lane log sequence
+// number. It implements session.Journal. Appends for sessions in different
+// shards run concurrently; only same-shard appends serialise.
 func (j *Journal) Append(ev *session.Event) (uint64, error) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.err != nil {
-		return 0, j.err
+	ln := j.lanes[0]
+	if ev.Session != "" {
+		ln = j.lanes[j.mgr.ShardFor(ev.Session)]
 	}
-	if j.segSize >= j.segmentBytes() {
-		if err := j.rotateLocked(); err != nil {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	return j.appendLane(ln, ev)
+}
+
+// appendLane appends ev to ln. Callers hold ln.mu. The only journal-wide
+// state it touches — the sticky error and the record cap — is atomic, so
+// appends on different lanes share no lock.
+func (j *Journal) appendLane(ln *lane, ev *session.Event) (uint64, error) {
+	if err := j.errNow(); err != nil {
+		return 0, err
+	}
+	maxRec := int(j.maxRec.Load())
+	if ln.segSize >= j.segmentBytes() {
+		if err := j.rotateLane(ln); err != nil {
 			return 0, err
 		}
 	}
-	ev.LSN = j.lsn + 1
+	ev.LSN = ln.lsn + 1
 	payload, err := json.Marshal(ev)
 	if err != nil {
 		// Same carve-out as the size check below: an unmarshalable create (a
@@ -400,7 +855,7 @@ func (j *Journal) Append(ev *session.Event) (uint64, error) {
 			return 0, fmt.Errorf("wal: marshal create: %w", err)
 		}
 		j.fail(err)
-		return 0, j.err
+		return 0, j.errNow()
 	}
 	// Enforce the framing cap before writing: an oversized frame would be
 	// acknowledged now but classified as torn or corrupt by replay — an
@@ -412,30 +867,30 @@ func (j *Journal) Append(ev *session.Event) (uint64, error) {
 	// is appended after the session applied the event in memory; there the
 	// in-memory state is already ahead of the log, and the sticky fail-stop
 	// of the session.Journal contract is the only safe answer.
-	if len(payload) > j.maxRec {
+	if len(payload) > maxRec {
 		if ev.Type == session.EventCreate {
-			return 0, fmt.Errorf("wal: create payload is %d bytes, over the %d-byte record cap", len(payload), j.maxRec)
+			return 0, fmt.Errorf("wal: create payload is %d bytes, over the %d-byte record cap", len(payload), maxRec)
 		}
-		j.fail(fmt.Errorf("event payload is %d bytes, over the %d-byte record cap", len(payload), j.maxRec))
-		return 0, j.err
+		j.fail(fmt.Errorf("event payload is %d bytes, over the %d-byte record cap", len(payload), maxRec))
+		return 0, j.errNow()
 	}
-	j.buf = appendRecord(j.buf[:0], payload)
-	if _, err := j.f.Write(j.buf); err != nil {
+	ln.buf = appendRecord(ln.buf[:0], ln.idx, payload)
+	if _, err := ln.f.Write(ln.buf); err != nil {
 		j.fail(err)
-		return 0, j.err
+		return 0, j.errNow()
 	}
 	if j.always && syncedEvent(ev.Type) {
-		if err := j.f.Sync(); err != nil {
+		if err := ln.f.Sync(); err != nil {
 			j.fail(err)
-			return 0, j.err
+			return 0, j.errNow()
 		}
-		j.syncs++
+		ln.syncs++
 	}
-	j.lsn++
-	j.segSize += int64(len(j.buf))
-	j.records++
-	j.bytes += uint64(len(j.buf))
-	return j.lsn, nil
+	ln.lsn++
+	ln.segSize += int64(len(ln.buf))
+	ln.records++
+	ln.bytes += uint64(len(ln.buf))
+	return ln.lsn, nil
 }
 
 // syncedEvent reports whether the "always" policy must fsync after this
@@ -443,9 +898,10 @@ func (j *Journal) Append(ev *session.Event) (uint64, error) {
 // label commits, creations and deletions. Losing an unsynced
 // propose/release/restart suffix to a power cut is exactly the lease-drop
 // contract (the pairs become proposable again), and an fsync at the next
-// commit persists every earlier record of the segment anyway — record order
-// within the file means a commit can never be durable without its propose.
-// Skipping the barrier on proposals halves the per-round fsync tax.
+// commit persists every earlier record of the lane's segment anyway —
+// record order within the file means a commit can never be durable without
+// its propose. Skipping the barrier on proposals halves the per-round fsync
+// tax.
 func syncedEvent(t session.EventType) bool {
 	switch t {
 	case session.EventCommit, session.EventCreate, session.EventDelete:
@@ -456,31 +912,34 @@ func syncedEvent(t session.EventType) bool {
 
 // Err reports the sticky failure state; nil while the journal is healthy.
 // It implements session.Journal.
-func (j *Journal) Err() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.err
-}
+func (j *Journal) Err() error { return j.errNow() }
 
-// Sync flushes the active segment to stable storage.
+// Sync flushes every lane's active segment to stable storage.
 func (j *Journal) Sync() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.syncLocked()
+	for _, ln := range j.lanes {
+		ln.mu.Lock()
+		err := j.syncLane(ln)
+		ln.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func (j *Journal) syncLocked() error {
-	if j.err != nil {
-		return j.err
+// syncLane fsyncs one lane. Callers hold ln.mu.
+func (j *Journal) syncLane(ln *lane) error {
+	if err := j.errNow(); err != nil {
+		return err
 	}
-	if j.f == nil {
+	if ln.f == nil {
 		return nil
 	}
-	if err := j.f.Sync(); err != nil {
+	if err := ln.f.Sync(); err != nil {
 		j.fail(err)
-		return j.err
+		return j.errNow()
 	}
-	j.syncs++
+	ln.syncs++
 	return nil
 }
 
@@ -499,69 +958,86 @@ func (j *Journal) syncLoop() {
 	}
 }
 
-// Compact folds everything before the active segment into an atomic
-// snapshot and deletes the folded segments and superseded snapshots. It
-// first rotates to a fresh segment, then snapshots the manager: every event
-// in the old segments is therefore covered by the snapshot, and the few
-// events appended between rotation and snapshot are both in the snapshot
-// and in the tail — replay skips them by their per-session LSN watermark.
-// Between the two it waits on the manager's create barrier: a Create whose
-// record went into a now-folded segment may not have registered its session
-// yet, and snapshotting before it does would lose the session when the
-// folded segment is deleted. Safe to run concurrently with serving traffic.
-func (j *Journal) Compact() error {
-	j.mu.Lock()
-	if j.err != nil {
-		j.mu.Unlock()
-		return j.err
+// CompactShard folds everything before one lane's active segment into an
+// atomic per-lane snapshot and deletes the folded lane segments and
+// superseded lane snapshots. It first rotates the lane to a fresh segment,
+// then snapshots the shard: every event in the old segments is therefore
+// covered by the snapshot, and the few events appended between rotation and
+// snapshot are both in the snapshot and in the tail — replay skips them by
+// their per-session LSN watermark. Between the two it waits on the shard's
+// create barrier: a Create whose record went into a now-folded segment may
+// not have registered its session yet, and snapshotting before it does
+// would lose the session when the folded segment is deleted. Safe to run
+// concurrently with serving traffic — and with compactions of other shards.
+func (j *Journal) CompactShard(shard int) error {
+	if shard < 0 || shard >= len(j.lanes) {
+		return fmt.Errorf("wal: compact: no shard %d in a %d-lane journal", shard, len(j.lanes))
 	}
-	if err := j.rotateLocked(); err != nil {
-		j.mu.Unlock()
+	ln := j.lanes[shard]
+	ln.compactMu.Lock()
+	defer ln.compactMu.Unlock()
+	ln.mu.Lock()
+	if err := j.errNow(); err != nil {
+		ln.mu.Unlock()
 		return err
 	}
-	boundary := j.seg
-	j.mu.Unlock()
-
-	j.mgr.CreateBarrier()
-	data, err := j.mgr.Snapshot()
-	if err != nil {
-		return fmt.Errorf("wal: compact: %w", err)
-	}
-	env, err := json.Marshal(snapshotEnvelope{Version: 1, Sessions: data})
-	if err != nil {
-		return fmt.Errorf("wal: compact: %w", err)
-	}
-	if err := WriteFileAtomic(filepath.Join(j.dir, snapshotName(boundary)), env, 0o644); err != nil {
-		return fmt.Errorf("wal: compact: %w", err)
-	}
-
-	// The snapshot is durable; the folded segments and any older snapshot
-	// can go. Removal failures are not fatal — replay skips folded segments.
-	segs, snaps, err := listDir(j.dir)
-	if err != nil {
+	if err := j.rotateLane(ln); err != nil {
+		ln.mu.Unlock()
 		return err
 	}
+	boundary := ln.seg
+	oldest := ln.oldest
+	prevSnap := ln.snapAt
+	ln.mu.Unlock()
+
+	j.mgr.ShardCreateBarrier(shard)
+	data, err := j.mgr.SnapshotShard(shard)
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	env, err := json.Marshal(snapshotEnvelope{Version: 2, Lane: &shard, Sessions: data})
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := WriteFileAtomic(filepath.Join(j.dir, snapshotName(shard, boundary)), env, 0o644); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+
+	// The snapshot is durable; the folded lane segments and the superseded
+	// lane snapshot can go. The lane tracks its own live range, so no
+	// directory listing is needed. Removal failures are not fatal — replay
+	// skips folded segments, and recovery sweeps stale snapshots.
 	removed := 0
-	for _, idx := range segs {
-		if idx < boundary {
-			if os.Remove(filepath.Join(j.dir, segmentName(idx))) == nil {
-				removed++
-			}
+	for idx := oldest; idx < boundary; idx++ {
+		if os.Remove(filepath.Join(j.dir, segmentName(shard, idx))) == nil {
+			removed++
 		}
 	}
-	for _, idx := range snaps {
-		if idx < boundary {
-			os.Remove(filepath.Join(j.dir, snapshotName(idx)))
-		}
+	if prevSnap > 0 && prevSnap < boundary {
+		os.Remove(filepath.Join(j.dir, snapshotName(shard, prevSnap)))
 	}
+	ln.mu.Lock()
+	ln.segCount -= removed
+	ln.oldest = boundary
+	ln.snapAt = boundary
+	ln.mu.Unlock()
 	j.mu.Lock()
 	j.compactions++
-	j.segCount -= removed
 	j.mu.Unlock()
 	return nil
 }
 
-// Close flushes and closes the journal. The manager should have stopped
+// Compact runs CompactShard over every shard in turn.
+func (j *Journal) Compact() error {
+	for shard := range j.lanes {
+		if err := j.CompactShard(shard); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes every lane. The manager should have stopped
 // serving first.
 func (j *Journal) Close() error {
 	if j.stop != nil {
@@ -573,35 +1049,62 @@ func (j *Journal) Close() error {
 		}
 		j.stop = nil
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return j.err
+	var firstErr error
+	for _, ln := range j.lanes {
+		ln.mu.Lock()
+		if ln.f != nil {
+			err := j.syncLane(ln)
+			if cerr := ln.f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			ln.f = nil
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		ln.mu.Unlock()
 	}
-	err := j.syncLocked()
-	if cerr := j.f.Close(); cerr != nil && err == nil {
-		err = cerr
+	if firstErr != nil {
+		return firstErr
 	}
-	j.f = nil
-	return err
+	return j.errNow()
 }
 
-// Stats returns a snapshot of the journal's counters.
+// Stats returns a snapshot of the journal's counters, aggregated and per
+// lane.
 func (j *Journal) Stats() Stats {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return Stats{
-		Segments:        j.segCount,
-		ActiveSegment:   j.seg,
-		RecordsAppended: j.records,
-		BytesAppended:   j.bytes,
-		Syncs:           j.syncs,
+	st := Stats{
+		LaneCount:       len(j.lanes),
 		Compactions:     j.compactions,
-		LastLSN:         j.lsn,
 		ReplayApplied:   j.replay.applied,
 		ReplaySkipped:   j.replay.skipped,
 		ReplayTornBytes: j.replay.tornBytes,
 		ReplaySnapshot:  j.replay.snapshot,
 		ReplaySegments:  j.replay.segments,
 	}
+	j.mu.Unlock()
+	st.Lanes = make([]LaneStats, len(j.lanes))
+	for i, ln := range j.lanes {
+		ln.mu.Lock()
+		st.Lanes[i] = LaneStats{
+			Lane:            ln.idx,
+			Segments:        ln.segCount,
+			ActiveSegment:   ln.seg,
+			RecordsAppended: ln.records,
+			BytesAppended:   ln.bytes,
+			Syncs:           ln.syncs,
+			LastLSN:         ln.lsn,
+		}
+		ln.mu.Unlock()
+		st.Segments += st.Lanes[i].Segments
+		st.RecordsAppended += st.Lanes[i].RecordsAppended
+		st.BytesAppended += st.Lanes[i].BytesAppended
+		st.Syncs += st.Lanes[i].Syncs
+		if st.Lanes[i].LastLSN > st.LastLSN {
+			st.LastLSN = st.Lanes[i].LastLSN
+		}
+	}
+	st.ActiveSegment = st.Lanes[0].ActiveSegment
+	return st
 }

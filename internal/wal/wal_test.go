@@ -40,6 +40,26 @@ func mustOpen(t *testing.T, dir string, mgr *session.Manager, opts Options) *Jou
 	return j
 }
 
+// dirInv reads the directory inventory or fails the test.
+func dirInv(t *testing.T, dir string) dirState {
+	t.Helper()
+	inv, err := readDirState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inv
+}
+
+// newestLaneSegment returns the path of a lane's newest segment file.
+func newestLaneSegment(t *testing.T, dir string, lane int) string {
+	t.Helper()
+	segs := dirInv(t, dir).laneSegs[lane]
+	if len(segs) == 0 {
+		t.Fatalf("lane %d has no segments in %s", lane, dir)
+	}
+	return filepath.Join(dir, segmentName(lane, segs[len(segs)-1]))
+}
+
 // driveRound proposes a batch and commits every proposal with the truth
 // labels, returning the proposed pairs.
 func driveRound(t *testing.T, s *session.Session, n int, truth []bool) []int {
@@ -245,11 +265,9 @@ func TestCompactionFoldsSegments(t *testing.T) {
 		driveRound(t, s, 16, truth)
 	}
 
-	// The folded segments are deleted; a snapshot exists.
-	segs, snaps, err := listDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	// The folded segments are deleted; a lane snapshot exists.
+	inv := dirInv(t, dir)
+	segs, snaps := inv.laneSegs[0], inv.laneSnaps[0]
 	if len(snaps) != 1 {
 		t.Fatalf("%d snapshots after compaction, want 1", len(snaps))
 	}
@@ -299,11 +317,7 @@ func TestTornTailDropped(t *testing.T) {
 	}
 	committed := len(driveRound(t, s, 12, truth))
 
-	segs, _, err := listDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	newest := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	newest := newestLaneSegment(t, dir, 0)
 	fi, err := os.Stat(newest)
 	if err != nil {
 		t.Fatal(err)
@@ -356,11 +370,7 @@ func TestZeroedTailDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	committed := len(driveRound(t, s, 9, truth))
-	segs, _, err := listDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	newest := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	newest := newestLaneSegment(t, dir, 0)
 	f, err := os.OpenFile(newest, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -404,11 +414,7 @@ func TestCorruptMidNewestSegmentFatal(t *testing.T) {
 	for round := 0; round < 6; round++ {
 		driveRound(t, s, 8, truth)
 	}
-	segs, _, err := listDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	newest := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	newest := newestLaneSegment(t, dir, 0)
 	data, err := os.ReadFile(newest)
 	if err != nil {
 		t.Fatal(err)
@@ -441,14 +447,11 @@ func TestCorruptMidLogFatal(t *testing.T) {
 	for round := 0; round < 10; round++ {
 		driveRound(t, s, 8, truth)
 	}
-	segs, _, err := listDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	segs := dirInv(t, dir).laneSegs[0]
 	if len(segs) < 2 {
 		t.Fatalf("need ≥2 segments to corrupt a non-final one, got %d", len(segs))
 	}
-	victim := filepath.Join(dir, segmentName(segs[0]))
+	victim := filepath.Join(dir, segmentName(0, segs[0]))
 	data, err := os.ReadFile(victim)
 	if err != nil {
 		t.Fatal(err)
@@ -481,10 +484,11 @@ func TestJournalFailureSticky(t *testing.T) {
 	}
 	driveRound(t, s, 4, truth)
 
-	// Sabotage the active segment's file descriptor: the next append fails.
-	j.mu.Lock()
-	j.f.Close()
-	j.mu.Unlock()
+	// Sabotage the session's lane file descriptor: the next append fails.
+	ln := j.lanes[j.mgr.ShardFor("sick")]
+	ln.mu.Lock()
+	ln.f.Close()
+	ln.mu.Unlock()
 
 	if _, err := s.Propose(4); err == nil {
 		t.Fatal("Propose succeeded with a dead journal")
@@ -615,11 +619,7 @@ func TestOversizedAppendRejected(t *testing.T) {
 	}
 	committed := len(driveRound(t, s, 6, truth))
 
-	setCap := func(n int) {
-		j.mu.Lock()
-		j.maxRec = n
-		j.mu.Unlock()
-	}
+	setCap := func(n int) { j.maxRec.Store(int64(n)) }
 	setCap(64) // below any event payload in this test
 	if _, err := mgr.Create(session.Config{
 		ID: "huge", Scores: scores, Preds: preds, Calibrated: true,
