@@ -618,6 +618,167 @@ func TestLegacyJournalUpgrade(t *testing.T) {
 	}
 }
 
+// TestUpgradeRerunSweepsStaleLanes pins the shard-count-drift rerun: an
+// upgrade attempt that crashed before committing wal-meta.json may have
+// left lane snapshots and segments behind — possibly for MORE lanes than
+// the rerun uses, since an unset -shards is re-derived from the hardware.
+// The rerun must sweep every pre-existing lane file before committing, or
+// the stale high-lane leftovers would make every later Open refuse the
+// journal as carrying files for a lane it does not have.
+func TestUpgradeRerunSweepsStaleLanes(t *testing.T) {
+	scores, preds, truth := walPool(500, 97)
+	dir := t.TempDir()
+	old := session.NewManager(session.ManagerOptions{})
+	w := newLegacyWriter(t, dir)
+	old.SetJournal(w)
+	s, err := old.Create(eqCfg("sw-a", session.MethodOASIS, 61, scores, preds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		driveRound(t, s, 5, truth)
+	}
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.ReplayEvent(&session.Event{Type: session.EventRestart}); err != nil {
+		t.Fatal(err)
+	}
+	old.SetJournal(nil)
+
+	// The crashed first attempt: 8 lanes' snapshots and first segments on
+	// disk, no meta marker. The snapshot bodies are garbage — the rerun must
+	// delete them unread.
+	for lane := 0; lane < 8; lane++ {
+		if err := os.WriteFile(filepath.Join(dir, snapshotName(lane, 1)), []byte("stale attempt"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, segmentName(lane, 2)), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The rerun boots with 4 shards (the re-derived default shrank).
+	rec := session.NewManager(session.ManagerOptions{Shards: 4})
+	j := mustOpen(t, dir, rec, Options{Fsync: "off"})
+	if got := rec.Len(); got != 1 {
+		t.Fatalf("rerun recovered %d sessions, want 1", got)
+	}
+	inv := dirInv(t, dir)
+	for lane := 4; lane < 8; lane++ {
+		if len(inv.laneSegs[lane])+len(inv.laneSnaps[lane]) != 0 {
+			t.Fatalf("stale lane %d files survived the rerun: %v segs, %v snaps", lane, inv.laneSegs[lane], inv.laneSnaps[lane])
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The journal the rerun committed must stay bootable.
+	rec2 := session.NewManager(session.ManagerOptions{Shards: 4})
+	j2 := mustOpen(t, dir, rec2, Options{Fsync: "off"})
+	defer j2.Close()
+	b, err := rec2.Get("sw-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := old.Get("sw-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameContinuation(t, a, b, 3, 5, truth)
+}
+
+// TestUpgradeCrashWindowBootable pins the crash atomicity of the v1→v2
+// upgrade: the upgrade creates every lane's first segment before committing
+// wal-meta.json, so the narrowest crash it can leave behind — meta and lane
+// snapshots durable, every lane segment present but empty (the boot restart
+// records were plain writes a power cut may drop) — must boot and recover
+// every session from the snapshots. A lane whose segment file is genuinely
+// missing must still be refused: that state can no longer be produced by a
+// crashed upgrade, only by lost files.
+func TestUpgradeCrashWindowBootable(t *testing.T) {
+	scores, preds, truth := walPool(600, 91)
+	dir := t.TempDir()
+
+	old := session.NewManager(session.ManagerOptions{})
+	w := newLegacyWriter(t, dir)
+	old.SetJournal(w)
+	ids := []string{"cw-a", "cw-b", "cw-c"}
+	for i, id := range ids {
+		s, err := old.Create(eqCfg(id, session.MethodOASIS, uint64(50+i), scores, preds))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 4; round++ {
+			driveRound(t, s, 5, truth)
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.ReplayEvent(&session.Event{Type: session.EventRestart}); err != nil {
+		t.Fatal(err)
+	}
+	old.SetJournal(nil)
+
+	// The upgrade boot, crashed (abandoned, never Closed) immediately after.
+	up := session.NewManager(session.ManagerOptions{Shards: 4})
+	mustOpen(t, dir, up, Options{Fsync: "off"})
+
+	// Rewind the directory to the upgrade's commit point: zero durable bytes
+	// in any lane segment.
+	inv := dirInv(t, dir)
+	if inv.meta == nil {
+		t.Fatal("upgrade did not commit wal-meta.json")
+	}
+	for lane := 0; lane < 4; lane++ {
+		if len(inv.laneSegs[lane]) == 0 {
+			t.Fatalf("lane %d has no segment file at the upgrade commit point", lane)
+		}
+		for _, idx := range inv.laneSegs[lane] {
+			if err := os.Truncate(filepath.Join(dir, segmentName(lane, idx)), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// A lane with no segment files at all is lost state, not a crash relic…
+	gone := inv.laneSegs[3]
+	for _, idx := range gone {
+		if err := os.Remove(filepath.Join(dir, segmentName(3, idx))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := Open(dir, session.NewManager(session.ManagerOptions{Shards: 4}), Options{Fsync: "off"})
+	if err == nil || !strings.Contains(err.Error(), "missing a lane") {
+		t.Fatalf("segment-less lane next to lane snapshots not rejected: %v", err)
+	}
+	// …while the legitimate post-upgrade crash state boots and continues
+	// exactly like the pre-upgrade manager.
+	for _, idx := range gone {
+		if err := os.WriteFile(filepath.Join(dir, segmentName(3, idx)), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := session.NewManager(session.ManagerOptions{Shards: 4})
+	j := mustOpen(t, dir, rec, Options{Fsync: "off"})
+	defer j.Close()
+	if got := rec.Len(); got != len(ids) {
+		t.Fatalf("recovered %d sessions after the upgrade crash, want %d", got, len(ids))
+	}
+	for _, id := range ids {
+		a, err := old.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rec.Get(id)
+		if err != nil {
+			t.Fatalf("session %q lost in the upgrade crash window: %v", id, err)
+		}
+		requireSameContinuation(t, a, b, 3, 5, truth)
+	}
+}
+
 // TestSingleShardJournalFormat pins the format claim of the version bump: a
 // single-shard journal writes the same record payloads as the v1 format —
 // only the header changed (4 extension bytes and a CRC that covers them).

@@ -90,6 +90,11 @@ type Options struct {
 // is zero.
 const DefaultSegmentBytes = 8 << 20
 
+// ErrClosed is returned by Append after Close. The manager is expected to
+// stop serving before the journal closes, but an in-flight request that
+// races the shutdown deserves an error, not a crash.
+var ErrClosed = errors.New("wal: journal is closed")
+
 // LaneStats is one journal lane's slice of the counters.
 type LaneStats struct {
 	// Lane is the lane index — equal to the session-manager shard whose
@@ -335,8 +340,13 @@ func Open(dir string, mgr *session.Manager, opts Options) (*Journal, error) {
 		if ln.snapAt > ln.seg {
 			ln.seg = ln.snapAt
 		}
-		if err := j.rotateLane(ln); err != nil {
-			return nil, err
+		// The upgrade path hands each lane an already-open first segment
+		// (created before the meta marker committed, to close the crash
+		// window); every other path boots onto a freshly rotated one.
+		if ln.f == nil {
+			if err := j.rotateLane(ln); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -566,12 +576,51 @@ func (j *Journal) recoverLegacy(mgr *session.Manager, inv dirState) error {
 }
 
 // upgradeLegacy converts a recovered v1 directory to per-lane format: fold
-// the entire recovered state into one snapshot per lane, commit the upgrade
-// by writing wal-meta.json, then drop the legacy files. The meta file is the
-// commit marker — a crash before it leaves the legacy journal intact and the
+// the entire recovered state into one snapshot per lane, create every lane's
+// first (empty, still-open) segment, commit the upgrade by writing
+// wal-meta.json, then drop the legacy files. The meta file is the commit
+// marker — a crash before it leaves the legacy journal intact and the
 // upgrade simply reruns; a crash after it recovers from the lane snapshots
-// and the legacy leftovers are deleted as already-folded.
-func (j *Journal) upgradeLegacy(inv dirState) error {
+// and the legacy leftovers are deleted as already-folded. The segments must
+// exist before the marker: recoverLanes rejects a snapshot-bearing journal
+// with a segment-less lane as missing files, so the directory must never
+// become visible — even across a crash — with the meta committed but a
+// lane's segment not yet created.
+func (j *Journal) upgradeLegacy(inv dirState) (err error) {
+	// Any failure below abandons the upgrade: release every lane segment
+	// handle opened so far so the caller doesn't leak them.
+	defer func() {
+		if err == nil {
+			return
+		}
+		for _, ln := range j.lanes {
+			if ln.f != nil {
+				ln.f.Close()
+				ln.f = nil
+			}
+		}
+	}()
+	// Lane files found before the meta marker exists are leftovers of a
+	// crashed earlier upgrade attempt — possibly at a different shard count
+	// (an unset -shards re-derives from the hardware). Sweep them all before
+	// writing anything: a stale snapshot or segment for a lane outside the
+	// new count would otherwise survive the commit and make every later Open
+	// refuse the directory as carrying files for a lane it does not have.
+	// (The syncDir below makes the sweep durable before the marker commits.)
+	for lane, idxs := range inv.laneSegs {
+		for _, idx := range idxs {
+			if err := os.Remove(filepath.Join(j.dir, segmentName(lane, idx))); err != nil {
+				return fmt.Errorf("wal: upgrade: sweep stale lane files: %w", err)
+			}
+		}
+	}
+	for lane, idxs := range inv.laneSnaps {
+		for _, idx := range idxs {
+			if err := os.Remove(filepath.Join(j.dir, snapshotName(lane, idx))); err != nil {
+				return fmt.Errorf("wal: upgrade: sweep stale lane files: %w", err)
+			}
+		}
+	}
 	for _, ln := range j.lanes {
 		data, err := j.mgr.SnapshotShard(ln.idx)
 		if err != nil {
@@ -582,12 +631,27 @@ func (j *Journal) upgradeLegacy(inv dirState) error {
 		if err != nil {
 			return fmt.Errorf("wal: upgrade: %w", err)
 		}
-		// Boundary 1: every lane segment ever written (they start at 1) will
-		// replay above this snapshot, guarded by the per-session watermarks.
+		// Boundary 1: every lane segment ever written (they start at 2 here)
+		// will replay above this snapshot, guarded by the per-session
+		// watermarks.
 		if err := WriteFileAtomic(filepath.Join(j.dir, snapshotName(ln.idx, 1)), env, 0o644); err != nil {
 			return fmt.Errorf("wal: upgrade: %w", err)
 		}
 		ln.snapAt = 1
+		// O_TRUNC, not O_EXCL: a crash before the meta marker rewinds Open to
+		// the legacy branch, which reruns the upgrade over these leftovers.
+		f, err := os.OpenFile(filepath.Join(j.dir, segmentName(ln.idx, ln.snapAt+1)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: upgrade: %w", err)
+		}
+		ln.f = f
+		ln.seg = ln.snapAt + 1
+		ln.segSize = 0
+		ln.segCount = 1
+		ln.oldest = ln.seg
+	}
+	if err := syncDir(j.dir); err != nil {
+		return fmt.Errorf("wal: upgrade: %w", err)
 	}
 	if err := j.writeMeta(); err != nil {
 		return err
@@ -839,6 +903,11 @@ func (j *Journal) appendLane(ln *lane, ev *session.Event) (uint64, error) {
 	if err := j.errNow(); err != nil {
 		return 0, err
 	}
+	// A clean Close leaves no sticky error but does nil the lane files; an
+	// append racing shutdown gets an error, not a nil dereference.
+	if ln.f == nil {
+		return 0, ErrClosed
+	}
 	maxRec := int(j.maxRec.Load())
 	if ln.segSize >= j.segmentBytes() {
 		if err := j.rotateLane(ln); err != nil {
@@ -981,6 +1050,22 @@ func (j *Journal) CompactShard(shard int) error {
 		ln.mu.Unlock()
 		return err
 	}
+	// A closed journal must not be quietly resurrected: rotateLane would
+	// read ln.f == nil as "no active segment yet" and open a fresh one.
+	if ln.f == nil {
+		ln.mu.Unlock()
+		return ErrClosed
+	}
+	// An idle lane has nothing to fold: the active segment is empty, no
+	// older segments await removal, and the lane's newest snapshot already
+	// sits at the active boundary (every shard mutation appends here, so an
+	// untouched segment means an unchanged shard). Skipping keeps a periodic
+	// compaction sweep from rotating segments and re-serialising identical
+	// snapshots for every quiet shard on every tick.
+	if ln.segSize == 0 && ln.oldest == ln.seg && ln.snapAt == ln.seg {
+		ln.mu.Unlock()
+		return nil
+	}
 	if err := j.rotateLane(ln); err != nil {
 		ln.mu.Unlock()
 		return err
@@ -1006,11 +1091,24 @@ func (j *Journal) CompactShard(shard int) error {
 	// The snapshot is durable; the folded lane segments and the superseded
 	// lane snapshot can go. The lane tracks its own live range, so no
 	// directory listing is needed. Removal failures are not fatal — replay
-	// skips folded segments, and recovery sweeps stale snapshots.
+	// skips folded segments, and recovery sweeps stale snapshots — but
+	// oldest only advances past segments that are actually gone, so the next
+	// compaction's sweep retries stragglers instead of orphaning them until
+	// a restart re-derives the range from the directory.
 	removed := 0
+	newOldest := boundary
 	for idx := oldest; idx < boundary; idx++ {
-		if os.Remove(filepath.Join(j.dir, segmentName(shard, idx))) == nil {
+		err := os.Remove(filepath.Join(j.dir, segmentName(shard, idx)))
+		switch {
+		case err == nil:
 			removed++
+		case errors.Is(err, os.ErrNotExist):
+			// Already gone: swept by an earlier retry whose own failure held
+			// oldest back. Nothing live, nothing to recount.
+		default:
+			if newOldest == boundary {
+				newOldest = idx
+			}
 		}
 	}
 	if prevSnap > 0 && prevSnap < boundary {
@@ -1018,7 +1116,7 @@ func (j *Journal) CompactShard(shard int) error {
 	}
 	ln.mu.Lock()
 	ln.segCount -= removed
-	ln.oldest = boundary
+	ln.oldest = newOldest
 	ln.snapAt = boundary
 	ln.mu.Unlock()
 	j.mu.Lock()

@@ -300,6 +300,158 @@ func TestCompactionFoldsSegments(t *testing.T) {
 	requireSameContinuation(t, s, r, 6, 16, truth)
 }
 
+// TestAppendAfterCloseErrors pins the shutdown race: the manager is
+// expected to stop serving before the journal closes, but an in-flight
+// append that loses that race must get ErrClosed, not a nil dereference —
+// and a clean close must not poison the sticky error.
+func TestAppendAfterCloseErrors(t *testing.T) {
+	dir := t.TempDir()
+	mgr := session.NewManager(session.ManagerOptions{})
+	j := mustOpen(t, dir, mgr, Options{Fsync: "off"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(&session.Event{Type: session.EventRestart}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: err = %v, want ErrClosed", err)
+	}
+	if err := j.CompactShard(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("compact after close: err = %v, want ErrClosed", err)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("clean close left a sticky error: %v", err)
+	}
+	// Neither call may have resurrected the lane: no fresh segment file, no
+	// reopened handle.
+	if inv := dirInv(t, dir); len(inv.laneSegs[0]) != 1 {
+		t.Fatalf("closed journal grew segments: %v", inv.laneSegs[0])
+	}
+}
+
+// TestCompactSkipsIdleLane pins the idle fast path of the periodic sweep: a
+// lane with an empty active segment, no folded segments pending removal and
+// a snapshot already at the boundary has nothing to fold, so a compaction
+// tick must neither rotate it nor rewrite its snapshot.
+func TestCompactSkipsIdleLane(t *testing.T) {
+	scores, preds, truth := walPool(200, 13)
+	dir := t.TempDir()
+	mgr := session.NewManager(session.ManagerOptions{Shards: 1})
+	j := mustOpen(t, dir, mgr, Options{Fsync: "off"})
+	defer j.Close()
+	s, err := mgr.Create(session.Config{
+		ID: "idle", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 4, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, s, 5, truth)
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	before := j.Stats()
+	if before.Compactions != 1 {
+		t.Fatalf("compactions = %d after the first sweep, want 1", before.Compactions)
+	}
+	// No traffic since: the next ticks must be no-ops.
+	for i := 0; i < 3; i++ {
+		if err := j.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := j.Stats()
+	if after.Compactions != before.Compactions {
+		t.Fatalf("idle ticks compacted: %d -> %d", before.Compactions, after.Compactions)
+	}
+	if after.Lanes[0].ActiveSegment != before.Lanes[0].ActiveSegment {
+		t.Fatalf("idle ticks rotated the lane: segment %d -> %d", before.Lanes[0].ActiveSegment, after.Lanes[0].ActiveSegment)
+	}
+	// New traffic re-arms the sweep.
+	driveRound(t, s, 5, truth)
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Compactions != before.Compactions+1 {
+		t.Fatalf("compactions = %d after fresh traffic, want %d", st.Compactions, before.Compactions+1)
+	}
+}
+
+// TestCompactRetriesFailedRemoval pins the straggler contract of the
+// compaction sweep: a folded segment whose os.Remove fails must stay inside
+// the lane's live range (oldest not advanced past it) so the next
+// compaction retries it, instead of orphaning it on disk until a restart
+// re-derives the range from the directory.
+func TestCompactRetriesFailedRemoval(t *testing.T) {
+	scores, preds, truth := walPool(400, 77)
+	dir := t.TempDir()
+	mgr := session.NewManager(session.ManagerOptions{Shards: 1})
+	j := mustOpen(t, dir, mgr, Options{Fsync: "off", SegmentBytes: 512})
+	s, err := mgr.Create(session.Config{
+		ID: "cr", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 6, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		driveRound(t, s, 6, truth)
+	}
+	segs := dirInv(t, dir).laneSegs[0]
+	if len(segs) < 3 {
+		t.Fatalf("fixture produced %d segments, want >= 3", len(segs))
+	}
+	// Make one folded segment unremovable: os.Remove on a non-empty
+	// directory fails on every platform, even as root.
+	stuck := segs[1]
+	stuckPath := filepath.Join(dir, segmentName(0, stuck))
+	if err := os.Remove(stuckPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(stuckPath, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stuckPath, "pin"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := j.CompactShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stuckPath); err != nil {
+		t.Fatalf("stuck segment vanished: %v", err)
+	}
+	ln := j.lanes[0]
+	ln.mu.Lock()
+	oldest := ln.oldest
+	ln.mu.Unlock()
+	if oldest != stuck {
+		t.Fatalf("oldest = %d, want %d: advanced past the unremoved segment", oldest, stuck)
+	}
+
+	// The blocker clears — as a transient EBUSY/EACCES would — leaving the
+	// orphaned segment file behind; the next compaction must sweep it.
+	if err := os.RemoveAll(stuckPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stuckPath, []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, s, 6, truth)
+	if err := j.CompactShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stuckPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("retry sweep left the straggler behind: %v", err)
+	}
+	// With the straggler retried the live range is exactly the active
+	// segment again, and the count did not drift.
+	if st := j.Stats(); st.Lanes[0].Segments != 1 {
+		t.Fatalf("segment count = %d after retry sweep, want 1", st.Lanes[0].Segments)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestTornTailDropped simulates a crash mid-write: garbage appended to the
 // newest segment must be detected by the CRC framing, dropped, truncated
 // away, and recovery must succeed with the clean prefix.
