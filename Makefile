@@ -2,13 +2,20 @@
 
 GO ?= go
 
-.PHONY: build vet test test-stress race bench bench-json bench-smoke fuzz-smoke serve serve-wal example clean
+.PHONY: build vet fmt-check test test-stress race bench bench-json bench-smoke fuzz-smoke serve serve-wal example clean
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Gofmt drift gate: fails listing any file that gofmt would rewrite. CI runs
+# it; run `gofmt -w .` to fix.
+fmt-check:
+	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
 
 # -shuffle=on randomises test (and subtest) execution order, so an
 # order-dependent test fails loudly here instead of flaking later.
@@ -24,9 +31,10 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # Hot-path microbenchmarks: core draw/commit, public batched proposals, the
-# HTTP propose/labels round trip, the WAL durability tax, and the parallel
-# commit throughput of the sharded manager + WAL lanes.
-HOT_BENCH = BenchmarkDraw$$|BenchmarkDrawCommit$$|BenchmarkInstrumental$$|BenchmarkProposeBatch|BenchmarkProposeCommit$$|BenchmarkServerPropose$$|BenchmarkCommitDurable|BenchmarkManagerParallel|BenchmarkServerProposeParallel
+# HTTP propose/labels round trip, the WAL durability tax, the parallel
+# commit throughput of the sharded manager + WAL lanes, and the inline vs
+# content-addressed (pool store) session-create cost over a 1M-pair pool.
+HOT_BENCH = BenchmarkDraw$$|BenchmarkDrawCommit$$|BenchmarkInstrumental$$|BenchmarkProposeBatch|BenchmarkProposeCommit$$|BenchmarkServerPropose$$|BenchmarkCommitDurable|BenchmarkManagerParallel|BenchmarkServerProposeParallel|BenchmarkSessionCreate
 HOT_BENCH_PKGS = ./internal/core ./internal/server ./internal/wal .
 
 # Run the hot-path microbenchmarks and append the results to the

@@ -6,10 +6,23 @@
 //
 // Usage:
 //
-//	oasis-server [-addr :8080] [-lease 1m] [-shards N]
+//	oasis-server [-addr :8080] [-lease 1m] [-shards N] [-max-body bytes]
+//	             [-pools-dir dir] [-pool-gc 10m]
 //	             [-wal dir] [-fsync always|off|100ms] [-compact-every 10m]
 //	             [-snapshot state.json] [-snapshot-interval 1m]
 //	             [-pprof addr]
+//
+// -pools-dir enables the durable content-addressed pool store
+// (internal/poolstore): pools uploaded once via POST /v1/pools are stored as
+// immutable fsync'd files named by their content hash, any number of
+// sessions reference one shared in-memory copy by poolId, and WAL create
+// records/snapshots persist only the hash. Unset, the store is memory-only —
+// except with -wal (defaults to <wal>/pools) or -snapshot (defaults to
+// <snapshot>.pools), so recovery can always resolve the pool references its
+// durable state carries. -pool-gc sweeps the
+// in-memory columns of pools no session has referenced for one interval
+// (the durable files stay; the next use reloads them). -max-body bounds
+// every HTTP request body (413 beyond it).
 //
 // -shards splits the session manager into N independent lock domains
 // (rounded up to a power of two; default: an existing WAL directory's
@@ -48,10 +61,12 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
 
+	"oasis/internal/poolstore"
 	"oasis/internal/server"
 	"oasis/internal/session"
 	"oasis/internal/wal"
@@ -67,6 +82,9 @@ func main() {
 		walDir       = flag.String("wal", "", "write-ahead-log directory: replayed at startup, appended before every acknowledgement (exclusive with -snapshot)")
 		fsync        = flag.String("fsync", "always", `WAL fsync policy: "always", "off", or a sync interval like 100ms`)
 		compactEvery = flag.Duration("compact-every", 0, "with -wal: fold cold WAL segments into a snapshot every interval (0 = never)")
+		poolsDir     = flag.String("pools-dir", "", "directory for the durable content-addressed pool store (empty = in-memory; defaults to <wal>/pools with -wal, <snapshot>.pools with -snapshot)")
+		poolGC       = flag.Duration("pool-gc", 0, "evict the in-memory copy of pools unreferenced for this long, checked on the same interval (0 = never)")
+		maxBody      = flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum HTTP request body size in bytes (413 beyond it)")
 		pprofAddr    = flag.String("pprof", "", "listen address for the net/http/pprof debug server (empty = disabled)")
 	)
 	flag.Parse()
@@ -105,7 +123,32 @@ func main() {
 			}
 		}
 	}
-	mgr := session.NewManager(session.ManagerOptions{DefaultLeaseTTL: *lease, Shards: nShards})
+	// The pool store opens before the manager and the WAL: replayed create
+	// records resolve their pool references through it. With a durability
+	// mode but no explicit -pools-dir, pools persist next to the journal or
+	// snapshot — durable state that outlives its pools could never be
+	// restored.
+	if *poolsDir == "" && *walDir != "" {
+		*poolsDir = filepath.Join(*walDir, "pools")
+	}
+	if *poolsDir == "" && *snapshot != "" {
+		*poolsDir = *snapshot + ".pools"
+	}
+	pools, err := poolstore.Open(*poolsDir)
+	if err != nil {
+		log.Fatalf("open pool store: %v", err)
+	}
+	switch {
+	case *poolsDir != "":
+		log.Printf("pool store %s: %d pool(s) indexed", *poolsDir, pools.Len())
+	default:
+		log.Printf("pool store: in-memory (set -pools-dir to persist pools)")
+	}
+	if damaged := pools.Damaged(); len(damaged) > 0 {
+		log.Printf("pool store: quarantined %d unreadable pool file(s) (left on disk, inspect and remove): %v", len(damaged), damaged)
+	}
+
+	mgr := session.NewManager(session.ManagerOptions{DefaultLeaseTTL: *lease, Shards: nShards, Pools: pools})
 	log.Printf("session manager sharded %d way(s)", mgr.Shards())
 	var journal *wal.Journal
 	switch {
@@ -161,6 +204,24 @@ func main() {
 			}
 		}()
 	}
+	if *poolGC > 0 {
+		tickers.Add(1)
+		go func() {
+			defer tickers.Done()
+			t := time.NewTicker(*poolGC)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n := pools.Sweep(*poolGC); n > 0 {
+						log.Printf("pool store: evicted %d idle pool(s) from memory", n)
+					}
+				}
+			}
+		}()
+	}
 	if *snapInterval > 0 {
 		tickers.Add(1)
 		go func() {
@@ -183,6 +244,16 @@ func main() {
 	srv := server.New(mgr)
 	if journal != nil {
 		srv.SetJournal(journal)
+	}
+	srv.SetPools(pools)
+	srv.SetMaxBodyBytes(*maxBody)
+	if *snapshot != "" {
+		// Persist a fresh snapshot before any pool delete: once it is on
+		// disk, no durable state references the pool about to go, so a crash
+		// can never strand a snapshot that names a deleted pool (which would
+		// make it unrestorable — snapshot mode has no journal tail to absolve
+		// the reference the way WAL replay does).
+		srv.SetPoolDeleteBarrier(func() error { return saveSnapshot(mgr, *snapshot) })
 	}
 	ready := make(chan string, 1)
 	errCh := make(chan error, 1)

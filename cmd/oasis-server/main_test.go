@@ -114,14 +114,14 @@ func getJSON(t *testing.T, url string, out any) int {
 }
 
 // driveServerRound proposes a batch over HTTP and commits every pair.
-func driveServerRound(t *testing.T, base string, batch int, truth []bool) []int {
+func driveServerRound(t *testing.T, base, id string, batch int, truth []bool) []int {
 	t.Helper()
 	var pr server.ProposeResponse
-	if code := getJSON(t, fmt.Sprintf("%s/v1/sessions/e2e/propose?n=%d", base, batch), &pr); code != http.StatusOK {
-		t.Fatalf("propose: status %d", code)
+	if code := getJSON(t, fmt.Sprintf("%s/v1/sessions/%s/propose?n=%d", base, id, batch), &pr); code != http.StatusOK {
+		t.Fatalf("propose %s: status %d", id, code)
 	}
 	if len(pr.Proposals) != batch {
-		t.Fatalf("proposed %d pairs, want %d", len(pr.Proposals), batch)
+		t.Fatalf("%s proposed %d pairs, want %d", id, len(pr.Proposals), batch)
 	}
 	req := server.LabelsRequest{}
 	pairs := make([]int, len(pr.Proposals))
@@ -130,11 +130,11 @@ func driveServerRound(t *testing.T, base string, batch int, truth []bool) []int 
 		req.Labels = append(req.Labels, server.Label{Pair: p.Pair, Label: truth[p.Pair]})
 	}
 	var lr server.LabelsResponse
-	if code := postJSON(t, base+"/v1/sessions/e2e/labels", req, &lr); code != http.StatusOK {
-		t.Fatalf("labels: status %d", code)
+	if code := postJSON(t, base+"/v1/sessions/"+id+"/labels", req, &lr); code != http.StatusOK {
+		t.Fatalf("labels %s: status %d", id, code)
 	}
 	if lr.Committed != len(req.Labels) {
-		t.Fatalf("committed %d of %d", lr.Committed, len(req.Labels))
+		t.Fatalf("%s committed %d of %d", id, lr.Committed, len(req.Labels))
 	}
 	return pairs
 }
@@ -184,8 +184,18 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 		totalRounds = preRounds + postRounds
 	)
 
-	// Uninterrupted in-process reference: same config, same request pattern.
-	ref, err := session.NewManager(session.ManagerOptions{}).Create(cfg)
+	// Uninterrupted in-process references: one inline session and one that
+	// will be served by poolId on the server side — the content-addressed
+	// path must be indistinguishable from inline, before and after kill -9.
+	refMgr := session.NewManager(session.ManagerOptions{})
+	ref, err := refMgr.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCfg := cfg
+	refCfg.ID = "e2e-pool"
+	refCfg.Options.Seed = 78
+	refPool, err := refMgr.Create(refCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,19 +203,47 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 	// Phase 1: live server, create + label, then SIGKILL between batches.
 	// -shards 4 exercises the multi-lane WAL: the journal's lane count is
 	// fixed at creation, so the restarted server must come back with the
-	// same value.
+	// same value. The default -pools-dir (<wal>/pools) persists the shared
+	// pool next to the journal.
 	cmd, addr := startServer(t, bin, "-addr", "127.0.0.1:0", "-wal", walDir, "-fsync", "always", "-shards", "4")
 	base := "http://" + addr
 	if code := postJSON(t, base+"/v1/sessions", cfg, nil); code != http.StatusCreated {
 		cmd.Process.Kill()
 		t.Fatalf("create: status %d", code)
 	}
+	// Upload the pool, then create the second session by reference. The
+	// inline create above was interned into the store under the same content
+	// address, so this upload may legitimately land as a dedup hit (200).
+	var uploaded server.PoolResponse
+	if code := postJSON(t, base+"/v1/pools", server.PoolUploadRequest{Scores: scores, Preds: preds}, &uploaded); code != http.StatusCreated && code != http.StatusOK {
+		cmd.Process.Kill()
+		t.Fatalf("pool upload: status %d", code)
+	}
+	poolCfg := session.Config{
+		ID: "e2e-pool", PoolID: uploaded.PoolID, Calibrated: true,
+		Options:  oasis.Options{Strata: 12, Seed: 78},
+		LeaseTTL: time.Minute,
+	}
+	var poolSt session.Status
+	if code := postJSON(t, base+"/v1/sessions", poolCfg, &poolSt); code != http.StatusCreated {
+		cmd.Process.Kill()
+		t.Fatalf("poolref create: status %d", code)
+	}
+	if poolSt.PoolID != uploaded.PoolID || poolSt.PoolSize != len(scores) {
+		cmd.Process.Kill()
+		t.Fatalf("poolref session status = %+v", poolSt)
+	}
 	for round := 0; round < preRounds; round++ {
-		got := driveServerRound(t, base, batch, truth)
-		want := driveRefRound(t, ref, batch, truth)
-		for i := range got {
-			if got[i] != want[i] {
-				t.Fatalf("pre-crash round %d diverged at %d: server pair %d, reference %d", round, i, got[i], want[i])
+		for _, sess := range []struct {
+			id  string
+			ref *session.Session
+		}{{"e2e", ref}, {"e2e-pool", refPool}} {
+			got := driveServerRound(t, base, sess.id, batch, truth)
+			want := driveRefRound(t, sess.ref, batch, truth)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("pre-crash round %d (%s) diverged at %d: server pair %d, reference %d", round, sess.id, i, got[i], want[i])
+				}
 			}
 		}
 	}
@@ -217,8 +255,13 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 	if code := getJSON(t, base+"/v1/stats", &stats); code != http.StatusOK {
 		t.Fatalf("stats: status %d", code)
 	}
-	if stats.Sessions != 1 || stats.LabelsCommitted != preRounds*batch || stats.WAL == nil || stats.WAL.RecordsAppended == 0 {
+	if stats.Sessions != 2 || stats.LabelsCommitted != 2*preRounds*batch || stats.WAL == nil || stats.WAL.RecordsAppended == 0 {
 		t.Fatalf("unexpected stats before crash: %+v (wal %+v)", stats, stats.WAL)
+	}
+	// Both sessions — the interned inline one and the explicit poolref one —
+	// share the single stored copy: one pool, one resident copy, two refs.
+	if stats.Pools == nil || stats.Pools.Pools != 1 || stats.Pools.Refs != 2 || stats.Pools.Loaded != 1 {
+		t.Fatalf("unexpected pool stats before crash: %+v", stats.Pools)
 	}
 
 	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
@@ -243,33 +286,53 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 	base2 := "http://" + addr2
 
 	var st session.Status
-	if code := getJSON(t, base2+"/v1/sessions/e2e", &st); code != http.StatusOK {
-		t.Fatalf("recovered session missing: status %d", code)
+	for _, id := range []string{"e2e", "e2e-pool"} {
+		if code := getJSON(t, base2+"/v1/sessions/"+id, &st); code != http.StatusOK {
+			t.Fatalf("recovered session %s missing: status %d", id, code)
+		}
+		if st.LabelsCommitted != preRounds*batch {
+			t.Fatalf("%s recovered %d labels, want %d", id, st.LabelsCommitted, preRounds*batch)
+		}
 	}
-	if st.LabelsCommitted != preRounds*batch {
-		t.Fatalf("recovered %d labels, want %d", st.LabelsCommitted, preRounds*batch)
+	// The recovered server resolved the stored pool again: same single copy,
+	// both replayed sessions referencing it.
+	if code := getJSON(t, base2+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats after recovery: status %d", code)
+	}
+	if stats.Pools == nil || stats.Pools.Pools != 1 || stats.Pools.Refs != 2 || stats.Pools.Loaded != 1 {
+		t.Fatalf("unexpected pool stats after recovery: %+v", stats.Pools)
 	}
 	for round := 0; round < postRounds; round++ {
-		got := driveServerRound(t, base2, batch, truth)
-		want := driveRefRound(t, ref, batch, truth)
-		for i := range got {
-			if got[i] != want[i] {
-				t.Fatalf("post-recovery round %d diverged at %d: server pair %d, reference %d", round, i, got[i], want[i])
+		for _, sess := range []struct {
+			id  string
+			ref *session.Session
+		}{{"e2e", ref}, {"e2e-pool", refPool}} {
+			got := driveServerRound(t, base2, sess.id, batch, truth)
+			want := driveRefRound(t, sess.ref, batch, truth)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("post-recovery round %d (%s) diverged at %d: server pair %d, reference %d", round, sess.id, i, got[i], want[i])
+				}
 			}
 		}
 	}
 
 	// The estimates must agree exactly too: the JSON float64 round trip is
 	// lossless, so any difference is real state divergence.
-	if code := getJSON(t, base2+"/v1/sessions/e2e/estimate", &st); code != http.StatusOK {
-		t.Fatalf("estimate: status %d", code)
+	for _, sess := range []struct {
+		id  string
+		ref *session.Session
+	}{{"e2e", ref}, {"e2e-pool", refPool}} {
+		if code := getJSON(t, base2+"/v1/sessions/"+sess.id+"/estimate", &st); code != http.StatusOK {
+			t.Fatalf("estimate %s: status %d", sess.id, code)
+		}
+		if st.LabelsCommitted != totalRounds*batch {
+			t.Fatalf("%s final labels %d, want %d", sess.id, st.LabelsCommitted, totalRounds*batch)
+		}
+		refEst := sess.ref.Estimate()
+		if st.Estimate == nil || *st.Estimate != refEst {
+			t.Fatalf("%s recovered estimate %v, reference %v", sess.id, st.Estimate, refEst)
+		}
 	}
-	if st.LabelsCommitted != totalRounds*batch {
-		t.Fatalf("final labels %d, want %d", st.LabelsCommitted, totalRounds*batch)
-	}
-	refEst := ref.Estimate()
-	if st.Estimate == nil || *st.Estimate != refEst {
-		t.Fatalf("recovered estimate %v, reference %v", st.Estimate, refEst)
-	}
-	t.Logf("kill -9 + WAL recovery reproduced %d proposals and F̂ = %.6f exactly", totalRounds*batch, refEst)
+	t.Logf("kill -9 + WAL recovery reproduced %d proposals (inline + poolref) and both estimates exactly", 2*totalRounds*batch)
 }

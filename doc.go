@@ -56,6 +56,21 @@
 // trimmed tail, and the -fsync policy (per-record / interval / off) sets
 // the durability/latency trade-off, measured by BenchmarkCommitDurable.
 //
+// Pools are shared, not copied. The serving workload is many annotators
+// evaluating one candidate-pair pool, so internal/poolstore keeps a
+// durable, content-addressed, reference-counted pool registry: a pool is
+// uploaded once (POST /v1/pools, JSON or a compact binary columnar format
+// with per-section CRC-32C), stored as an immutable fsync'd file named by
+// the SHA-256 of its canonical encoding, and any number of sessions
+// reference it by poolId — one read-only in-memory copy under a refcount,
+// O(1) WAL create records and snapshots (the hash instead of the columns),
+// and idle-sweep eviction plus DELETE for unreferenced pools. Inline
+// configs are interned into the store transparently, replay resolves the
+// hash back through it, and a missing or corrupt pool at recovery is a
+// deterministic boot error, never a partial restore
+// (TestReplayWithBrokenPoolFailsStop); BenchmarkSessionCreate tracks the
+// inline-vs-poolref create cost over a 1M-pair pool.
+//
 // The service scales across cores by sharding: sessions are independent
 // samplers, so the manager splits its session map into power-of-two shards
 // (session-ID hash → shard, -shards, default derived from GOMAXPROCS) with

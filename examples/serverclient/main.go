@@ -1,6 +1,7 @@
 // Command serverclient demonstrates the evaluation service end to end,
 // in one process: it starts oasis-server's HTTP service on a loopback
-// port, creates a session over a synthetic erbench pool, and drives the
+// port, uploads a synthetic erbench pool once into the content-addressed
+// pool store, creates a session referencing it by poolId, and drives the
 // batched propose/commit protocol from several concurrent "crowd worker"
 // goroutines — each pulling leased batches of record pairs over HTTP,
 // labelling them against ground truth, and posting the answers back. The
@@ -20,6 +21,7 @@ import (
 
 	"oasis"
 	"oasis/erbench"
+	"oasis/internal/poolstore"
 	"oasis/internal/server"
 	"oasis/internal/session"
 )
@@ -50,29 +52,38 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// ---- Start the service in-process ----
+	// ---- Start the service in-process, pool store attached ----
 	ctx, stop := context.WithCancel(context.Background())
-	mgr := session.NewManager(session.ManagerOptions{})
+	pools, err := poolstore.Open("") // in-memory; oasis-server persists via -pools-dir
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := session.NewManager(session.ManagerOptions{Pools: pools})
+	srv := server.New(mgr)
+	srv.SetPools(pools)
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
-	go func() { done <- server.New(mgr).Serve(ctx, "127.0.0.1:0", ready) }()
+	go func() { done <- srv.Serve(ctx, "127.0.0.1:0", ready) }()
 	base := "http://" + <-ready
 	fmt.Printf("service up at %s\n", base)
 
-	// ---- Create a session over HTTP ----
+	// ---- Upload the pool once, then create a session by reference ----
+	var uploaded server.PoolResponse
+	post(base+"/v1/pools", server.PoolUploadRequest{Scores: inner.Scores, Preds: inner.Preds}, &uploaded)
+	fmt.Printf("pool %s… stored once: %d pairs, %d bytes\n",
+		uploaded.PoolID[:12], uploaded.Pairs, uploaded.Bytes)
 	var status session.Status
 	post(base+"/v1/sessions", session.Config{
 		ID:         "demo",
-		Scores:     inner.Scores,
-		Preds:      inner.Preds,
+		PoolID:     uploaded.PoolID,
 		Calibrated: inner.Probabilistic,
 		Threshold:  inner.Threshold,
 		Options:    opts,
 		Budget:     budget,
 		LeaseTTL:   time.Minute,
 	}, &status)
-	fmt.Printf("session %q over %d pairs, initial F̂ = %.4f\n",
-		status.ID, status.PoolSize, *status.InitialEstimate)
+	fmt.Printf("session %q over %d pairs (shared pool, refs now %d), initial F̂ = %.4f\n",
+		status.ID, status.PoolSize, pools.Refs(uploaded.PoolID), *status.InitialEstimate)
 
 	// ---- Crowd workers: propose, label, commit — concurrently ----
 	var wg sync.WaitGroup

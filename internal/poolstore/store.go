@@ -1,0 +1,596 @@
+// Package poolstore is a durable, content-addressed, reference-counted
+// registry of evaluation pools (the score/prediction columns every session
+// samples against).
+//
+// The serving reality behind it: one candidate-pair pool is evaluated by
+// many annotators at once, so the same million-pair columns used to be
+// re-uploaded per session, re-copied per session in memory, and serialised
+// into every WAL create record and every snapshot. The store inverts that.
+// A pool is uploaded once — JSON or the compact binary columnar form (see
+// codec.go) — canonically encoded, addressed by the SHA-256 of those bytes,
+// and persisted as an immutable fsync'd file named by its hash. Sessions
+// then reference the pool by ID: every concurrent session shares one
+// read-only in-memory copy under a reference count, WAL create records and
+// manager snapshots persist only the hash (O(1) instead of O(N)), and
+// replay resolves the hash back through the store. Put returns only after
+// the pool file is durable, so a WAL create record can never reference a
+// pool that a crash could un-write.
+//
+// Unreferenced pools are garbage-collected two ways: DELETE (Remove) drops
+// an unreferenced pool from disk and memory, and an idle sweep (Sweep)
+// evicts the in-memory columns of unreferenced pools while leaving the
+// durable file — the next Acquire reloads and re-verifies it.
+//
+// All methods are safe for concurrent use. The store never mutates a
+// loaded pool's columns, and callers must not either: the whole point is
+// that every session reads the same backing arrays.
+package poolstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Errors returned by the store.
+var (
+	// ErrNotFound is returned for IDs the store does not hold.
+	ErrNotFound = errors.New("poolstore: no such pool")
+	// ErrInUse is returned by Remove while sessions still reference the pool.
+	ErrInUse = errors.New("poolstore: pool is referenced by live sessions")
+)
+
+// Pool is one immutable, shared evaluation pool. Scores and Preds are the
+// content-addressed columns; every session referencing the pool aliases the
+// same backing arrays and must treat them as read-only.
+type Pool struct {
+	// ID is the pool's content address (hex SHA-256 of its encoding).
+	ID string
+	// Scores and Preds are the shared columns, parallel slices.
+	Scores []float64
+	Preds  []bool
+
+	// truth is a shared all-zero oracle-probability column: the serving path
+	// never reads ground truth, but the pool plumbing requires the column to
+	// exist, and allocating it once per pool instead of once per session is
+	// part of the single-copy contract.
+	truth []float64
+}
+
+// N returns the number of pairs.
+func (p *Pool) N() int { return len(p.Scores) }
+
+// Truth returns the shared all-zero oracle-probability column.
+func (p *Pool) Truth() []float64 { return p.truth }
+
+// entry is the store's record of one pool. pool is nil while the columns
+// are not resident (on-disk only, loaded on demand).
+type entry struct {
+	pool      *Pool
+	pairs     int
+	bytes     int64
+	refs      int
+	idleSince time.Time // refs last hit zero (or the entry appeared unreferenced)
+	// loadMu serialises cold loads of this entry only: the disk read, hash
+	// verification and decode of a large pool must not run under the
+	// store-wide mutex, or every unrelated Acquire/Release/Stats would stall
+	// behind it.
+	loadMu sync.Mutex
+}
+
+// info snapshots the entry's Info; callers hold s.mu.
+func (e *entry) info(id string) Info {
+	return Info{ID: id, Pairs: e.pairs, Bytes: e.bytes, Refs: e.refs, Loaded: e.pool != nil}
+}
+
+// Stats is a snapshot of the store's counters, exposed by the server's
+// /v1/stats endpoint.
+type Stats struct {
+	// Pools counts registered pools; Loaded those with resident columns.
+	Pools  int `json:"pools"`
+	Loaded int `json:"loaded"`
+	// Refs is the total number of live session references across all pools.
+	Refs int `json:"refs"`
+	// Bytes is the total encoded size of all registered pools.
+	Bytes int64 `json:"bytes"`
+	// Puts counts uploads that stored a new pool; DedupHits uploads that
+	// landed on an already-stored one.
+	Puts      uint64 `json:"puts"`
+	DedupHits uint64 `json:"dedupHits"`
+	// Loads counts on-demand loads from disk; Evictions idle-sweep drops of
+	// resident columns; Removes deleted pools.
+	Loads     uint64 `json:"loads"`
+	Evictions uint64 `json:"evictions"`
+	Removes   uint64 `json:"removes"`
+	// Damaged counts pool files Open quarantined (unreadable headers); see
+	// Store.Damaged for the names.
+	Damaged int `json:"damaged,omitempty"`
+}
+
+// Info describes one pool for the list/introspection endpoints.
+type Info struct {
+	ID     string `json:"id"`
+	Pairs  int    `json:"pairs"`
+	Bytes  int64  `json:"bytes"`
+	Refs   int    `json:"refs"`
+	Loaded bool   `json:"loaded"`
+}
+
+// Store is the pool registry. A Store with a directory persists every pool
+// as an immutable file named <id>.pool and survives restarts; a Store
+// without one (dir "") is memory-only — fine for tests and for servers
+// that do not journal, but a WAL-backed server should always persist pools,
+// or replay could not resolve the create records it finds.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	pools   map[string]*entry
+	damaged []string         // pool files Open could not index (quarantined)
+	now     func() time.Time // injected by tests
+	puts    uint64
+	hits    uint64
+	loads   uint64
+	evicts  uint64
+	removes uint64
+}
+
+const poolFileSuffix = ".pool"
+
+// Open returns a store over dir, indexing (without loading) every pool file
+// already present. An empty dir means a memory-only store.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, pools: make(map[string]*entry), now: time.Now}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("poolstore: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("poolstore: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != poolFileSuffix {
+			continue
+		}
+		id := name[:len(name)-len(poolFileSuffix)]
+		if !ValidID(id) {
+			continue // not a pool file (e.g. an aborted temp file)
+		}
+		pairs, size, err := readPoolHeader(filepath.Join(dir, name))
+		if err != nil {
+			// Quarantine, don't refuse: a corrupt file that nothing durable
+			// references must not keep the service down. The file is left in
+			// place (never silently deleted) and reported via Damaged; any
+			// session that actually references the ID fails to Acquire it,
+			// which is where the deterministic fail-stop belongs.
+			s.damaged = append(s.damaged, name)
+			continue
+		}
+		s.pools[id] = &entry{pairs: pairs, bytes: size, idleSince: s.now()}
+	}
+	sort.Strings(s.damaged)
+	return s, nil
+}
+
+// Damaged lists the pool files Open could not index (unreadable or corrupt
+// headers). They are left on disk untouched; operators should inspect or
+// remove them. A damaged pool that a session still references fails that
+// session's Acquire with a not-found error.
+func (s *Store) Damaged() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.damaged...)
+}
+
+// Dir returns the store's directory ("" for a memory-only store).
+func (s *Store) Dir() string { return s.dir }
+
+// Durable reports whether the store persists pools to disk. The session
+// manager interns inline pools only into a durable store: interning into a
+// memory-only one would write snapshots (and journals) whose pool
+// references die with the process.
+func (s *Store) Durable() bool { return s.dir != "" }
+
+// readPoolHeader reads just enough of a pool file to index it: the verified
+// header (pair count) and the file size.
+func readPoolHeader(path string) (pairs int, size int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	hdr := make([]byte, codecHeaderSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return 0, 0, fmt.Errorf("short pool file: %w", err)
+	}
+	pairs, err = decodeHeader(hdr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return pairs, info.Size(), nil
+}
+
+// path returns the pool file path for id.
+func (s *Store) path(id string) string { return filepath.Join(s.dir, id+poolFileSuffix) }
+
+// Put canonically encodes the pool columns, stores them under their content
+// address, and returns the pool's Info (Info.ID is the content address).
+// Re-putting an existing pool is a dedup hit (created == false) and writes
+// nothing. With a directory, Put returns only once the pool file and its
+// directory entry are fsync'd — the durability a WAL create record
+// referencing the ID relies on.
+func (s *Store) Put(scores []float64, preds []bool) (info Info, created bool, err error) {
+	encoded, err := Encode(scores, preds)
+	if err != nil {
+		return Info{}, false, err
+	}
+	// Copy before registering: the registered columns become the shared
+	// read-only copy every session aliases, and the caller keeps ownership
+	// of (and may reuse) its own slices — the same contract the inline
+	// session path has always had via oasis.NewPool's copy.
+	scores = append([]float64(nil), scores...)
+	preds = append([]bool(nil), preds...)
+	return s.putEncoded(encoded, scores, preds, false)
+}
+
+// PutEncoded stores a pool already in canonical binary form (the upload
+// endpoint's zero-parse path for binary bodies). The encoding is fully
+// verified before anything is written.
+func (s *Store) PutEncoded(encoded []byte) (info Info, created bool, err error) {
+	scores, preds, err := Decode(encoded)
+	if err != nil {
+		return Info{}, false, err
+	}
+	return s.putEncoded(encoded, scores, preds, false)
+}
+
+// putEncoded registers the verified (encoded, columns) pool, returning its
+// Info snapshot as of registration. With acquire, the registration (or
+// dedup hit) takes one reference atomically, so no concurrent Remove can
+// slip between storing a pool and referencing it. The slow disk write runs
+// outside the store lock: Acquire/Release/Stats on other pools never stall
+// behind a large upload's fsyncs.
+func (s *Store) putEncoded(encoded []byte, scores []float64, preds []bool, acquire bool) (Info, bool, error) {
+	id := contentID(encoded)
+	// registerHit re-lands on an already-registered pool; both critical
+	// sections below share it.
+	registerHit := func() (Info, bool) {
+		e, ok := s.pools[id]
+		if !ok {
+			return Info{}, false
+		}
+		// Already stored — identical content, by construction of the address.
+		// Re-populating the columns costs nothing and saves a disk reload.
+		if e.pool == nil {
+			e.pool = &Pool{ID: id, Scores: scores, Preds: preds, truth: make([]float64, len(scores))}
+		}
+		if acquire {
+			e.refs++
+		}
+		s.hits++
+		return e.info(id), true
+	}
+	s.mu.Lock()
+	if info, ok := registerHit(); ok {
+		s.mu.Unlock()
+		return info, false, nil
+	}
+	s.mu.Unlock()
+	if s.dir != "" {
+		// Outside the lock: the write is atomic (temp + rename) and the
+		// content is a pure function of the ID, so two racing Puts of the
+		// same pool write identical files; the loser re-lands as a dedup hit
+		// below.
+		if err := writeFileAtomicSync(s.path(id), encoded, 0o644); err != nil {
+			return Info{}, false, fmt.Errorf("poolstore: store pool: %w", err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if info, ok := registerHit(); ok {
+		return info, false, nil
+	}
+	ent := &entry{
+		pool:      &Pool{ID: id, Scores: scores, Preds: preds, truth: make([]float64, len(scores))},
+		pairs:     len(scores),
+		bytes:     int64(len(encoded)),
+		idleSince: s.now(),
+	}
+	if acquire {
+		ent.refs = 1
+	}
+	s.pools[id] = ent
+	s.puts++
+	return ent.info(id), true, nil
+}
+
+// Intern stores the pool columns (a dedup hit if already stored) and takes
+// one reference atomically, returning the ID and a release for that
+// reference. The session manager uses it when rewriting inline configs to
+// the PoolID form: the temporary reference keeps a concurrent Remove from
+// deleting the freshly interned pool before the session acquires it.
+func (s *Store) Intern(scores []float64, preds []bool) (id string, release func(), err error) {
+	encoded, err := Encode(scores, preds)
+	if err != nil {
+		return "", nil, err
+	}
+	// Same defensive copy as Put: the caller's slices never become the
+	// shared columns.
+	scores = append([]float64(nil), scores...)
+	preds = append([]bool(nil), preds...)
+	info, _, err := s.putEncoded(encoded, scores, preds, true)
+	if err != nil {
+		return "", nil, err
+	}
+	var once sync.Once
+	return info.ID, func() { once.Do(func() { s.Release(info.ID) }) }, nil
+}
+
+// Acquire resolves id to its shared pool and takes one reference, loading
+// and re-verifying the pool file if the columns are not resident. Every
+// Acquire must be balanced by a Release. The returned pool is shared:
+// callers must not mutate its columns.
+//
+// A cold load — disk read, hash verification, decode — runs under the
+// entry's own lock, not the store-wide one, so loading one large pool never
+// stalls operations on other pools; racing Acquires of the same pool still
+// load it exactly once.
+func (s *Store) Acquire(id string) (*Pool, error) {
+	for {
+		s.mu.Lock()
+		e, ok := s.pools[id]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		if e.pool != nil {
+			e.refs++
+			p := e.pool
+			s.mu.Unlock()
+			return p, nil
+		}
+		s.mu.Unlock()
+
+		e.loadMu.Lock()
+		// Re-check under the entry lock: a predecessor loader may have
+		// populated the columns, or the entry may have been removed (and
+		// possibly re-put) while we waited.
+		s.mu.Lock()
+		if cur, ok := s.pools[id]; !ok || cur != e {
+			// Removed (or replaced) meanwhile: start over against the map.
+			s.mu.Unlock()
+			e.loadMu.Unlock()
+			continue
+		}
+		if e.pool != nil {
+			e.refs++
+			p := e.pool
+			s.mu.Unlock()
+			e.loadMu.Unlock()
+			return p, nil
+		}
+		s.mu.Unlock()
+
+		p, err := s.load(id) // slow: no store-wide lock held
+		s.mu.Lock()
+		if cur, ok := s.pools[id]; !ok || cur != e {
+			// A concurrent Remove won while we were reading (refs were 0, so
+			// it was entitled to): the loaded copy is orphaned.
+			s.mu.Unlock()
+			e.loadMu.Unlock()
+			if err == nil {
+				continue // the ID may have been re-put; re-resolve
+			}
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		if err != nil {
+			s.mu.Unlock()
+			e.loadMu.Unlock()
+			return nil, err
+		}
+		e.pool = p
+		e.pairs = p.N()
+		s.loads++
+		e.refs++
+		s.mu.Unlock()
+		e.loadMu.Unlock()
+		return p, nil
+	}
+}
+
+// load reads, hash-verifies and decodes the pool file for id.
+func (s *Store) load(id string) (*Pool, error) {
+	path := s.path(id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("poolstore: read pool %q: %w", id, err)
+	}
+	// The content address is the root of trust: recompute it over the full
+	// file before decoding, so a corrupt or swapped file can never resolve.
+	if got := contentID(data); got != id {
+		return nil, fmt.Errorf("poolstore: pool %q fails content verification: file hashes to %q", id, got)
+	}
+	scores, preds, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("poolstore: pool %q: %w", id, err)
+	}
+	return &Pool{ID: id, Scores: scores, Preds: preds, truth: make([]float64, len(scores))}, nil
+}
+
+// Release returns one reference taken by Acquire. Releasing an unknown or
+// unreferenced pool is a no-op (the session layer may release on teardown
+// paths that never completed their acquire).
+func (s *Store) Release(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.pools[id]
+	if !ok || e.refs == 0 {
+		return
+	}
+	e.refs--
+	if e.refs == 0 {
+		e.idleSince = s.now()
+	}
+}
+
+// Refs returns the live reference count of id (0 for unknown pools).
+func (s *Store) Refs(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.pools[id]; ok {
+		return e.refs
+	}
+	return 0
+}
+
+// Remove deletes an unreferenced pool from the store and from disk. It
+// returns ErrInUse while sessions reference the pool and ErrNotFound for
+// unknown IDs.
+func (s *Store) Remove(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.pools[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if e.refs > 0 {
+		return fmt.Errorf("%w: %q has %d reference(s)", ErrInUse, id, e.refs)
+	}
+	if s.dir != "" {
+		if err := os.Remove(s.path(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("poolstore: remove pool %q: %w", id, err)
+		}
+	}
+	delete(s.pools, id)
+	s.removes++
+	return nil
+}
+
+// Sweep evicts the resident columns of every unreferenced pool that has
+// been idle for at least idleFor, returning how many pools it evicted. The
+// durable files stay; the next Acquire reloads them. A memory-only store
+// never evicts (the columns are the only copy).
+func (s *Store) Sweep(idleFor time.Duration) int {
+	if s.dir == "" {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	evicted := 0
+	for _, e := range s.pools {
+		if e.pool != nil && e.refs == 0 && now.Sub(e.idleSince) >= idleFor {
+			e.pool = nil
+			evicted++
+			s.evicts++
+		}
+	}
+	return evicted
+}
+
+// Len returns the number of registered pools.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pools)
+}
+
+// Get returns the Info of one pool, or ErrNotFound.
+func (s *Store) Get(id string) (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.pools[id]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return e.info(id), nil
+}
+
+// List returns every pool's Info, sorted by ID.
+func (s *Store) List() []Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Info, 0, len(s.pools))
+	for id, e := range s.pools {
+		out = append(out, e.info(id))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Pools:     len(s.pools),
+		Puts:      s.puts,
+		DedupHits: s.hits,
+		Loads:     s.loads,
+		Evictions: s.evicts,
+		Removes:   s.removes,
+		Damaged:   len(s.damaged),
+	}
+	for _, e := range s.pools {
+		if e.pool != nil {
+			st.Loaded++
+		}
+		st.Refs += e.refs
+		st.Bytes += e.bytes
+	}
+	return st
+}
+
+// writeFileAtomicSync writes data to path durably: temp file in the same
+// directory, fsync, rename into place, fsync the directory. (The WAL has an
+// identical helper; duplicating ~30 lines keeps this package dependency-free
+// of the journal, which itself depends on the session layer above us.)
+func writeFileAtomicSync(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -8,8 +8,19 @@
 //	GET    /v1/sessions/{id}/propose?n=  lease a batch of pairs to label
 //	POST   /v1/sessions/{id}/labels      commit labels (body: {labels: [...]})
 //	DELETE /v1/sessions/{id}             drop the session
+//	POST   /v1/pools                     upload a pool once (JSON {scores, preds} or
+//	                                     binary columnar, Content-Type octet-stream);
+//	                                     returns its content-addressed poolId
+//	GET    /v1/pools                     list stored pools (size, refcount, residency)
+//	GET    /v1/pools/{id}                one pool's info
+//	DELETE /v1/pools/{id}                drop an unreferenced pool (409 while in use)
 //	GET    /healthz                      liveness for load balancers (503 once the WAL fail-stops)
-//	GET    /v1/stats                     service totals + WAL counters for ops
+//	GET    /v1/stats                     service totals + WAL and pool-store counters for ops
+//
+// Pools uploaded through /v1/pools are shared: any number of sessions may be
+// created with {"poolId": ...} instead of inline scores, and they all sample
+// against one read-only in-memory copy. Every request body is bounded by the
+// server's max-body limit (413 beyond it).
 //
 // The propose/commit cycle is the service form of Algorithm 3: workers pull
 // batches of record pairs drawn from the current instrumental distribution,
@@ -24,28 +35,62 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
+	"oasis/internal/poolstore"
 	"oasis/internal/session"
 	"oasis/internal/wal"
 )
 
+// DefaultMaxBodyBytes bounds request bodies when SetMaxBodyBytes is not
+// called: large enough for a multi-million-pair pool upload (a 1M-pair JSON
+// body is ~20 MiB, the binary form ~8 MiB), small enough that one hostile
+// request cannot OOM the process.
+const DefaultMaxBodyBytes = 256 << 20
+
 // Server is the HTTP front-end over a session.Manager.
 type Server struct {
-	mgr *session.Manager
-	jrn *wal.Journal
+	mgr               *session.Manager
+	jrn               *wal.Journal
+	pools             *poolstore.Store
+	poolDeleteBarrier func() error
+	maxBody           int64
 }
 
 // New wraps a manager.
-func New(mgr *session.Manager) *Server { return &Server{mgr: mgr} }
+func New(mgr *session.Manager) *Server { return &Server{mgr: mgr, maxBody: DefaultMaxBodyBytes} }
 
 // SetJournal wires the write-ahead log into the ops endpoints: /healthz
 // degrades to 503 once the journal enters its sticky failure state, and
 // /v1/stats reports its counters.
 func (s *Server) SetJournal(j *wal.Journal) { s.jrn = j }
+
+// SetPools wires the content-addressed pool store into the /v1/pools
+// endpoints and the stats report. It should be the same store the manager
+// resolves Config.PoolID through.
+func (s *Server) SetPools(p *poolstore.Store) { s.pools = p }
+
+// SetMaxBodyBytes bounds every request body; requests beyond the limit get
+// 413. Non-positive keeps the default.
+func (s *Server) SetMaxBodyBytes(n int64) {
+	if n > 0 {
+		s.maxBody = n
+	}
+}
+
+// SetPoolDeleteBarrier installs a hook run before any pool is removed; a
+// hook error aborts the delete (500). Snapshot-mode servers use it to
+// persist a fresh snapshot first: once the barrier returns, no durable
+// state references the pool about to go, so a crash at any point can never
+// leave a snapshot that names a deleted pool. (WAL mode needs no barrier —
+// replay absolves create records for sessions the log later deletes.)
+func (s *Server) SetPoolDeleteBarrier(f func() error) { s.poolDeleteBarrier = f }
 
 // Manager returns the underlying session manager (e.g. for snapshotting at
 // shutdown).
@@ -61,9 +106,37 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/propose", s.propose)
 	mux.HandleFunc("POST /v1/sessions/{id}/labels", s.commitLabels)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.deleteSession)
+	mux.HandleFunc("POST /v1/pools", s.uploadPool)
+	mux.HandleFunc("GET /v1/pools", s.listPools)
+	mux.HandleFunc("GET /v1/pools/{id}", s.getPool)
+	mux.HandleFunc("DELETE /v1/pools/{id}", s.deletePool)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /v1/stats", s.stats)
 	return mux
+}
+
+// limitBody caps r's body at the server's max-body limit. Reads past the
+// limit fail with *http.MaxBytesError, which decodeJSON and readAll turn
+// into a 413.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+}
+
+// decodeJSON decodes a bounded JSON request body into v, writing the error
+// response (413 for an over-limit body, 400 otherwise) itself when it
+// reports false.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any, what string) bool {
+	s.limitBody(w, r)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "bad %s: body exceeds the %d-byte limit", what, tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad %s: %v", what, err)
+		return false
+	}
+	return true
 }
 
 // HealthResponse is the body of GET /healthz.
@@ -96,13 +169,15 @@ type ShardStats struct {
 
 // StatsResponse is the body of GET /v1/stats: service-wide totals, the
 // per-shard breakdown, plus the WAL's segment/sync counters (aggregate and
-// per lane) when durability is enabled.
+// per lane) when durability is enabled and the pool store's counters when
+// one is attached.
 type StatsResponse struct {
-	Sessions         int          `json:"sessions"`
-	LabelsCommitted  int          `json:"labelsCommitted"`
-	PendingProposals int          `json:"pendingProposals"`
-	Shards           []ShardStats `json:"shards"`
-	WAL              *wal.Stats   `json:"wal,omitempty"`
+	Sessions         int              `json:"sessions"`
+	LabelsCommitted  int              `json:"labelsCommitted"`
+	PendingProposals int              `json:"pendingProposals"`
+	Shards           []ShardStats     `json:"shards"`
+	WAL              *wal.Stats       `json:"wal,omitempty"`
+	Pools            *poolstore.Stats `json:"pools,omitempty"`
 }
 
 // stats aggregates shard by shard: each shard's sessions are snapshotted
@@ -124,6 +199,10 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	if s.jrn != nil {
 		st := s.jrn.Stats()
 		resp.WAL = &st
+	}
+	if s.pools != nil {
+		st := s.pools.Stats()
+		resp.Pools = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -155,8 +234,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session.Sessio
 
 func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 	var cfg session.Config
-	if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
-		writeError(w, http.StatusBadRequest, "bad config: %v", err)
+	if !s.decodeJSON(w, r, &cfg, "config") {
 		return
 	}
 	sess, err := s.mgr.Create(cfg)
@@ -246,8 +324,7 @@ func (s *Server) commitLabels(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req LabelsRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad labels: %v", err)
+	if !s.decodeJSON(w, r, &req, "labels") {
 		return
 	}
 	pairs := make([]int, len(req.Labels))
@@ -287,6 +364,138 @@ func (s *Server) deleteSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// PoolUploadRequest is the JSON body of POST /v1/pools: the pool columns,
+// exactly as in session.Config's inline form.
+type PoolUploadRequest struct {
+	Scores []float64 `json:"scores"`
+	Preds  []bool    `json:"preds"`
+}
+
+// PoolResponse describes one stored pool. Created reports whether the
+// upload stored a new pool (false: identical content was already stored —
+// the poolId is the same either way).
+type PoolResponse struct {
+	PoolID  string `json:"poolId"`
+	Pairs   int    `json:"pairs"`
+	Bytes   int64  `json:"bytes"`
+	Refs    int    `json:"refs"`
+	Created bool   `json:"created,omitempty"`
+}
+
+// PoolsResponse is the body of GET /v1/pools.
+type PoolsResponse struct {
+	Pools []poolstore.Info `json:"pools"`
+}
+
+// poolsEnabled writes the uniform 404 for servers running without a pool
+// store.
+func (s *Server) poolsEnabled(w http.ResponseWriter) bool {
+	if s.pools == nil {
+		writeError(w, http.StatusNotFound, "pool store disabled (start the server with -pools-dir)")
+		return false
+	}
+	return true
+}
+
+func poolInfoResponse(info poolstore.Info, created bool) PoolResponse {
+	return PoolResponse{PoolID: info.ID, Pairs: info.Pairs, Bytes: info.Bytes, Refs: info.Refs, Created: created}
+}
+
+// uploadPool stores a pool under its content address: a JSON body carries
+// the columns, an application/octet-stream body the canonical binary
+// columnar encoding (see internal/poolstore). Uploading the same pool twice
+// is an idempotent dedup hit.
+func (s *Server) uploadPool(w http.ResponseWriter, r *http.Request) {
+	if !s.poolsEnabled(w) {
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	var (
+		info    poolstore.Info
+		created bool
+	)
+	if ct == "application/octet-stream" || strings.HasPrefix(ct, "application/x-oasis-pool") {
+		s.limitBody(w, r)
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge, "bad pool: body exceeds the %d-byte limit", tooBig.Limit)
+				return
+			}
+			writeError(w, http.StatusBadRequest, "bad pool: %v", err)
+			return
+		}
+		info, created, err = s.pools.PutEncoded(data)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad pool: %v", err)
+			return
+		}
+	} else {
+		var req PoolUploadRequest
+		if !s.decodeJSON(w, r, &req, "pool") {
+			return
+		}
+		var err error
+		info, created, err = s.pools.Put(req.Scores, req.Preds)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad pool: %v", err)
+			return
+		}
+	}
+	// The response comes from Put's own registration snapshot — never from a
+	// re-read of the store, which a concurrent delete could have emptied.
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, poolInfoResponse(info, created))
+}
+
+func (s *Server) listPools(w http.ResponseWriter, r *http.Request) {
+	if !s.poolsEnabled(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, PoolsResponse{Pools: s.pools.List()})
+}
+
+func (s *Server) getPool(w http.ResponseWriter, r *http.Request) {
+	if !s.poolsEnabled(w) {
+		return
+	}
+	info, err := s.pools.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, poolInfoResponse(info, false))
+}
+
+// deletePool drops an unreferenced pool: 204 on success, 409 while sessions
+// still reference it, 404 for unknown IDs.
+func (s *Server) deletePool(w http.ResponseWriter, r *http.Request) {
+	if !s.poolsEnabled(w) {
+		return
+	}
+	if s.poolDeleteBarrier != nil {
+		if err := s.poolDeleteBarrier(); err != nil {
+			writeError(w, http.StatusInternalServerError, "pool delete barrier: %v", err)
+			return
+		}
+	}
+	switch err := s.pools.Remove(r.PathValue("id")); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, poolstore.ErrInUse):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusNotFound, "%v", err)
+	}
 }
 
 // ShutdownGrace is how long Serve waits for in-flight requests on shutdown.

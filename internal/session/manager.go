@@ -4,13 +4,16 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"oasis"
+	"oasis/internal/poolstore"
 )
 
 // DefaultLeaseTTL is the proposal lease used when neither the manager nor
@@ -75,6 +78,11 @@ type ManagerOptions struct {
 	// are independent samplers — only which lock (and WAL lane) serialises
 	// them.
 	Shards int
+	// Pools, when set, is the content-addressed pool store sessions resolve
+	// Config.PoolID references through. Inline configs are interned into it
+	// on Create, so durable create records and snapshots carry only the pool
+	// hash. Nil keeps the inline-only behaviour.
+	Pools *poolstore.Store
 }
 
 // shard is one lock domain of the manager: a slice of the session map with
@@ -106,6 +114,12 @@ type Manager struct {
 	shards []*shard
 	opts   ManagerOptions
 	jrn    *journalHolder
+
+	// deadMu guards dead: replayed creates whose referenced pool could not
+	// be resolved, pending absolution by a later replayed delete. Only WAL
+	// recovery touches it; see ReplayEvent and UnresolvedReplayCreates.
+	deadMu sync.Mutex
+	dead   map[string]error
 }
 
 // NewManager returns an empty manager.
@@ -157,15 +171,35 @@ func newID() string {
 }
 
 // Create builds and registers a session. An empty Config.ID gets a
-// generated one; a duplicate ID is an error. With a journal attached the
-// creation — configuration, pool and seed — is durably appended before the
-// session becomes reachable, so the log orders it ahead of every event the
-// session will produce.
+// generated one; a duplicate ID is an error. With a pool store attached,
+// inline pool columns are interned into it first — stored once under their
+// content hash, durably, and the config rewritten to reference them — so
+// what the journal and snapshots persist is the O(1) PoolID form. With a
+// journal attached the creation — configuration, pool reference (or inline
+// pool) and seed — is durably appended before the session becomes
+// reachable, so the log orders it ahead of every event the session will
+// produce; the pool itself is durable before that append, so a create
+// record can never name a pool a crash could lose.
 func (m *Manager) Create(cfg Config) (*Session, error) {
 	if cfg.ID == "" {
 		cfg.ID = newID()
 	}
-	s, err := newSession(cfg, m.opts.DefaultLeaseTTL, m.opts.Now)
+	// Intern inline pools only into a durable store: a snapshot (or journal)
+	// referencing a memory-only pool could never be restored after a
+	// restart, whereas an inline config is self-contained. Intern holds a
+	// temporary reference until the session has acquired its own, so a
+	// concurrent pool delete cannot hit the freshly interned pool in
+	// between.
+	if m.opts.Pools != nil && m.opts.Pools.Durable() && cfg.PoolID == "" && len(cfg.Scores) > 0 {
+		id, release, err := m.opts.Pools.Intern(cfg.Scores, cfg.Preds)
+		if err != nil {
+			return nil, fmt.Errorf("session: intern pool: %w", err)
+		}
+		defer release()
+		cfg.PoolID = id
+		cfg.Scores, cfg.Preds = nil, nil
+	}
+	s, err := newSession(cfg, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools)
 	if err != nil {
 		return nil, err
 	}
@@ -179,6 +213,7 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	sh.mu.Lock()
 	if sh.sessions[cfg.ID] != nil || sh.reserved[cfg.ID] {
 		sh.mu.Unlock()
+		s.releasePool()
 		return nil, fmt.Errorf("session: id %q already exists", cfg.ID)
 	}
 	sh.reserved[cfg.ID] = true
@@ -197,6 +232,7 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	defer sh.mu.Unlock()
 	delete(sh.reserved, cfg.ID)
 	if jerr != nil {
+		s.releasePool()
 		return nil, fmt.Errorf("session: journal create: %w", jerr)
 	}
 	s.lastLSN = lsn
@@ -246,7 +282,8 @@ func (m *Manager) Delete(id string) error {
 	sh := m.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, ok := sh.sessions[id]; !ok {
+	s, ok := sh.sessions[id]
+	if !ok {
 		return ErrNotFound
 	}
 	// Unlike Create, the delete append stays under sh.mu: releasing the lock
@@ -260,6 +297,7 @@ func (m *Manager) Delete(id string) error {
 		}
 	}
 	delete(sh.sessions, id)
+	s.releasePool()
 	return nil
 }
 
@@ -405,10 +443,28 @@ func (m *Manager) unlockAll() {
 // sampler exactly where it left off: estimates, posteriors, random streams
 // and outstanding proposals are bit-identical, with each leased pair
 // re-leased for one fresh TTL. Existing sessions with clashing IDs are an
-// error and abort the restore before any registration. Sessions land in the
-// shard their ID hashes to, so a snapshot taken at one shard count restores
-// into a manager with any other.
+// error and abort the restore before any registration; any abort is
+// all-or-nothing — no session is registered and every pool-store reference
+// taken along the way is returned. Sessions land in the shard their ID
+// hashes to, so a snapshot taken at one shard count restores into a manager
+// with any other.
 func (m *Manager) Restore(data []byte) error {
+	return m.restore(data, false)
+}
+
+// RestoreReplay is Restore for WAL recovery: a session whose referenced
+// pool cannot be resolved is parked (see ErrPoolUnavailable) instead of
+// aborting the restore, because the un-replayed journal tail may hold the
+// delete that explains the missing pool — a session folded into a
+// compaction snapshot while live, then deleted, then its pool removed.
+// wal.Open fails the boot afterwards if any parked session was never
+// absolved (UnresolvedReplayCreates). Every other failure stays
+// all-or-nothing exactly as in Restore.
+func (m *Manager) RestoreReplay(data []byte) error {
+	return m.restore(data, true)
+}
+
+func (m *Manager) restore(data []byte, parkUnavailable bool) (err error) {
 	var file snapshotFile
 	if err := json.Unmarshal(data, &file); err != nil {
 		return fmt.Errorf("session: bad snapshot: %w", err)
@@ -417,6 +473,15 @@ func (m *Manager) Restore(data []byte) error {
 		return fmt.Errorf("session: unsupported snapshot version %d", file.Version)
 	}
 	restored := make([]*Session, 0, len(file.Sessions))
+	defer func() {
+		// Failed restores must not leak shared-pool references: none of the
+		// part-built sessions will ever be registered or deleted.
+		if err != nil {
+			for _, s := range restored {
+				s.releasePool()
+			}
+		}
+	}()
 	seen := make(map[string]bool, len(file.Sessions))
 	for _, snap := range file.Sessions {
 		if seen[snap.Config.ID] {
@@ -432,10 +497,24 @@ func (m *Manager) Restore(data []byte) error {
 		}
 	}
 	for _, snap := range file.Sessions {
-		s, err := newSession(snap.Config, m.opts.DefaultLeaseTTL, m.opts.Now)
+		s, err := newSession(snap.Config, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools)
+		if parkUnavailable && errors.Is(err, ErrPoolUnavailable) {
+			// Park instead of aborting: tail replay may delete this session,
+			// absolving the missing pool; wal.Open checks for leftovers.
+			m.deadMu.Lock()
+			if m.dead == nil {
+				m.dead = make(map[string]error)
+			}
+			if _, seen := m.dead[snap.Config.ID]; !seen {
+				m.dead[snap.Config.ID] = err
+			}
+			m.deadMu.Unlock()
+			continue
+		}
 		if err != nil {
 			return fmt.Errorf("session: restore %q: %w", snap.Config.ID, err)
 		}
+		restored = append(restored, s)
 		s.id = snap.Config.ID
 		s.jrn = m.jrn
 		s.lastLSN = snap.LastLSN
@@ -470,15 +549,14 @@ func (m *Manager) Restore(data []byte) error {
 		}
 		deadline := m.opts.Now().Add(s.leaseTTL)
 		for _, pair := range snap.Leases {
-			if pair < 0 || pair >= len(snap.Config.Scores) {
-				return fmt.Errorf("session: restore %q: lease for pair %d outside pool of %d", s.id, pair, len(snap.Config.Scores))
+			if pair < 0 || pair >= s.poolSize {
+				return fmt.Errorf("session: restore %q: lease for pair %d outside pool of %d", s.id, pair, s.poolSize)
 			}
 			if _, dup := s.leases[pair]; dup || labelled(pair) {
 				return fmt.Errorf("session: restore %q: lease for pair %d clashes with its label state", s.id, pair)
 			}
 			s.leases[pair] = deadline
 		}
-		restored = append(restored, s)
 	}
 	// Registration is all-or-nothing across shards: take every shard lock (in
 	// index order), re-check for clashes, then register.
@@ -534,7 +612,24 @@ func (m *Manager) ReplayEvent(ev *Event) (bool, error) {
 		}
 		cfg := *ev.Config
 		cfg.ID = ev.Session
-		s, err := newSession(cfg, m.opts.DefaultLeaseTTL, m.opts.Now)
+		s, err := newSession(cfg, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools)
+		if errors.Is(err, ErrPoolUnavailable) {
+			// The pool may have been legitimately removed after this session
+			// was deleted — with the delete record still in the un-compacted
+			// tail ahead. Park the failure instead of fail-stopping here; a
+			// later replayed delete absolves it, and wal.Open turns any
+			// unabsolved entry into the deterministic boot error via
+			// UnresolvedReplayCreates.
+			m.deadMu.Lock()
+			if m.dead == nil {
+				m.dead = make(map[string]error)
+			}
+			if _, seen := m.dead[ev.Session]; !seen {
+				m.dead[ev.Session] = err
+			}
+			m.deadMu.Unlock()
+			return false, nil
+		}
 		if err != nil {
 			return false, fmt.Errorf("session: replay create %q: %w", ev.Session, err)
 		}
@@ -548,10 +643,19 @@ func (m *Manager) ReplayEvent(ev *Event) (bool, error) {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		s, ok := sh.sessions[ev.Session]
-		if !ok || ev.LSN <= s.LastLSN() {
+		if !ok {
+			// The delete absolves a create parked on an unresolvable pool:
+			// the session never needed to exist in the recovered state.
+			m.deadMu.Lock()
+			delete(m.dead, ev.Session)
+			m.deadMu.Unlock()
+			return false, nil
+		}
+		if ev.LSN <= s.LastLSN() {
 			return false, nil
 		}
 		delete(sh.sessions, ev.Session)
+		s.releasePool()
 		return true, nil
 	case EventPropose, EventCommit, EventRelease:
 		sh := m.shardFor(ev.Session)
@@ -565,6 +669,31 @@ func (m *Manager) ReplayEvent(ev *Event) (bool, error) {
 	default:
 		return false, fmt.Errorf("session: replay: unknown event type %q", ev.Type)
 	}
+}
+
+// UnresolvedReplayCreates reports the replayed creates whose referenced
+// pool could not be resolved and that no later delete absolved, as a
+// deterministic (ID-sorted) error — nil when recovery is clean. wal.Open
+// consults it after replay: an unabsolved entry means a live session's pool
+// is genuinely missing or corrupt, which must fail the boot rather than
+// silently drop the session.
+func (m *Manager) UnresolvedReplayCreates() error {
+	m.deadMu.Lock()
+	defer m.deadMu.Unlock()
+	if len(m.dead) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(m.dead))
+	for id := range m.dead {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	msgs := make([]string, len(ids))
+	for i, id := range ids {
+		msgs[i] = fmt.Sprintf("%q: %v", id, m.dead[id])
+	}
+	return fmt.Errorf("session: replay: %d session(s) reference unresolvable pools and were never deleted: %s",
+		len(ids), strings.Join(msgs, "; "))
 }
 
 // MaxJournalLSN returns the highest journal LSN recorded by any live session

@@ -25,6 +25,8 @@ import (
 	"time"
 
 	"oasis"
+	"oasis/internal/pool"
+	"oasis/internal/poolstore"
 )
 
 // MethodKind selects the evaluation method backing a session.
@@ -48,6 +50,13 @@ var (
 	// labels, or every pair in the pool is already labelled. Pollers treat
 	// it as the terminal signal.
 	ErrBudgetExhausted = errors.New("session: label budget exhausted")
+	// ErrPoolUnavailable marks a config whose referenced pool could not be
+	// resolved from the store (missing, truncated, or failing content
+	// verification). WAL replay treats it specially: a replayed create whose
+	// pool is gone is only fatal if the session is never deleted later in
+	// the log — a pool legitimately removed after its last session was
+	// deleted must not brick the boot.
+	ErrPoolUnavailable = errors.New("session: referenced pool unavailable")
 )
 
 // proposer is the batched propose/commit surface a Session drives. The
@@ -65,17 +74,25 @@ type proposer interface {
 	LabelsCommitted() int
 }
 
-// Config describes a new session: the evaluation pool (parallel score and
-// prediction slices, as in oasis.NewPool), the method and its options, an
-// optional label budget, and the proposal lease TTL.
+// Config describes a new session: the evaluation pool (a content-addressed
+// reference into the pool store, or inline parallel score and prediction
+// slices as in oasis.NewPool), the method and its options, an optional label
+// budget, and the proposal lease TTL.
 type Config struct {
 	// ID names the session; empty means the Manager generates one.
 	ID string `json:"id,omitempty"`
 	// Method selects the evaluation method (default MethodOASIS).
 	Method MethodKind `json:"method,omitempty"`
-	// Scores and Preds define the pool, exactly as in oasis.NewPool.
-	Scores []float64 `json:"scores"`
-	Preds  []bool    `json:"preds"`
+	// PoolID references a pool in the manager's content-addressed store
+	// (internal/poolstore): all sessions with the same PoolID share one
+	// read-only copy of the columns, and durable create records carry only
+	// this hash. Exclusive with inline Scores/Preds.
+	PoolID string `json:"poolId,omitempty"`
+	// Scores and Preds define the pool inline, exactly as in oasis.NewPool.
+	// When the manager has a pool store attached, inline pools are interned
+	// into it on Create and the config is rewritten to the PoolID form.
+	Scores []float64 `json:"scores,omitempty"`
+	Preds  []bool    `json:"preds,omitempty"`
 	// Calibrated marks Scores as probabilities (oasis.CalibratedScores).
 	Calibrated bool `json:"calibrated,omitempty"`
 	// Threshold is the uncalibrated-score decision threshold τ.
@@ -100,8 +117,10 @@ type Proposal struct {
 type Status struct {
 	ID     string     `json:"id"`
 	Method MethodKind `json:"method"`
-	// PoolSize is the number of pairs in the pool.
-	PoolSize int `json:"poolSize"`
+	// PoolSize is the number of pairs in the pool; PoolID is the content
+	// address of the shared stored pool (empty for inline pools).
+	PoolSize int    `json:"poolSize"`
+	PoolID   string `json:"poolId,omitempty"`
 	// Estimate is the current F̂, nil while undefined (NaN is not
 	// representable in JSON).
 	Estimate *float64 `json:"estimate,omitempty"`
@@ -129,6 +148,12 @@ type Session struct {
 	leaseTTL time.Duration
 	now      func() time.Time
 
+	// poolSize is the pool's pair count (cfg.Scores may be empty when the
+	// session references a stored pool); poolRelease returns the session's
+	// reference on the shared pool, nil for inline pools.
+	poolSize    int
+	poolRelease func()
+
 	// jrn shares the manager's durable journal; lastLSN is the LSN of the
 	// session's most recent journaled event (the snapshot watermark replay
 	// skips up to).
@@ -136,31 +161,36 @@ type Session struct {
 	lastLSN uint64
 }
 
-// newSession builds a session from a validated config.
-func newSession(cfg Config, defaultTTL time.Duration, now func() time.Time) (*Session, error) {
+// newSession builds a session from a validated config, resolving the pool
+// either from the content-addressed store (Config.PoolID — the session takes
+// one reference on the shared pool, returned by releasePool) or from the
+// inline columns.
+func newSession(cfg Config, defaultTTL time.Duration, now func() time.Time, pools *poolstore.Store) (_ *Session, err error) {
 	if cfg.Method == "" {
 		cfg.Method = MethodOASIS
 	}
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = defaultTTL
 	}
+	p, poolSize, release, err := resolvePool(cfg, pools)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		// Every error below abandons the session: return the pool reference.
+		if err != nil && release != nil {
+			release()
+		}
+	}()
 	// The stratifier allocates per requested stratum/bin; clamp both to the
 	// pool size so an absurd client (or fuzzed journal) config cannot force a
 	// huge allocation. More strata than pairs is meaningless anyway — empty
 	// strata are dropped.
-	if cfg.Options.Strata > len(cfg.Scores) {
-		cfg.Options.Strata = len(cfg.Scores)
+	if cfg.Options.Strata > poolSize {
+		cfg.Options.Strata = poolSize
 	}
-	if cfg.Options.StrataBins > len(cfg.Scores) {
-		cfg.Options.StrataBins = len(cfg.Scores)
-	}
-	kind := oasis.UncalibratedScores
-	if cfg.Calibrated {
-		kind = oasis.CalibratedScores
-	}
-	p, err := oasis.NewPoolThreshold(cfg.Scores, cfg.Preds, kind, cfg.Threshold)
-	if err != nil {
-		return nil, err
+	if cfg.Options.StrataBins > poolSize {
+		cfg.Options.StrataBins = poolSize
 	}
 	var prop proposer
 	switch cfg.Method {
@@ -176,14 +206,73 @@ func newSession(cfg Config, defaultTTL time.Duration, now func() time.Time) (*Se
 		return nil, fmt.Errorf("session: unknown method %q", cfg.Method)
 	}
 	return &Session{
-		id:       cfg.ID,
-		cfg:      cfg,
-		prop:     prop,
-		leases:   make(map[int]time.Time),
-		leaseTTL: cfg.LeaseTTL,
-		now:      now,
+		id:          cfg.ID,
+		cfg:         cfg,
+		prop:        prop,
+		leases:      make(map[int]time.Time),
+		leaseTTL:    cfg.LeaseTTL,
+		now:         now,
+		poolSize:    poolSize,
+		poolRelease: release,
 	}, nil
 }
+
+// resolvePool materialises a config's evaluation pool. A PoolID resolves
+// through the store to the shared, zero-copy columns (plus a release to
+// return the reference); inline columns build a private copying pool exactly
+// as before.
+func resolvePool(cfg Config, pools *poolstore.Store) (p *oasis.Pool, poolSize int, release func(), err error) {
+	kind := oasis.UncalibratedScores
+	if cfg.Calibrated {
+		kind = oasis.CalibratedScores
+	}
+	if cfg.PoolID != "" {
+		if len(cfg.Scores) > 0 || len(cfg.Preds) > 0 {
+			return nil, 0, nil, fmt.Errorf("session: config names pool %q and carries inline scores; pick one", cfg.PoolID)
+		}
+		if pools == nil {
+			return nil, 0, nil, fmt.Errorf("session: config references pool %q but no pool store is attached", cfg.PoolID)
+		}
+		shared, err := pools.Acquire(cfg.PoolID)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("%w: %v", ErrPoolUnavailable, err)
+		}
+		// Alias the store's columns instead of copying them: the per-session
+		// pool struct is a handful of slice headers over the one shared copy.
+		// Calibration kind and threshold stay per-session.
+		inner := &pool.Pool{
+			Scores:        shared.Scores,
+			Preds:         shared.Preds,
+			TruthProb:     shared.Truth(),
+			Probabilistic: kind == oasis.CalibratedScores,
+			Threshold:     cfg.Threshold,
+		}
+		id := shared.ID
+		return oasis.WrapPool(inner), shared.N(), func() { pools.Release(id) }, nil
+	}
+	op, err := oasis.NewPoolThreshold(cfg.Scores, cfg.Preds, kind, cfg.Threshold)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return op, len(cfg.Scores), nil, nil
+}
+
+// releasePool returns the session's reference on the shared pool (a no-op
+// for inline pools, idempotent otherwise). The manager calls it whenever a
+// session leaves the session map — delete, replayed delete, or an abandoned
+// create/restore.
+func (s *Session) releasePool() {
+	s.mu.Lock()
+	release := s.poolRelease
+	s.poolRelease = nil
+	s.mu.Unlock()
+	if release != nil {
+		release()
+	}
+}
+
+// PoolSize returns the number of pairs in the session's pool.
+func (s *Session) PoolSize() int { return s.poolSize }
 
 // ID returns the session's name.
 func (s *Session) ID() string { return s.id }
@@ -238,7 +327,7 @@ func (s *Session) Propose(n int) ([]Proposal, error) {
 	}
 	now := s.now()
 	s.expireLocked(now)
-	if s.prop.LabelsCommitted() >= len(s.cfg.Scores) {
+	if s.prop.LabelsCommitted() >= s.poolSize {
 		return nil, ErrBudgetExhausted
 	}
 	if r := s.remainingLocked(); r >= 0 {
@@ -373,7 +462,8 @@ func (s *Session) Status() Status {
 	st := Status{
 		ID:               s.id,
 		Method:           s.cfg.Method,
-		PoolSize:         len(s.cfg.Scores),
+		PoolSize:         s.poolSize,
+		PoolID:           s.cfg.PoolID,
 		LabelsCommitted:  s.prop.LabelsCommitted(),
 		PendingProposals: len(s.leases),
 		Budget:           s.cfg.Budget,

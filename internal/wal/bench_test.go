@@ -15,8 +15,71 @@ import (
 	"testing"
 
 	"oasis"
+	"oasis/internal/poolstore"
 	"oasis/internal/session"
 )
+
+// BenchmarkSessionCreate measures what the content-addressed pool store
+// buys on the create path over a 1M-pair pool: the inline variant journals
+// the full columns into the WAL create record (the pre-poolstore behaviour
+// — O(N) JSON per create), the poolref variant stores the pool once and
+// journals only its hash (O(1)). One benchmark op is one durable session
+// create; the custom walB/op metric is the WAL bytes the create record
+// cost. Tracked in BENCH_core.json via `make bench-json` (PR5-poolstore).
+func BenchmarkSessionCreate(b *testing.B) {
+	const pairs = 1 << 20
+	scores, preds, _ := walPool(pairs, 5)
+	run := func(b *testing.B, mgr *session.Manager, j *Journal, cfg session.Config) {
+		b.Helper()
+		var walBytes uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg.ID = fmt.Sprintf("create-%d", i)
+			pre := j.Stats().BytesAppended
+			if _, err := mgr.Create(cfg); err != nil {
+				b.Fatal(err)
+			}
+			walBytes += j.Stats().BytesAppended - pre
+			// Drop the session outside the timed region: a 1M-pair sampler is
+			// tens of MB, and the bench measures create, not accumulation.
+			b.StopTimer()
+			if err := mgr.Delete(cfg.ID); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(walBytes)/float64(b.N), "walB/op")
+	}
+	opts := oasis.Options{Strata: 30, Seed: 9}
+	b.Run("inline", func(b *testing.B) {
+		mgr := session.NewManager(session.ManagerOptions{})
+		j, err := Open(b.TempDir(), mgr, Options{Fsync: "off"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		run(b, mgr, j, session.Config{Scores: scores, Preds: preds, Calibrated: true, Options: opts})
+	})
+	b.Run("poolref", func(b *testing.B) {
+		store, err := poolstore.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		putInfo, _, err := store.Put(scores, preds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		id := putInfo.ID
+		mgr := session.NewManager(session.ManagerOptions{Pools: store})
+		j, err := Open(b.TempDir(), mgr, Options{Fsync: "off"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		run(b, mgr, j, session.Config{PoolID: id, Calibrated: true, Options: opts})
+	})
+}
 
 // BenchmarkManagerParallel measures multi-session commit throughput through
 // the sharded manager and its per-shard WAL lanes: one benchmark op is one

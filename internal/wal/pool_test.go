@@ -1,0 +1,407 @@
+package wal
+
+// WAL coverage for content-addressed pool references: create records for
+// stored pools are O(1) instead of O(pool), recovery resolves the hash back
+// through the store bit-for-bit (including through compaction snapshots),
+// and a missing, truncated or hash-mismatched pool at replay time is a
+// deterministic boot error — never a panic, never a partial recovery.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oasis"
+	"oasis/internal/poolstore"
+	"oasis/internal/session"
+)
+
+// poolStoreFixture builds a store holding one pool of n pairs.
+func poolStoreFixture(t *testing.T, n int, seed uint64) (store *poolstore.Store, id string, truth []bool) {
+	t.Helper()
+	store, err := poolstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, preds, truth := walPool(n, seed)
+	info, _, err := store.Put(scores, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, info.ID, truth
+}
+
+// TestPoolRefCreateRecordIsTiny is the O(N)→O(1) acceptance check: the
+// create record of a session referencing a stored 1M-pair pool must fit in
+// 1 KiB (the inline form is ~18 MB of JSON), and the session must still
+// recover from it.
+func TestPoolRefCreateRecordIsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 1M-pair pool")
+	}
+	store, id, truth := poolStoreFixture(t, 1<<20, 3)
+	dir := t.TempDir()
+	mgr := session.NewManager(session.ManagerOptions{Pools: store})
+	j := mustOpen(t, dir, mgr, Options{Fsync: "off"})
+	pre := j.Stats().BytesAppended
+	s, err := mgr.Create(session.Config{
+		ID: "big", PoolID: id, Calibrated: true,
+		Options: oasis.Options{Strata: 30, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	createBytes := j.Stats().BytesAppended - pre
+	if createBytes > 1024 {
+		t.Fatalf("create record for a 1M-pair poolref session is %d bytes, want <= 1024", createBytes)
+	}
+	t.Logf("1M-pair poolref create record: %d bytes", createBytes)
+
+	driveRound(t, s, 8, truth)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := session.NewManager(session.ManagerOptions{Pools: store})
+	j2 := mustOpen(t, dir, mgr2, Options{Fsync: "off"})
+	defer j2.Close()
+	r, err := mgr2.Get("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Status(); got.PoolSize != 1<<20 || got.LabelsCommitted != 8 {
+		t.Fatalf("recovered 1M session status = %+v", got)
+	}
+	if got := store.Refs(id); got != 2 { // live manager's session + recovered one
+		t.Fatalf("store refs = %d, want 2", got)
+	}
+}
+
+// TestRecoveryResolvesPoolRefs: sessions created by PoolID — and inline
+// sessions interned into the store — recover from the journal through the
+// pool store and continue the exact proposal sequence, including across a
+// compaction that folds their create records into a snapshot.
+func TestRecoveryResolvesPoolRefs(t *testing.T) {
+	store, id, truth := poolStoreFixture(t, 3000, 11)
+	scores, preds, _ := walPool(3000, 11)
+	dir := t.TempDir()
+	mgr := session.NewManager(session.ManagerOptions{Pools: store, Shards: 2})
+	j := mustOpen(t, dir, mgr, Options{Fsync: "off"})
+
+	// One explicit poolref session, one inline session (interned on create:
+	// its journal record carries the same hash).
+	byRef, err := mgr.Create(session.Config{ID: "byref", PoolID: id, Calibrated: true, Options: oasis.Options{Strata: 10, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline, err := mgr.Create(session.Config{ID: "inline", Scores: scores, Preds: preds, Calibrated: true, Options: oasis.Options{Strata: 10, Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Refs(id); got != 2 {
+		t.Fatalf("refs after poolref + interned inline create = %d, want 2", got)
+	}
+	for i := 0; i < 6; i++ {
+		driveRound(t, byRef, 3, truth)
+		driveRound(t, inline, 2, truth)
+	}
+	// Fold the create records into per-lane snapshots, then keep going: the
+	// snapshot path must carry the pool reference too.
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, byRef, 3, truth)
+	driveRound(t, inline, 2, truth)
+
+	// Reference managers driven identically, for the continuation check.
+	refMgr := session.NewManager(session.ManagerOptions{Pools: store})
+	refByRef, err := refMgr.Create(session.Config{ID: "byref", PoolID: id, Calibrated: true, Options: oasis.Options{Strata: 10, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refInline, err := refMgr.Create(session.Config{ID: "inline", Scores: scores, Preds: preds, Calibrated: true, Options: oasis.Options{Strata: 10, Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		driveRound(t, refByRef, 3, truth)
+		driveRound(t, refInline, 2, truth)
+	}
+	driveRound(t, refByRef, 3, truth)
+	driveRound(t, refInline, 2, truth)
+
+	// Crash (abandon the journal), recover into a fresh manager over the
+	// same store.
+	mgr2 := session.NewManager(session.ManagerOptions{Pools: store, Shards: 2})
+	j2 := mustOpen(t, dir, mgr2, Options{Fsync: "off"})
+	defer j2.Close()
+	recByRef, err := mgr2.Get("byref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recInline, err := mgr2.Get("inline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameContinuation(t, recByRef, refByRef, 5, 3, truth)
+	requireSameContinuation(t, recInline, refInline, 5, 2, truth)
+	if got := store.Refs(id); got != 6 { // 2 live + 2 reference + 2 recovered
+		t.Fatalf("refs after recovery = %d, want 6", got)
+	}
+}
+
+// TestReplayWithBrokenPoolFailsStop: recovery of a journal whose create
+// records reference a pool the store cannot resolve must fail Open with a
+// deterministic error — missing store entry, truncated file, or a file
+// whose content hashes differently — and never register a partial manager.
+func TestReplayWithBrokenPoolFailsStop(t *testing.T) {
+	poolDir := t.TempDir()
+	store, err := poolstore.Open(poolDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, preds, truth := walPool(2000, 13)
+	putInfo, _, err := store.Put(scores, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := putInfo.ID
+	walDir := t.TempDir()
+	mgr := session.NewManager(session.ManagerOptions{Pools: store})
+	j := mustOpen(t, walDir, mgr, Options{Fsync: "off"})
+	s, err := mgr.Create(session.Config{ID: "victim", PoolID: id, Calibrated: true, Options: oasis.Options{Strata: 8, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, s, 4, truth)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	poolPath := filepath.Join(poolDir, id+".pool")
+	raw, err := os.ReadFile(poolPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each scenario damages the pool differently; Open must refuse the boot
+	// with a pool-specific error and leave the manager empty.
+	scenarios := []struct {
+		name    string
+		prepare func(t *testing.T, dir string)
+		wantErr string
+	}{
+		{"missing pool file", func(t *testing.T, dir string) {}, "no such pool"},
+		{"truncated pool file", func(t *testing.T, dir string) {
+			if err := os.WriteFile(filepath.Join(dir, id+".pool"), raw[:len(raw)-9], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, id[:8]},
+		{"hash mismatch", func(t *testing.T, dir string) {
+			other, _, _ := walPool(2000, 14)
+			otherPreds := make([]bool, len(other))
+			for i := range other {
+				otherPreds[i] = other[i] >= 0.5
+			}
+			enc, err := poolstore.Encode(other, otherPreds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, id+".pool"), enc, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, "content verification"},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			sc.prepare(t, dir)
+			broken, err := poolstore.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := session.NewManager(session.ManagerOptions{Pools: broken})
+			_, err = Open(walDir, fresh, Options{Fsync: "off"})
+			if err == nil || !strings.Contains(err.Error(), sc.wantErr) {
+				t.Fatalf("Open: err = %v, want substring %q", err, sc.wantErr)
+			}
+			if fresh.Len() != 0 {
+				t.Fatalf("failed recovery registered %d session(s)", fresh.Len())
+			}
+		})
+	}
+
+	// And with no store at all: same deterministic refusal.
+	t.Run("no store attached", func(t *testing.T) {
+		fresh := session.NewManager(session.ManagerOptions{})
+		_, err := Open(walDir, fresh, Options{Fsync: "off"})
+		if err == nil || !strings.Contains(err.Error(), "no pool store") {
+			t.Fatalf("Open without store: err = %v", err)
+		}
+	})
+
+	// The undamaged store still recovers, proving the journal itself was
+	// never the problem.
+	healthy := session.NewManager(session.ManagerOptions{Pools: store})
+	j2, err := Open(walDir, healthy, Options{Fsync: "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if healthy.Len() != 1 {
+		t.Fatalf("healthy recovery found %d session(s), want 1", healthy.Len())
+	}
+}
+
+// TestReplayAbsolvesDeletedSessionsPool: removing a pool after its last
+// referencing session was deleted is legitimate, even while the session's
+// create record still sits in the un-compacted log — the replayed delete
+// absolves the unresolvable create, and the boot succeeds. A live session
+// over the same missing pool must still fail the boot.
+func TestReplayAbsolvesDeletedSessionsPool(t *testing.T) {
+	poolDir := t.TempDir()
+	store, err := poolstore.Open(poolDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, preds, truth := walPool(1500, 19)
+	putInfo, _, err := store.Put(scores, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := putInfo.ID
+	keepScores, keepPreds, _ := walPool(1500, 20)
+	keepInfo, _, err := store.Put(keepScores, keepPreds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keepID := keepInfo.ID
+	walDir := t.TempDir()
+	mgr := session.NewManager(session.ManagerOptions{Pools: store})
+	j := mustOpen(t, walDir, mgr, Options{Fsync: "off"})
+	// A session on the doomed pool: created, labelled, deleted. Its create
+	// and delete records stay in the tail (no compaction).
+	s, err := mgr.Create(session.Config{ID: "gone", PoolID: id, Calibrated: true, Options: oasis.Options{Strata: 6, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, s, 3, truth)
+	if err := mgr.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	// A survivor session on a different pool.
+	if _, err := mgr.Create(session.Config{ID: "keep", PoolID: keepID, Calibrated: true, Options: oasis.Options{Strata: 6, Seed: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The operator removes the now-unreferenced pool...
+	if err := store.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the next boot replays create("gone")+delete("gone") over the
+	// missing pool without failing.
+	store2, err := poolstore.Open(poolDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := session.NewManager(session.ManagerOptions{Pools: store2})
+	j2, err := Open(walDir, mgr2, Options{Fsync: "off"})
+	if err != nil {
+		t.Fatalf("recovery after legitimate pool removal: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr2.Len() != 1 {
+		t.Fatalf("recovered %d session(s), want just the survivor", mgr2.Len())
+	}
+	if _, err := mgr2.Get("keep"); err != nil {
+		t.Fatal("survivor session missing after recovery")
+	}
+
+	// Control: the same journal with the SURVIVOR's pool gone must refuse
+	// to boot — no delete ever absolves "keep".
+	store3, err := poolstore.Open(t.TempDir()) // empty: keep's pool missing
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr3 := session.NewManager(session.ManagerOptions{Pools: store3})
+	if _, err := Open(walDir, mgr3, Options{Fsync: "off"}); err == nil || !strings.Contains(err.Error(), "never deleted") {
+		t.Fatalf("boot with a live session's pool missing: err = %v", err)
+	}
+}
+
+// TestReplayAbsolvesCompactedSessionsPool is the compaction variant of the
+// absolution: a session folded LIVE into a compaction snapshot, deleted
+// afterwards (the delete record in the tail), its pool then removed. The
+// snapshot restore parks the unresolvable session instead of aborting, and
+// the tail's delete absolves it — the boot must succeed with just the
+// survivor.
+func TestReplayAbsolvesCompactedSessionsPool(t *testing.T) {
+	poolDir := t.TempDir()
+	store, err := poolstore.Open(poolDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, preds, truth := walPool(1500, 21)
+	putInfo, _, err := store.Put(scores, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := putInfo.ID
+	keepScores, keepPreds, keepTruth := walPool(1500, 22)
+	keepInfo, _, err := store.Put(keepScores, keepPreds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	mgr := session.NewManager(session.ManagerOptions{Pools: store})
+	j := mustOpen(t, walDir, mgr, Options{Fsync: "off"})
+	s, err := mgr.Create(session.Config{ID: "gone", PoolID: id, Calibrated: true, Options: oasis.Options{Strata: 6, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := mgr.Create(session.Config{ID: "keep", PoolID: keepInfo.ID, Calibrated: true, Options: oasis.Options{Strata: 6, Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, s, 3, truth)
+	driveRound(t, keep, 3, keepTruth)
+	// Fold both sessions — live — into the compaction snapshot, THEN delete
+	// one: its create now lives only in the snapshot, its delete only in the
+	// tail.
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := poolstore.Open(poolDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := session.NewManager(session.ManagerOptions{Pools: store2})
+	j2, err := Open(walDir, mgr2, Options{Fsync: "off"})
+	if err != nil {
+		t.Fatalf("recovery after pool removal behind a compaction snapshot: %v", err)
+	}
+	defer j2.Close()
+	if mgr2.Len() != 1 {
+		t.Fatalf("recovered %d session(s), want just the survivor", mgr2.Len())
+	}
+	recovered, err := mgr2.Get("keep")
+	if err != nil {
+		t.Fatal("survivor session missing after recovery")
+	}
+	if st := recovered.Status(); st.LabelsCommitted != 3 {
+		t.Fatalf("survivor recovered %d labels, want 3", st.LabelsCommitted)
+	}
+}

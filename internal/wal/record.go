@@ -39,10 +39,13 @@ const (
 	// recordVersion is the current record format version, bumped from the
 	// implicit v1 when lanes and shard tags were added to the header.
 	recordVersion = 2
-	// maxRecordSize bounds one record's payload; a create event embeds the
-	// session's whole pool, so the cap is generous. Journal.Append enforces
-	// it (and with it the uint32 length field): a larger payload is rejected
-	// before it is written, never acknowledged and then unreadable at replay.
+	// maxRecordSize bounds one record's payload; an inline create event (no
+	// pool store attached) embeds the session's whole pool, so the cap is
+	// generous. With a pool store, create records carry only the pool's
+	// content hash and stay O(1) regardless of pool size. Journal.Append
+	// enforces the cap (and with it the uint32 length field): a larger
+	// payload is rejected before it is written, never acknowledged and then
+	// unreadable at replay.
 	maxRecordSize = 1 << 30
 )
 

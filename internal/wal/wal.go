@@ -323,6 +323,15 @@ func Open(dir string, mgr *session.Manager, opts Options) (*Journal, error) {
 		}
 	}
 
+	// A replayed create whose pool reference failed to resolve is parked,
+	// not fatal, because a later delete in the log absolves it (the pool was
+	// legitimately removed after its last session died). Anything still
+	// parked now is a live session whose pool is genuinely missing or
+	// corrupt: refuse the boot deterministically.
+	if err := mgr.UnresolvedReplayCreates(); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+
 	// Resume every lane's LSN sequence above everything seen anywhere:
 	// cross-lane LSNs are never compared, but per-session watermarks must
 	// stay below every future LSN even right after an upgrade moved a
@@ -513,7 +522,7 @@ func (j *Journal) recoverLegacy(mgr *session.Manager, inv dirState) error {
 		if env.Version != 1 {
 			return fmt.Errorf("wal: snapshot %s: unsupported version %d", path, env.Version)
 		}
-		if err := mgr.Restore(env.Sessions); err != nil {
+		if err := mgr.RestoreReplay(env.Sessions); err != nil {
 			return fmt.Errorf("wal: snapshot %s: %w", path, err)
 		}
 		j.replay.snapshot = true
@@ -737,7 +746,7 @@ func (j *Journal) recoverLane(mgr *session.Manager, ln *lane, segs, snaps []uint
 		if env.Version != 2 || env.Lane == nil || *env.Lane != ln.idx {
 			return fmt.Errorf("wal: snapshot %s: version %d, lane %v — want version 2 for lane %d", path, env.Version, env.Lane, ln.idx)
 		}
-		if err := mgr.Restore(env.Sessions); err != nil {
+		if err := mgr.RestoreReplay(env.Sessions); err != nil {
 			return fmt.Errorf("wal: snapshot %s: %w", path, err)
 		}
 		sawSnapshot = true
