@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test test-stress race bench bench-json bench-smoke fuzz-smoke serve serve-wal example clean
+.PHONY: build vet fmt-check test test-stress race bench bench-json bench-smoke fuzz-smoke metrics-smoke serve serve-wal serve-metrics example clean
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,14 @@ bench-json:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(HOT_BENCH)' -benchtime 1x $(HOT_BENCH_PKGS)
 
+# Observability smoke (CI runs the same): boot the real binary, run a
+# labelling workload, scrape /metrics, and fail on malformed exposition or
+# zeroed hot-path counters. The strict text-format validator lives in
+# internal/server; this drives it end to end through the built binary.
+metrics-smoke:
+	$(GO) test ./cmd/oasis-server -run '^TestMetricsSmokeEndToEnd$$' -count=1
+	$(GO) test ./internal/server -run '^TestMetrics' -count=1
+
 # Short fuzz of the WAL replay path (CI runs the same). Minimization is
 # capped: replay coverage is mildly nondeterministic (temp paths, map
 # iteration), and the default 60s minimize budget stalls short smoke runs.
@@ -65,6 +73,12 @@ serve:
 # kill -9 safe, acknowledged labels survive crashes.
 serve-wal:
 	$(GO) run ./cmd/oasis-server -addr :8080 -wal oasis-wal -fsync always -compact-every 10m
+
+# Run the evaluation service with the WAL plus per-request access logging —
+# scrape http://localhost:8080/metrics (always on; this target just adds
+# the request log for eyeballing alongside the gauges).
+serve-metrics:
+	$(GO) run ./cmd/oasis-server -addr :8080 -wal oasis-wal -fsync always -access-log -slow-request 500ms
 
 # End-to-end demo: in-process server + concurrent HTTP labelling workers.
 example:

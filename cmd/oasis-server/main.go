@@ -10,7 +10,7 @@
 //	             [-pools-dir dir] [-pool-gc 10m]
 //	             [-wal dir] [-fsync always|off|100ms] [-compact-every 10m]
 //	             [-snapshot state.json] [-snapshot-interval 1m]
-//	             [-pprof addr]
+//	             [-pprof addr] [-access-log] [-slow-request 1s] [-version]
 //
 // -pools-dir enables the durable content-addressed pool store
 // (internal/poolstore): pools uploaded once via POST /v1/pools are stored as
@@ -50,27 +50,53 @@
 // (e.g. localhost:6060) for live CPU/heap profiling of the serving hot path:
 //
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
+// Observability is always on: GET /metrics serves Prometheus text
+// exposition covering HTTP routes, session shards, WAL lanes, the pool
+// store, and per-session sampler health (see the README's Observability
+// section). -access-log logs one line per request with a request ID;
+// requests slower than -slow-request are tagged slow=true. -version
+// prints the build version and exits.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"syscall"
 	"time"
 
+	"oasis/internal/obs"
 	"oasis/internal/poolstore"
 	"oasis/internal/server"
 	"oasis/internal/session"
 	"oasis/internal/wal"
 )
+
+// version is the release string baked in via
+// `-ldflags "-X main.version=..."`; empty builds fall back to the
+// module version recorded by the Go toolchain.
+var version string
+
+func buildVersion() string {
+	if version != "" {
+		return version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
 
 func main() {
 	var (
@@ -86,8 +112,15 @@ func main() {
 		poolGC       = flag.Duration("pool-gc", 0, "evict the in-memory copy of pools unreferenced for this long, checked on the same interval (0 = never)")
 		maxBody      = flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum HTTP request body size in bytes (413 beyond it)")
 		pprofAddr    = flag.String("pprof", "", "listen address for the net/http/pprof debug server (empty = disabled)")
+		accessLog    = flag.Bool("access-log", false, "log one line per HTTP request, with request ID, route, status, and latency")
+		slowReq      = flag.Duration("slow-request", time.Second, "with -access-log: tag requests at or above this latency with slow=true")
+		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("oasis-server %s %s %s/%s\n", buildVersion(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return
+	}
 	if *walDir != "" && *snapshot != "" {
 		log.Fatalf("-wal and -snapshot are exclusive durability modes; pick one")
 	}
@@ -148,12 +181,18 @@ func main() {
 		log.Printf("pool store: quarantined %d unreadable pool file(s) (left on disk, inspect and remove): %v", len(damaged), damaged)
 	}
 
-	mgr := session.NewManager(session.ManagerOptions{DefaultLeaseTTL: *lease, Shards: nShards, Pools: pools})
+	// Metrics are always on: the instruments are atomic counters with no
+	// hot-path allocations, so there is nothing worth a flag to save.
+	reg := obs.NewRegistry()
+	mgr := session.NewManager(session.ManagerOptions{
+		DefaultLeaseTTL: *lease, Shards: nShards, Pools: pools,
+		Metrics: session.NewMetrics(reg, nShards),
+	})
 	log.Printf("session manager sharded %d way(s)", mgr.Shards())
 	var journal *wal.Journal
 	switch {
 	case *walDir != "":
-		j, err := wal.Open(*walDir, mgr, wal.Options{Fsync: *fsync})
+		j, err := wal.Open(*walDir, mgr, wal.Options{Fsync: *fsync, Metrics: wal.NewMetrics(reg)})
 		if err != nil {
 			log.Fatalf("open wal: %v", err)
 		}
@@ -247,6 +286,11 @@ func main() {
 	}
 	srv.SetPools(pools)
 	srv.SetMaxBodyBytes(*maxBody)
+	srv.SetVersion(buildVersion())
+	srv.EnableMetrics(reg)
+	if *accessLog {
+		srv.SetAccessLog(log.Default(), *slowReq)
+	}
 	if *snapshot != "" {
 		// Persist a fresh snapshot before any pool delete: once it is on
 		// disk, no durable state references the pool about to go, so a crash

@@ -18,6 +18,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strconv"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -302,6 +304,21 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 	if stats.Pools == nil || stats.Pools.Pools != 1 || stats.Pools.Refs != 2 || stats.Pools.Loaded != 1 {
 		t.Fatalf("unexpected pool stats after recovery: %+v", stats.Pools)
 	}
+	// The replay counters must survive into both /v1/stats and /metrics:
+	// a scrape right after recovery is how an operator confirms the journal
+	// actually replayed instead of starting empty.
+	if stats.WAL == nil || stats.WAL.ReplayApplied == 0 {
+		t.Fatalf("recovery replayed no WAL events: %+v", stats.WAL)
+	}
+	exposition := getRaw(t, base2+"/metrics")
+	if v := metricValue(t, exposition, "oasis_wal_replay_applied_total"); v == 0 {
+		t.Fatal("scraped oasis_wal_replay_applied_total = 0 after recovery")
+	} else if v != float64(stats.WAL.ReplayApplied) {
+		t.Fatalf("scraped replay counter %v, stats says %d", v, stats.WAL.ReplayApplied)
+	}
+	if v := metricValue(t, exposition, "oasis_sessions"); v != 2 {
+		t.Fatalf("scraped oasis_sessions = %v after recovery, want 2", v)
+	}
 	for round := 0; round < postRounds; round++ {
 		for _, sess := range []struct {
 			id  string
@@ -335,4 +352,134 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 		}
 	}
 	t.Logf("kill -9 + WAL recovery reproduced %d proposals (inline + poolref) and both estimates exactly", 2*totalRounds*batch)
+}
+
+// getRaw fetches a URL and returns the body as text.
+func getRaw(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// metricValue sums every sample of one family in a raw exposition.
+func metricValue(t *testing.T, exposition, family string) float64 {
+	t.Helper()
+	var sum float64
+	found := false
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		if len(rest) > 0 && rest[0] != ' ' && rest[0] != '{' {
+			continue // longer name sharing the prefix
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		sum += v
+		found = true
+	}
+	if !found {
+		t.Fatalf("family %q absent from exposition", family)
+	}
+	return sum
+}
+
+// TestMetricsSmokeEndToEnd boots the real binary, runs a short workload,
+// and demands a well-formed /metrics exposition with live hot-path
+// counters — the same check `make metrics-smoke` runs in CI.
+func TestMetricsSmokeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a real server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "oasis-server")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd, addr := startServer(t, bin, "-addr", "127.0.0.1:0", "-wal", t.TempDir(), "-fsync", "always", "-access-log")
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+	base := "http://" + addr
+
+	scores, preds, truth := e2ePool(1000, 7)
+	cfg := session.Config{
+		ID: "smoke", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 10, Seed: 5},
+	}
+	if code := postJSON(t, base+"/v1/sessions", cfg, nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	const rounds, batch = 5, 16
+	for i := 0; i < rounds; i++ {
+		driveServerRound(t, base, "smoke", batch, truth)
+	}
+
+	exposition := getRaw(t, base+"/metrics")
+	// Exposition sanity: every family has HELP and TYPE, and the hot-path
+	// counters that the workload must have driven are non-zero.
+	for _, fam := range []string{"oasis_session_labels_committed_total", "oasis_http_requests_total",
+		"oasis_wal_records_appended_total", "oasis_wal_fsync_seconds_count",
+		"oasis_session_commit_seconds_count", "oasis_sampler_ess_ratio"} {
+		root := strings.TrimSuffix(strings.TrimSuffix(fam, "_count"), "_seconds") + "_seconds"
+		if !strings.Contains(fam, "_seconds") {
+			root = fam
+		}
+		if !strings.Contains(exposition, "# HELP "+root) || !strings.Contains(exposition, "# TYPE "+root) {
+			t.Errorf("family %s lacks HELP/TYPE", root)
+		}
+	}
+	if v := metricValue(t, exposition, "oasis_session_labels_committed_total"); v != rounds*batch {
+		t.Errorf("labels committed = %v, want %d", v, rounds*batch)
+	}
+	if v := metricValue(t, exposition, "oasis_wal_records_appended_total"); v == 0 {
+		t.Error("WAL append counter is zero after workload")
+	}
+	if v := metricValue(t, exposition, "oasis_wal_fsync_seconds_count"); v == 0 {
+		t.Error("fsync histogram observed nothing with -fsync always")
+	}
+	// The scrape observes itself: the only in-flight request is /metrics.
+	if v := metricValue(t, exposition, "oasis_http_in_flight_requests"); v != 1 {
+		t.Errorf("in-flight gauge = %v during scrape, want 1", v)
+	}
+	ratio := metricValue(t, exposition, "oasis_sampler_ess_ratio")
+	if !(ratio > 0 && ratio <= 1.0000001) {
+		t.Errorf("ESS ratio = %v, want in (0,1]", ratio)
+	}
+
+	var stats server.StatsResponse
+	if code := getJSON(t, base+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if stats.UptimeSeconds <= 0 || stats.Runtime.Goroutines <= 0 || stats.Runtime.GoVersion == "" {
+		t.Errorf("stats runtime block not populated: uptime=%v runtime=%+v", stats.UptimeSeconds, stats.Runtime)
+	}
+	if stats.Version == "" {
+		t.Error("stats version is empty")
+	}
+	if out, err := exec.Command(bin, "-version").Output(); err != nil || !strings.Contains(string(out), stats.Version) {
+		t.Errorf("-version output %q does not carry stats version %q (err %v)", out, stats.Version, err)
+	}
 }

@@ -125,6 +125,17 @@
 // variables, and `make bench-json` honours OASIS_BENCH_LABEL for the run
 // label.
 //
+// The evaluation service is observable end to end: cmd/oasis-server serves
+// Prometheus text exposition at GET /metrics (built on the dependency-free
+// internal/obs package — atomic counters and fixed-bucket histograms with
+// zero hot-path allocations), covering per-route HTTP latency, per-shard
+// session lifecycle counters, WAL append/fsync latency and per-lane depth,
+// pool-store residency, and per-session sampler health: the running
+// F-measure estimate, its delta-method asymptotic variance, and the
+// effective-sample-size ratio (Σw)²/(n·Σw²) whose decay toward zero is the
+// weight-degeneracy signal OASIS's stratified refresh exists to prevent.
+// A Sampler exposes the same diagnostics in-process via Health().
+//
 // Every randomised component is seeded explicitly; identical seeds give
 // bit-identical runs.
 package oasis

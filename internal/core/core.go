@@ -497,6 +497,10 @@ func (o *Sampler) Estimate() float64 {
 // regardless of the configured reporting mode (NaN while undefined).
 func (o *Sampler) AISEstimate() float64 { return o.est.Estimate() }
 
+// Estimator exposes the underlying AIS estimator for health diagnostics
+// (ESS, asymptotic variance). Callers must not mutate it.
+func (o *Sampler) Estimator() *estimator.Weighted { return o.est }
+
 // TruePi computes the population per-stratum oracle probabilities π from the
 // pool's ground truth (diagnostics; Figure 4b).
 func TruePi(p *pool.Pool, s *strata.Strata) []float64 {

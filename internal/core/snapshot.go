@@ -6,12 +6,23 @@ import (
 	"oasis/internal/rng"
 )
 
-// EstimatorState captures the AIS estimator's accumulated sums (Eqn. 3).
+// EstimatorState captures the AIS estimator's accumulated sums (Eqn. 3)
+// plus the higher-order weight moments backing the runtime health gauges
+// (ESS, asymptotic variance). The moment fields are omitempty so that
+// snapshots written before they existed still decode: they restore as
+// zeros, which the estimator reports as "health unknown" without
+// affecting the estimate itself.
 type EstimatorState struct {
 	Num  float64 `json:"num"`
 	Pred float64 `json:"pred"`
 	True float64 `json:"true"`
 	N    int     `json:"n"`
+
+	SumW  float64 `json:"sumW,omitempty"`
+	SumW2 float64 `json:"sumW2,omitempty"`
+	YY    float64 `json:"yy,omitempty"`
+	YZ    float64 `json:"yz,omitempty"`
+	ZZ    float64 `json:"zz,omitempty"`
 }
 
 // State is a complete, JSON-serialisable snapshot of a Sampler's mutable
@@ -38,6 +49,7 @@ var ErrBadState = errors.New("core: snapshot does not match sampler (stratum cou
 // State captures the sampler's current mutable state.
 func (o *Sampler) State() *State {
 	num, pred, true_ := o.est.Sums()
+	sumW, sumW2, yy, yz, zz := o.est.Moments()
 	return &State{
 		Prior0:     append([]float64(nil), o.prior0...),
 		Prior1:     append([]float64(nil), o.prior1...),
@@ -46,7 +58,10 @@ func (o *Sampler) State() *State {
 		LabelsSeen: append([]int(nil), o.labelsSeen...),
 		PiInit:     append([]float64(nil), o.piInit...),
 		FInit:      o.fInit,
-		Estimator:  EstimatorState{Num: num, Pred: pred, True: true_, N: o.est.N()},
+		Estimator: EstimatorState{
+			Num: num, Pred: pred, True: true_, N: o.est.N(),
+			SumW: sumW, SumW2: sumW2, YY: yy, YZ: yz, ZZ: zz,
+		},
 		Iterations: o.iterations,
 		RNG:        o.rng.State(),
 	}
@@ -75,6 +90,7 @@ func (o *Sampler) Restore(st *State) error {
 	copy(o.piInit, st.PiInit)
 	o.fInit = st.FInit
 	o.est.SetSums(st.Estimator.Num, st.Estimator.Pred, st.Estimator.True, st.Estimator.N)
+	o.est.SetMoments(st.Estimator.SumW, st.Estimator.SumW2, st.Estimator.YY, st.Estimator.YZ, st.Estimator.ZZ)
 	o.iterations = st.Iterations
 	// The cached instrumental distribution (and any cache derived from it)
 	// belongs to the overwritten state: force a rebuild on the next draw.

@@ -36,6 +36,16 @@ type Weighted struct {
 	sumPred float64 // Σ w_t l̂_t
 	sumTrue float64 // Σ w_t l_t
 	n       int
+
+	// Higher-order moments for runtime health diagnostics. With
+	// y_t = l_t·l̂_t and z_t = α·l̂_t + (1−α)·l_t these feed the
+	// delta-method asymptotic variance of the ratio estimator and the
+	// effective sample size of the importance weights.
+	sumW  float64 // Σ w_t
+	sumW2 float64 // Σ w_t²
+	sumYY float64 // Σ w_t² y_t²   (= Σ w_t² y_t, y is 0/1)
+	sumYZ float64 // Σ w_t² y_t z_t
+	sumZZ float64 // Σ w_t² z_t²
 }
 
 // NewWeighted returns a Weighted estimator for the given α.
@@ -44,15 +54,26 @@ func NewWeighted(alpha float64) *Weighted { return &Weighted{Alpha: alpha} }
 // Add incorporates one labelled sample with importance weight w.
 func (e *Weighted) Add(w float64, label, pred bool) {
 	e.n++
+	w2 := w * w
+	e.sumW += w
+	e.sumW2 += w2
+	var z float64
 	if label && pred {
 		e.sumNum += w
 	}
 	if pred {
 		e.sumPred += w
+		z = e.Alpha
 	}
 	if label {
 		e.sumTrue += w
+		z += 1 - e.Alpha
 	}
+	if label && pred {
+		e.sumYY += w2
+		e.sumYZ += w2 * z
+	}
+	e.sumZZ += w2 * z * z
 }
 
 // N returns the number of samples incorporated.
@@ -89,6 +110,66 @@ func (e *Weighted) Sums() (num, pred, true_ float64) {
 // previously captured estimator state (see Sums and N).
 func (e *Weighted) SetSums(num, pred, true_ float64, n int) {
 	e.sumNum, e.sumPred, e.sumTrue, e.n = num, pred, true_, n
+}
+
+// Moments exposes the higher-order weight moments for snapshotting.
+func (e *Weighted) Moments() (sumW, sumW2, sumYY, sumYZ, sumZZ float64) {
+	return e.sumW, e.sumW2, e.sumYY, e.sumYZ, e.sumZZ
+}
+
+// SetMoments overwrites the higher-order weight moments, restoring a
+// previously captured state (see Moments). Snapshots written before the
+// moments existed restore zeros here: ESS and variance then read as
+// unknown until fresh labels arrive, while the estimate itself — driven
+// solely by the first-order sums — is unaffected.
+func (e *Weighted) SetMoments(sumW, sumW2, sumYY, sumYZ, sumZZ float64) {
+	e.sumW, e.sumW2, e.sumYY, e.sumYZ, e.sumZZ = sumW, sumW2, sumYY, sumYZ, sumZZ
+}
+
+// ESS returns the effective sample size of the importance weights,
+// (Σw)²/Σw² — n when all weights are equal, collapsing toward 1 as the
+// weights degenerate (the Bezáková-style failure mode for SIS). Zero
+// when no weighted samples have been seen.
+func (e *Weighted) ESS() float64 {
+	if e.sumW2 <= 0 {
+		return 0
+	}
+	return e.sumW * e.sumW / e.sumW2
+}
+
+// ESSRatio returns ESS/n ∈ (0, 1], or NaN before any samples. Values
+// near 1 mean the instrumental distribution is well matched; values
+// near 0 mean a few huge weights dominate and the estimate's nominal
+// sample count overstates the information actually collected.
+func (e *Weighted) ESSRatio() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	return e.ESS() / float64(e.n)
+}
+
+// AsymptoticVariance returns the delta-method estimate σ̂² of the
+// asymptotic variance of the ratio estimator, so that
+// Var(F̂) ≈ σ̂²/n. With y = l·l̂ and z = α·l̂ + (1−α)·l,
+//
+//	σ̂² = n · (Σw²y² − 2F̂·Σw²yz + F̂²·Σw²z²) / (Σwz)²
+//
+// NaN while the estimate is undefined or the moments are unavailable
+// (estimator restored from a pre-moment snapshot).
+func (e *Weighted) AsymptoticVariance() float64 {
+	den := e.Alpha*e.sumPred + (1-e.Alpha)*e.sumTrue
+	if den <= 0 || e.n == 0 || e.sumW2 <= 0 {
+		return math.NaN()
+	}
+	f := e.sumNum / den
+	if f > 1 {
+		f = 1
+	}
+	s := e.sumYY - 2*f*e.sumYZ + f*f*e.sumZZ
+	if s < 0 {
+		s = 0
+	}
+	return float64(e.n) * s / (den * den)
 }
 
 // Stratified is the proportional stratified F-measure estimator used by the

@@ -272,3 +272,125 @@ func TestWeightedSumsExposed(t *testing.T) {
 		t.Errorf("sums = %v %v %v", num, pred, tru)
 	}
 }
+
+func TestESSEqualWeights(t *testing.T) {
+	e := NewWeighted(0.5)
+	for i := 0; i < 100; i++ {
+		e.Add(1, i%2 == 0, i%3 == 0)
+	}
+	if got := e.ESS(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("ESS = %v, want 100", got)
+	}
+	if got := e.ESSRatio(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("ESSRatio = %v, want 1", got)
+	}
+}
+
+func TestESSDegenerateWeights(t *testing.T) {
+	e := NewWeighted(0.5)
+	e.Add(1e6, true, true)
+	for i := 0; i < 99; i++ {
+		e.Add(1e-6, true, true)
+	}
+	// One dominant weight: ESS collapses toward 1, ratio toward 1/n.
+	if got := e.ESS(); got > 1.001 {
+		t.Errorf("ESS = %v, want ~1", got)
+	}
+	if got := e.ESSRatio(); got > 0.02 {
+		t.Errorf("ESSRatio = %v, want ~0.01", got)
+	}
+}
+
+func TestESSUndefinedBeforeSamples(t *testing.T) {
+	e := NewWeighted(0.5)
+	if got := e.ESS(); got != 0 {
+		t.Errorf("ESS = %v, want 0", got)
+	}
+	if got := e.ESSRatio(); !math.IsNaN(got) {
+		t.Errorf("ESSRatio = %v, want NaN", got)
+	}
+	if got := e.AsymptoticVariance(); !math.IsNaN(got) {
+		t.Errorf("AsymptoticVariance = %v, want NaN", got)
+	}
+}
+
+func TestMomentsRoundTrip(t *testing.T) {
+	e := NewWeighted(0.3)
+	e.Add(2, true, true)
+	e.Add(0.5, false, true)
+	e.Add(3, true, false)
+	w, w2, yy, yz, zz := e.Moments()
+	num, pred, tru := e.Sums()
+
+	f := NewWeighted(0.3)
+	f.SetSums(num, pred, tru, e.N())
+	f.SetMoments(w, w2, yy, yz, zz)
+	if f.ESS() != e.ESS() || f.ESSRatio() != e.ESSRatio() {
+		t.Error("ESS not preserved across round trip")
+	}
+	va, vb := e.AsymptoticVariance(), f.AsymptoticVariance()
+	if va != vb {
+		t.Errorf("variance not preserved: %v vs %v", va, vb)
+	}
+	if vb <= 0 || math.IsNaN(vb) {
+		t.Errorf("variance = %v, want positive", vb)
+	}
+}
+
+func TestAsymptoticVarianceMatchesEmpirical(t *testing.T) {
+	// Monte Carlo check of the delta-method variance: under repeated
+	// importance-sampled replications, the empirical variance of F̂ should
+	// match the average of the per-replication estimates σ̂²/n.
+	r := rng.New(7)
+	const n = 400
+	labels := make([]bool, n)
+	preds := make([]bool, n)
+	q := make([]float64, n)
+	for i := 0; i < n; i++ {
+		labels[i] = i%5 == 0
+		preds[i] = i%4 == 0 || (labels[i] && i%2 == 0)
+		if preds[i] || labels[i] {
+			q[i] = 4
+		} else {
+			q[i] = 1
+		}
+	}
+	qsum := 0.0
+	for _, v := range q {
+		qsum += v
+	}
+	sampler, err := rng.NewAlias(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reps, draws = 400, 2000
+	p := 1.0 / float64(n)
+	var ests, predVar []float64
+	for rep := 0; rep < reps; rep++ {
+		e := NewWeighted(0.5)
+		for d := 0; d < draws; d++ {
+			i := sampler.Draw(r)
+			e.Add(p/(q[i]/qsum), labels[i], preds[i])
+		}
+		ests = append(ests, e.Estimate())
+		predVar = append(predVar, e.AsymptoticVariance()/float64(draws))
+	}
+	var mean float64
+	for _, v := range ests {
+		mean += v
+	}
+	mean /= reps
+	var empirical float64
+	for _, v := range ests {
+		empirical += (v - mean) * (v - mean)
+	}
+	empirical /= reps - 1
+	var predicted float64
+	for _, v := range predVar {
+		predicted += v
+	}
+	predicted /= reps
+	if ratio := predicted / empirical; ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("delta-method variance %v vs empirical %v (ratio %v)", predicted, empirical, ratio)
+	}
+}

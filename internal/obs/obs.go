@@ -1,0 +1,346 @@
+// Package obs is a dependency-free metrics core: atomic counters, gauges,
+// and fixed-bucket latency histograms with zero allocations on the hot
+// path, plus a Prometheus text-exposition writer (prom.go).
+//
+// Instruments are registered once at wiring time against a Registry and
+// then updated lock-free from hot paths. All instrument methods are
+// nil-receiver safe, so callers can hold a possibly-nil instrument and
+// skip the "is metrics enabled?" branch:
+//
+//	var c *obs.Counter // nil: metrics disabled
+//	c.Inc()            // no-op
+//
+// Dynamic series whose label sets are not known at wiring time (per-lane
+// WAL depth, per-session sampler health) are produced at scrape time by
+// collectors: the family is declared up front with DeclareGauge or
+// DeclareCounter, and an AddCollector callback emits samples into it on
+// every WriteTo.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is a single Prometheus label pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. Safe on a nil receiver.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count. Safe on a nil receiver.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (which may be negative). Safe on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value. Safe on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Observe is lock-free
+// and does not allocate: the bucket index is found by binary search over
+// the upper bounds and the running sum is maintained with a CAS loop over
+// the float64 bit pattern.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; bucket i counts v <= bounds[i]
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow bucket
+	sum    atomic.Uint64   // math.Float64bits of the running sum
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations. Safe on a nil receiver.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values. Safe on a nil receiver.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// LatencyBuckets is the default bucket layout for latency histograms,
+// in seconds. It spans 25µs (fast in-memory ops) to 10s (stalled fsync).
+var LatencyBuckets = []float64{
+	0.000025, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25,
+	0.5, 1, 2.5, 10,
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// child is one labeled series of a family backed by a live instrument.
+type child struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+type family struct {
+	name     string
+	help     string
+	kind     kind
+	children []child
+}
+
+// Emit is the callback handed to collectors: it appends one sample to a
+// previously declared family. Emitting into an undeclared family or into
+// a family backed by live instruments panics — it is a wiring bug.
+type Emit func(name string, value float64, labels ...Label)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format via WriteTo.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	declared   map[string]bool // families fed by collectors, not instruments
+	collectors []func(Emit)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		declared: make(map[string]bool),
+	}
+}
+
+func (r *Registry) familyLocked(name, help string, k kind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: family %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	return f
+}
+
+func checkSeries(name string, f *family, declaredOnly bool, declared map[string]bool, labels []Label) {
+	if declared[name] != declaredOnly {
+		if declaredOnly {
+			panic(fmt.Sprintf("obs: family %q is instrument-backed, cannot emit collector samples", name))
+		}
+		panic(fmt.Sprintf("obs: family %q is collector-backed, cannot attach instruments", name))
+	}
+	for _, c := range f.children {
+		if labelsEqual(c.labels, labels) {
+			panic(fmt.Sprintf("obs: duplicate series %s%s", name, labelString(labels)))
+		}
+	}
+}
+
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or extends) a counter family and returns the series
+// for the given label set.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, kindCounter)
+	checkSeries(name, f, false, r.declared, labels)
+	c := &Counter{}
+	f.children = append(f.children, child{labels: labels, counter: c})
+	return c
+}
+
+// Gauge registers (or extends) a gauge family and returns the series for
+// the given label set.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, kindGauge)
+	checkSeries(name, f, false, r.declared, labels)
+	g := &Gauge{}
+	f.children = append(f.children, child{labels: labels, gauge: g})
+	return g
+}
+
+// Histogram registers (or extends) a histogram family and returns the
+// series for the given label set. buckets are upper bounds in ascending
+// order; a +Inf overflow bucket is added implicitly. A nil buckets slice
+// uses LatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = LatencyBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, kindHistogram)
+	checkSeries(name, f, false, r.declared, labels)
+	h := &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+	f.children = append(f.children, child{labels: labels, hist: h})
+	return h
+}
+
+// DeclareGauge declares a gauge family whose samples are produced by
+// collectors at scrape time.
+func (r *Registry) DeclareGauge(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, kindGauge)
+	if len(f.children) > 0 {
+		panic(fmt.Sprintf("obs: family %q already has instrument series", name))
+	}
+	r.declared[name] = true
+}
+
+// DeclareCounter declares a counter family whose samples are produced by
+// collectors at scrape time.
+func (r *Registry) DeclareCounter(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, kindCounter)
+	if len(f.children) > 0 {
+		panic(fmt.Sprintf("obs: family %q already has instrument series", name))
+	}
+	r.declared[name] = true
+}
+
+// AddCollector registers a callback invoked on every WriteTo. The
+// callback emits samples into families previously declared with
+// DeclareGauge/DeclareCounter. Collectors run outside the registry lock,
+// so they may take their own locks (session, WAL, pool store).
+func (r *Registry) AddCollector(collect func(Emit)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, collect)
+}
+
+// snapshot returns the families sorted by name plus the collector list.
+func (r *Registry) snapshot() ([]*family, []func(Emit), map[string]bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	collectors := make([]func(Emit), len(r.collectors))
+	copy(collectors, r.collectors)
+	declared := make(map[string]bool, len(r.declared))
+	for k, v := range r.declared {
+		declared[k] = v
+	}
+	return fams, collectors, declared
+}

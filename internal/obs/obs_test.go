@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram observed")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	// Upper bounds are inclusive: 0.1 lands in the first bucket.
+	for _, v := range []float64{0.05, 0.1, 0.5, 1, 5, 10, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 1} // (-inf,0.1], (0.1,1], (1,10], (10,+inf)
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+1+5+10+100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramConcurrentSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "latency", []float64{1})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	if got, want := h.Sum(), 0.5*workers*per; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("req_total", "requests", Label{"route", "GET /x"}, Label{"code", "2xx"})
+	c.Add(3)
+	g := r.Gauge("in_flight", "in-flight requests")
+	g.Set(2)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.25, 0.5})
+	h.Observe(0.1)
+	h.Observe(0.3)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP in_flight in-flight requests
+# TYPE in_flight gauge
+in_flight 2
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.25"} 1
+lat_seconds_bucket{le="0.5"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 9.4
+lat_seconds_count 3
+# HELP req_total requests
+# TYPE req_total counter
+req_total{route="GET /x",code="2xx"} 3
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelAndHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("esc_total", "line1\nline2 back\\slash", Label{"id", "a\"b\\c\nd"})
+	c.Inc()
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, `# HELP esc_total line1\nline2 back\\slash`) {
+		t.Fatalf("help not escaped:\n%s", got)
+	}
+	if !strings.Contains(got, `esc_total{id="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", got)
+	}
+}
+
+func TestCollectorFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.DeclareGauge("dyn_gauge", "dynamic")
+	r.AddCollector(func(emit Emit) {
+		emit("dyn_gauge", 1.5, Label{"k", "b"})
+		emit("dyn_gauge", 2.5, Label{"k", "a"})
+	})
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	// Samples are sorted by label signature for deterministic scrapes.
+	ia, ib := strings.Index(got, `dyn_gauge{k="a"} 2.5`), strings.Index(got, `dyn_gauge{k="b"} 1.5`)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("collector samples missing or unsorted:\n%s", got)
+	}
+}
+
+func TestSpecialFloatFormatting(t *testing.T) {
+	if formatFloat(math.NaN()) != "NaN" {
+		t.Fatal("NaN")
+	}
+	if formatFloat(math.Inf(1)) != "+Inf" {
+		t.Fatal("+Inf")
+	}
+	if formatFloat(math.Inf(-1)) != "-Inf" {
+		t.Fatal("-Inf")
+	}
+	if formatFloat(0.25) != "0.25" {
+		t.Fatal("0.25")
+	}
+}
+
+func TestDuplicateSeriesPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "dup", Label{"a", "1"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate series")
+		}
+	}()
+	r.Counter("dup_total", "dup", Label{"a", "1"})
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mix_total", "mix")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("mix_total", "mix")
+}
+
+func TestEmitUndeclaredPanics(t *testing.T) {
+	r := NewRegistry()
+	r.AddCollector(func(emit Emit) {
+		emit("nope_total", 1)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on undeclared emit")
+		}
+	}()
+	var sb strings.Builder
+	_, _ = r.WriteTo(&sb)
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the value to send in the Content-Type header when
+// serving WriteTo output over HTTP.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo renders every family in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, each preceded by # HELP and
+// # TYPE lines, histogram series expanded into cumulative _bucket lines
+// plus _sum and _count. Collector callbacks run first (outside the
+// registry lock) to produce samples for declared families.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	fams, collectors, declared := r.snapshot()
+
+	// Gather collector samples per family.
+	collected := make(map[string][]collectedSample)
+	emit := func(name string, value float64, labels ...Label) {
+		if !declared[name] {
+			panic(fmt.Sprintf("obs: collector emitted into undeclared family %q", name))
+		}
+		collected[name] = append(collected[name], collectedSample{labels: labels, value: value})
+	}
+	for _, c := range collectors {
+		c(emit)
+	}
+
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	for _, f := range fams {
+		writeHeader(cw, f)
+		for _, c := range f.children {
+			switch f.kind {
+			case kindCounter:
+				writeSample(cw, f.name, "", c.labels, formatUint(c.counter.Value()))
+			case kindGauge:
+				writeSample(cw, f.name, "", c.labels, formatInt(c.gauge.Value()))
+			case kindHistogram:
+				writeHistogram(cw, f.name, c.labels, c.hist)
+			}
+		}
+		samples := collected[f.name]
+		// Sort for a deterministic exposition independent of collector
+		// iteration order (session maps, shard loops).
+		sort.SliceStable(samples, func(i, j int) bool {
+			return labelString(samples[i].labels) < labelString(samples[j].labels)
+		})
+		for _, s := range samples {
+			writeSample(cw, f.name, "", s.labels, formatFloat(s.value))
+		}
+	}
+	if err := bw.Flush(); cw.err == nil {
+		cw.err = err
+	}
+	return cw.n, cw.err
+}
+
+type collectedSample struct {
+	labels []Label
+	value  float64
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) writeString(s string) {
+	if cw.err != nil {
+		return
+	}
+	n, err := io.WriteString(cw.w, s)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func writeHeader(cw *countingWriter, f *family) {
+	cw.writeString("# HELP ")
+	cw.writeString(f.name)
+	cw.writeString(" ")
+	cw.writeString(escapeHelp(f.help))
+	cw.writeString("\n# TYPE ")
+	cw.writeString(f.name)
+	cw.writeString(" ")
+	cw.writeString(f.kind.String())
+	cw.writeString("\n")
+}
+
+func writeSample(cw *countingWriter, name, suffix string, labels []Label, value string) {
+	cw.writeString(name)
+	cw.writeString(suffix)
+	cw.writeString(labelString(labels))
+	cw.writeString(" ")
+	cw.writeString(value)
+	cw.writeString("\n")
+}
+
+func writeHistogram(cw *countingWriter, name string, labels []Label, h *Histogram) {
+	// Snapshot counts first, then the sum: a concurrent Observe may add
+	// to the sum after the count snapshot, but never the reverse, so the
+	// exposed _sum/_count pair stays plausible (sum of <=count values).
+	var cum uint64
+	withLe := make([]Label, len(labels)+1)
+	copy(withLe, labels)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		withLe[len(labels)] = Label{Name: "le", Value: formatFloat(bound)}
+		writeSample(cw, name, "_bucket", withLe, formatUint(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	withLe[len(labels)] = Label{Name: "le", Value: "+Inf"}
+	writeSample(cw, name, "_bucket", withLe, formatUint(cum))
+	writeSample(cw, name, "_sum", labels, formatFloat(h.Sum()))
+	writeSample(cw, name, "_count", labels, formatUint(cum))
+}
+
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatUint(v uint64) string {
+	return strconv.FormatUint(v, 10)
+}
+
+func formatInt(v int64) string {
+	return strconv.FormatInt(v, 10)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

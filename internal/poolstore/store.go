@@ -96,16 +96,20 @@ type Stats struct {
 	Loaded int `json:"loaded"`
 	// Refs is the total number of live session references across all pools.
 	Refs int `json:"refs"`
-	// Bytes is the total encoded size of all registered pools.
-	Bytes int64 `json:"bytes"`
+	// Bytes is the total encoded size of all registered pools;
+	// ResidentBytes the size of those currently loaded in memory.
+	Bytes         int64 `json:"bytes"`
+	ResidentBytes int64 `json:"residentBytes"`
 	// Puts counts uploads that stored a new pool; DedupHits uploads that
 	// landed on an already-stored one.
 	Puts      uint64 `json:"puts"`
 	DedupHits uint64 `json:"dedupHits"`
 	// Loads counts on-demand loads from disk; Evictions idle-sweep drops of
-	// resident columns; Removes deleted pools.
+	// resident columns; Sweeps the sweep passes that produced them;
+	// Removes deleted pools.
 	Loads     uint64 `json:"loads"`
 	Evictions uint64 `json:"evictions"`
+	Sweeps    uint64 `json:"sweeps"`
 	Removes   uint64 `json:"removes"`
 	// Damaged counts pool files Open quarantined (unreadable headers); see
 	// Store.Damaged for the names.
@@ -137,6 +141,7 @@ type Store struct {
 	hits    uint64
 	loads   uint64
 	evicts  uint64
+	sweeps  uint64
 	removes uint64
 }
 
@@ -489,6 +494,7 @@ func (s *Store) Sweep(idleFor time.Duration) int {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweeps++
 	now := s.now()
 	evicted := 0
 	for _, e := range s.pools {
@@ -541,12 +547,14 @@ func (s *Store) Stats() Stats {
 		DedupHits: s.hits,
 		Loads:     s.loads,
 		Evictions: s.evicts,
+		Sweeps:    s.sweeps,
 		Removes:   s.removes,
 		Damaged:   len(s.damaged),
 	}
 	for _, e := range s.pools {
 		if e.pool != nil {
 			st.Loaded++
+			st.ResidentBytes += e.bytes
 		}
 		st.Refs += e.refs
 		st.Bytes += e.bytes

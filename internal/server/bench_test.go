@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"oasis"
+	"oasis/internal/obs"
 	"oasis/internal/rng"
 	"oasis/internal/session"
 	"oasis/internal/wal"
@@ -40,21 +41,44 @@ func benchPool(n int, seed uint64) (scores []float64, preds, truth []bool) {
 // clients, each on its own session, against a sharded manager journaling to
 // per-shard WAL lanes with fsync=always. One benchmark op is one
 // propose?n=16 + one labels POST. At shards=1 every commit's fsync queues
-// on one lane; at shards=8 the lanes sync concurrently. Tracked in
+// on one lane; at shards=8 the lanes sync concurrently. The metrics
+// variant wires the full observability stack (registry, session + WAL
+// instruments, /metrics routes) to keep its hot-path overhead honest —
+// the PR6 acceptance gate holds it within 5% of metrics-off. Tracked in
 // BENCH_core.json via `make bench-json` alongside the single-worker
 // BenchmarkServerPropose baseline.
 func BenchmarkServerProposeParallel(b *testing.B) {
 	scores, preds, truth := benchPool(50_000, 5)
-	for _, shards := range []int{1, 8} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			mgr := session.NewManager(session.ManagerOptions{Shards: shards})
-			j, err := wal.Open(b.TempDir(), mgr, wal.Options{Fsync: "always"})
+	for _, bc := range []struct {
+		name    string
+		shards  int
+		metrics bool
+	}{
+		{"shards=1", 1, false},
+		{"shards=8", 8, false},
+		{"shards=8-metrics", 8, true},
+	} {
+		shards := bc.shards
+		b.Run(bc.name, func(b *testing.B) {
+			var reg *obs.Registry
+			var sessMet *session.Metrics
+			walOpts := wal.Options{Fsync: "always"}
+			if bc.metrics {
+				reg = obs.NewRegistry()
+				sessMet = session.NewMetrics(reg, shards)
+				walOpts.Metrics = wal.NewMetrics(reg)
+			}
+			mgr := session.NewManager(session.ManagerOptions{Shards: shards, Metrics: sessMet})
+			j, err := wal.Open(b.TempDir(), mgr, walOpts)
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer j.Close()
 			srv := New(mgr)
 			srv.SetJournal(j)
+			if bc.metrics {
+				srv.EnableMetrics(reg)
+			}
 			ts := httptest.NewServer(srv.Handler())
 			defer ts.Close()
 

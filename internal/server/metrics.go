@@ -1,0 +1,297 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"oasis/internal/obs"
+)
+
+// serverMetrics is the HTTP layer's instrumentation: one in-flight gauge
+// plus, per registered route, a latency histogram and status-class
+// counters. Routes are registered once (Handler wraps each handler at
+// registration, since ServeMux does not expose the matched pattern to
+// outer middleware) and reused if Handler is built again.
+type serverMetrics struct {
+	reg      *obs.Registry
+	inflight *obs.Gauge
+
+	mu     sync.Mutex
+	routes map[string]*routeMetrics
+}
+
+type routeMetrics struct {
+	seconds *obs.Histogram
+	classes [5]*obs.Counter // index (status/100)-1: 1xx..5xx
+}
+
+func (m *serverMetrics) route(pattern string) *routeMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rm, ok := m.routes[pattern]; ok {
+		return rm
+	}
+	rl := obs.Label{Name: "route", Value: pattern}
+	rm := &routeMetrics{
+		seconds: m.reg.Histogram("oasis_http_request_seconds", "HTTP request latency by route.", nil, rl),
+	}
+	for i := range rm.classes {
+		rm.classes[i] = m.reg.Counter("oasis_http_requests_total", "HTTP requests by route and status class.",
+			rl, obs.Label{Name: "code", Value: strconv.Itoa(i+1) + "xx"})
+	}
+	m.routes[pattern] = rm
+	return rm
+}
+
+// EnableMetrics attaches a metrics registry: Handler() then serves it at
+// GET /metrics, every route is instrumented (count by status class,
+// latency histogram, in-flight gauge), and scrape-time collectors export
+// the session shards, per-session sampler health, WAL lanes, pool store,
+// and Go runtime. Call it before Handler(), after the journal and pool
+// store are wired.
+func (s *Server) EnableMetrics(reg *obs.Registry) {
+	s.met = &serverMetrics{
+		reg:      reg,
+		inflight: reg.Gauge("oasis_http_in_flight_requests", "HTTP requests currently being served."),
+		routes:   make(map[string]*routeMetrics),
+	}
+	s.registerCollectors(reg)
+}
+
+// SetVersion sets the version string advertised by /v1/stats and the
+// oasis_build_info metric.
+func (s *Server) SetVersion(v string) { s.version = v }
+
+// SetAccessLog enables structured access logging: one line per request
+// with a request ID (also returned in the X-Request-ID header), the
+// matched route, status, byte count and duration. Requests at or above
+// slow get a slow=true marker. Call before Handler().
+func (s *Server) SetAccessLog(l *log.Logger, slow time.Duration) {
+	s.accessLog = l
+	s.slowReq = slow
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	s.bootID = hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// instrument wraps one route's handler with request metrics and access
+// logging. With neither enabled it returns the handler untouched — the
+// hot path stays exactly as before.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	if s.met == nil && s.accessLog == nil {
+		return h
+	}
+	var rm *routeMetrics
+	if s.met != nil {
+		rm = s.met.route(pattern)
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if s.met != nil {
+			s.met.inflight.Add(1)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		var reqID string
+		if s.accessLog != nil {
+			reqID = fmt.Sprintf("%s-%06d", s.bootID, s.reqSeq.Add(1))
+			sw.Header().Set("X-Request-ID", reqID)
+		}
+		h(sw, r)
+		d := time.Since(start)
+		if s.met != nil {
+			s.met.inflight.Add(-1)
+			rm.seconds.Observe(d.Seconds())
+			if cls := sw.status()/100 - 1; cls >= 0 && cls < len(rm.classes) {
+				rm.classes[cls].Inc()
+			}
+		}
+		if s.accessLog != nil {
+			slow := ""
+			if s.slowReq > 0 && d >= s.slowReq {
+				slow = " slow=true"
+			}
+			s.accessLog.Printf("http id=%s method=%s route=%q path=%q status=%d bytes=%d dur=%s remote=%s%s",
+				reqID, r.Method, pattern, r.URL.Path, sw.status(), sw.bytes, d.Round(time.Microsecond), r.RemoteAddr, slow)
+		}
+	}
+}
+
+// metricsHandler serves the Prometheus text exposition.
+func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	_, _ = s.met.reg.WriteTo(w)
+}
+
+// registerCollectors declares the scrape-time families and hooks the
+// collector that fills them from the live manager, journal, pool store
+// and Go runtime on every scrape.
+func (s *Server) registerCollectors(reg *obs.Registry) {
+	reg.DeclareGauge("oasis_build_info", "Build information; the value is always 1.")
+	reg.DeclareGauge("process_uptime_seconds", "Seconds since the server started.")
+	reg.DeclareGauge("go_goroutines", "Live goroutines.")
+	reg.DeclareGauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	reg.DeclareGauge("go_memstats_heap_objects", "Allocated heap objects.")
+	reg.DeclareCounter("go_gc_cycles_total", "Completed GC cycles.")
+	reg.DeclareCounter("go_gc_pause_seconds_total", "Total GC stop-the-world pause time.")
+
+	reg.DeclareGauge("oasis_sessions", "Live sessions per manager shard.")
+
+	reg.DeclareGauge("oasis_sampler_estimate", "Current F-measure estimate per session (NaN while undefined).")
+	reg.DeclareGauge("oasis_sampler_asymptotic_variance", "Delta-method asymptotic variance term of the estimate; Var(F) is roughly this over the term count.")
+	reg.DeclareGauge("oasis_sampler_ess", "Effective sample size of the importance weights.")
+	reg.DeclareGauge("oasis_sampler_ess_ratio", "ESS over estimator terms: near 1 healthy, near 0 weight degeneracy.")
+	reg.DeclareGauge("oasis_sampler_terms", "Weighted terms folded into the estimator.")
+	reg.DeclareGauge("oasis_sampler_labels_committed", "Distinct labels committed per session.")
+	reg.DeclareGauge("oasis_sampler_label_budget", "Session label budget (0 = unlimited).")
+	reg.DeclareGauge("oasis_sampler_pending_proposals", "Live leases per session.")
+
+	reg.DeclareGauge("oasis_wal_segments", "Live segment files per journal lane.")
+	reg.DeclareGauge("oasis_wal_active_segment", "Segment index the lane is appending to.")
+	reg.DeclareCounter("oasis_wal_records_appended_total", "Records appended per journal lane since open.")
+	reg.DeclareCounter("oasis_wal_bytes_appended_total", "Bytes appended per journal lane since open.")
+	reg.DeclareCounter("oasis_wal_syncs_total", "fsync(2) calls per journal lane since open.")
+	reg.DeclareGauge("oasis_wal_last_lsn", "Most recent log sequence number per lane.")
+	reg.DeclareCounter("oasis_wal_compactions_total", "Successful per-shard journal compactions since open.")
+	reg.DeclareCounter("oasis_wal_replay_applied_total", "Events applied by WAL recovery at the last open.")
+	reg.DeclareCounter("oasis_wal_replay_skipped_total", "Events skipped by WAL recovery at the last open.")
+	reg.DeclareGauge("oasis_wal_replay_torn_bytes", "Torn tail bytes dropped by WAL recovery at the last open.")
+	reg.DeclareGauge("oasis_wal_failed", "1 once the journal has fail-stopped, else 0.")
+
+	reg.DeclareGauge("oasis_pool_store_pools", "Registered pools.")
+	reg.DeclareGauge("oasis_pool_store_loaded", "Pools with resident columns.")
+	reg.DeclareGauge("oasis_pool_store_refs", "Live session references across all pools.")
+	reg.DeclareGauge("oasis_pool_store_bytes", "Encoded size of all registered pools.")
+	reg.DeclareGauge("oasis_pool_store_resident_bytes", "Encoded size of the pools currently resident in memory.")
+	reg.DeclareCounter("oasis_pool_store_puts_total", "Uploads that stored a new pool.")
+	reg.DeclareCounter("oasis_pool_store_dedup_hits_total", "Uploads that landed on an already-stored pool.")
+	reg.DeclareCounter("oasis_pool_store_loads_total", "On-demand pool loads from disk.")
+	reg.DeclareCounter("oasis_pool_store_evictions_total", "Idle-sweep evictions of resident pool columns.")
+	reg.DeclareCounter("oasis_pool_store_sweeps_total", "Idle-sweep passes.")
+	reg.DeclareCounter("oasis_pool_store_removes_total", "Pools deleted.")
+	reg.DeclareGauge("oasis_pool_store_damaged_files", "Quarantined pool files (unreadable at open).")
+
+	reg.AddCollector(s.collect)
+}
+
+func (s *Server) collect(emit obs.Emit) {
+	emit("oasis_build_info", 1,
+		obs.Label{Name: "version", Value: s.version},
+		obs.Label{Name: "goversion", Value: runtime.Version()})
+	emit("process_uptime_seconds", time.Since(s.start).Seconds())
+	emit("go_goroutines", float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	emit("go_memstats_heap_alloc_bytes", float64(ms.HeapAlloc))
+	emit("go_memstats_heap_objects", float64(ms.HeapObjects))
+	emit("go_gc_cycles_total", float64(ms.NumGC))
+	emit("go_gc_pause_seconds_total", float64(ms.PauseTotalNs)/1e9)
+
+	for shard := 0; shard < s.mgr.Shards(); shard++ {
+		sessions := s.mgr.Sessions(shard)
+		emit("oasis_sessions", float64(len(sessions)), obs.Label{Name: "shard", Value: strconv.Itoa(shard)})
+		for _, sess := range sessions {
+			h := sess.SamplerHealth()
+			sl := obs.Label{Name: "session", Value: h.ID}
+			ml := obs.Label{Name: "method", Value: string(h.Method)}
+			emit("oasis_sampler_estimate", h.Estimate, sl, ml)
+			emit("oasis_sampler_asymptotic_variance", h.AsymptoticVariance, sl, ml)
+			emit("oasis_sampler_ess", h.ESS, sl, ml)
+			emit("oasis_sampler_ess_ratio", h.ESSRatio, sl, ml)
+			emit("oasis_sampler_terms", float64(h.Terms), sl, ml)
+			emit("oasis_sampler_labels_committed", float64(h.LabelsCommitted), sl, ml)
+			emit("oasis_sampler_label_budget", float64(h.Budget), sl, ml)
+			emit("oasis_sampler_pending_proposals", float64(h.PendingProposals), sl, ml)
+		}
+	}
+
+	if s.jrn != nil {
+		st := s.jrn.Stats()
+		for _, ln := range st.Lanes {
+			ll := obs.Label{Name: "lane", Value: strconv.Itoa(ln.Lane)}
+			emit("oasis_wal_segments", float64(ln.Segments), ll)
+			emit("oasis_wal_active_segment", float64(ln.ActiveSegment), ll)
+			emit("oasis_wal_records_appended_total", float64(ln.RecordsAppended), ll)
+			emit("oasis_wal_bytes_appended_total", float64(ln.BytesAppended), ll)
+			emit("oasis_wal_syncs_total", float64(ln.Syncs), ll)
+			emit("oasis_wal_last_lsn", float64(ln.LastLSN), ll)
+		}
+		emit("oasis_wal_compactions_total", float64(st.Compactions))
+		emit("oasis_wal_replay_applied_total", float64(st.ReplayApplied))
+		emit("oasis_wal_replay_skipped_total", float64(st.ReplaySkipped))
+		emit("oasis_wal_replay_torn_bytes", float64(st.ReplayTornBytes))
+		failed := 0.0
+		if s.jrn.Err() != nil {
+			failed = 1
+		}
+		emit("oasis_wal_failed", failed)
+	}
+
+	if s.pools != nil {
+		st := s.pools.Stats()
+		emit("oasis_pool_store_pools", float64(st.Pools))
+		emit("oasis_pool_store_loaded", float64(st.Loaded))
+		emit("oasis_pool_store_refs", float64(st.Refs))
+		emit("oasis_pool_store_bytes", float64(st.Bytes))
+		emit("oasis_pool_store_resident_bytes", float64(st.ResidentBytes))
+		emit("oasis_pool_store_puts_total", float64(st.Puts))
+		emit("oasis_pool_store_dedup_hits_total", float64(st.DedupHits))
+		emit("oasis_pool_store_loads_total", float64(st.Loads))
+		emit("oasis_pool_store_evictions_total", float64(st.Evictions))
+		emit("oasis_pool_store_sweeps_total", float64(st.Sweeps))
+		emit("oasis_pool_store_removes_total", float64(st.Removes))
+		emit("oasis_pool_store_damaged_files", float64(st.Damaged))
+	}
+}
+
+// readRuntimeStats fills the /v1/stats runtime block.
+func readRuntimeStats() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		GoVersion:           runtime.Version(),
+		Goroutines:          runtime.NumGoroutine(),
+		HeapAllocBytes:      ms.HeapAlloc,
+		HeapObjects:         ms.HeapObjects,
+		GCCycles:            ms.NumGC,
+		GCPauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+	}
+}

@@ -36,11 +36,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"mime"
 	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"oasis/internal/poolstore"
@@ -61,10 +63,25 @@ type Server struct {
 	pools             *poolstore.Store
 	poolDeleteBarrier func() error
 	maxBody           int64
+
+	// Observability wiring (see metrics.go): the metrics registry behind
+	// GET /metrics, the structured access log with its slow-request
+	// threshold, the advertised version string, and the process start time
+	// behind the uptime figures. met, accessLog and version must be set
+	// before Handler is called.
+	met       *serverMetrics
+	accessLog *log.Logger
+	slowReq   time.Duration
+	reqSeq    atomic.Uint64
+	bootID    string
+	version   string
+	start     time.Time
 }
 
 // New wraps a manager.
-func New(mgr *session.Manager) *Server { return &Server{mgr: mgr, maxBody: DefaultMaxBodyBytes} }
+func New(mgr *session.Manager) *Server {
+	return &Server{mgr: mgr, maxBody: DefaultMaxBodyBytes, start: time.Now()}
+}
 
 // SetJournal wires the write-ahead log into the ops endpoints: /healthz
 // degrades to 503 once the journal enters its sticky failure state, and
@@ -96,22 +113,31 @@ func (s *Server) SetPoolDeleteBarrier(f func() error) { s.poolDeleteBarrier = f 
 // shutdown).
 func (s *Server) Manager() *session.Manager { return s.mgr }
 
-// Handler builds the route table.
+// Handler builds the route table. The metrics registry and the access log
+// must be wired (EnableMetrics, SetAccessLog) before Handler is called:
+// each route is wrapped at registration time, because the outer middleware
+// cannot see the ServeMux pattern a request matched.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.createSession)
-	mux.HandleFunc("GET /v1/sessions", s.listSessions)
-	mux.HandleFunc("GET /v1/sessions/{id}", s.getSession)
-	mux.HandleFunc("GET /v1/sessions/{id}/estimate", s.getSession)
-	mux.HandleFunc("GET /v1/sessions/{id}/propose", s.propose)
-	mux.HandleFunc("POST /v1/sessions/{id}/labels", s.commitLabels)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.deleteSession)
-	mux.HandleFunc("POST /v1/pools", s.uploadPool)
-	mux.HandleFunc("GET /v1/pools", s.listPools)
-	mux.HandleFunc("GET /v1/pools/{id}", s.getPool)
-	mux.HandleFunc("DELETE /v1/pools/{id}", s.deletePool)
-	mux.HandleFunc("GET /healthz", s.healthz)
-	mux.HandleFunc("GET /v1/stats", s.stats)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("POST /v1/sessions", s.createSession)
+	handle("GET /v1/sessions", s.listSessions)
+	handle("GET /v1/sessions/{id}", s.getSession)
+	handle("GET /v1/sessions/{id}/estimate", s.getSession)
+	handle("GET /v1/sessions/{id}/propose", s.propose)
+	handle("POST /v1/sessions/{id}/labels", s.commitLabels)
+	handle("DELETE /v1/sessions/{id}", s.deleteSession)
+	handle("POST /v1/pools", s.uploadPool)
+	handle("GET /v1/pools", s.listPools)
+	handle("GET /v1/pools/{id}", s.getPool)
+	handle("DELETE /v1/pools/{id}", s.deletePool)
+	handle("GET /healthz", s.healthz)
+	handle("GET /v1/stats", s.stats)
+	if s.met != nil {
+		handle("GET /metrics", s.metricsHandler)
+	}
 	return mux
 }
 
@@ -139,22 +165,31 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any, what 
 	return true
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz. Error carries the WAL's
+// sticky fail-stop error when the probe reports 503, and DamagedPools the
+// count of quarantined pool files (informational: damaged pools degrade
+// specific sessions, not the whole service), so the probe explains itself
+// instead of requiring a log dive.
 type HealthResponse struct {
-	Status string `json:"status"` // "ok" or "degraded"
-	Error  string `json:"error,omitempty"`
+	Status       string `json:"status"` // "ok" or "degraded"
+	Error        string `json:"error,omitempty"`
+	DamagedPools int    `json:"damagedPools,omitempty"`
 }
 
 // healthz answers load-balancer probes: 200 while the service can
 // acknowledge writes, 503 once the WAL has fail-stopped.
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	var damaged int
+	if s.pools != nil {
+		damaged = len(s.pools.Damaged())
+	}
 	if s.jrn != nil {
 		if err := s.jrn.Err(); err != nil {
-			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "degraded", Error: err.Error()})
+			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "degraded", Error: err.Error(), DamagedPools: damaged})
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", DamagedPools: damaged})
 }
 
 // ShardStats is one session-manager shard's slice of the totals. With a WAL
@@ -172,18 +207,36 @@ type ShardStats struct {
 // per lane) when durability is enabled and the pool store's counters when
 // one is attached.
 type StatsResponse struct {
+	Version          string           `json:"version,omitempty"`
+	UptimeSeconds    float64          `json:"uptimeSeconds"`
 	Sessions         int              `json:"sessions"`
 	LabelsCommitted  int              `json:"labelsCommitted"`
 	PendingProposals int              `json:"pendingProposals"`
 	Shards           []ShardStats     `json:"shards"`
 	WAL              *wal.Stats       `json:"wal,omitempty"`
 	Pools            *poolstore.Stats `json:"pools,omitempty"`
+	Runtime          RuntimeStats     `json:"runtime"`
+}
+
+// RuntimeStats is the Go runtime block of /v1/stats.
+type RuntimeStats struct {
+	GoVersion           string  `json:"goVersion"`
+	Goroutines          int     `json:"goroutines"`
+	HeapAllocBytes      uint64  `json:"heapAllocBytes"`
+	HeapObjects         uint64  `json:"heapObjects"`
+	GCCycles            uint32  `json:"gcCycles"`
+	GCPauseTotalSeconds float64 `json:"gcPauseTotalSeconds"`
 }
 
 // stats aggregates shard by shard: each shard's sessions are snapshotted
 // under that shard's lock alone, so a stats poll never stops the world.
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
-	resp := StatsResponse{Shards: make([]ShardStats, s.mgr.Shards())}
+	resp := StatsResponse{
+		Version:       s.version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Shards:        make([]ShardStats, s.mgr.Shards()),
+		Runtime:       readRuntimeStats(),
+	}
 	for shard := 0; shard < s.mgr.Shards(); shard++ {
 		ss := ShardStats{Shard: shard}
 		for _, st := range s.mgr.ListShard(shard) {

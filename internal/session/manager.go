@@ -83,6 +83,10 @@ type ManagerOptions struct {
 	// on Create, so durable create records and snapshots carry only the pool
 	// hash. Nil keeps the inline-only behaviour.
 	Pools *poolstore.Store
+	// Metrics, when set, records per-shard counters and latency histograms
+	// (see NewMetrics — it must be built for the same shard count). Nil
+	// disables instrumentation with zero hot-path cost.
+	Metrics *Metrics
 }
 
 // shard is one lock domain of the manager: a slice of the session map with
@@ -131,6 +135,7 @@ func NewManager(opts ManagerOptions) *Manager {
 		opts.Now = time.Now
 	}
 	opts.Shards = NormalizeShards(opts.Shards)
+	opts.Metrics.checkShards(opts.Shards)
 	shards := make([]*shard, opts.Shards)
 	for i := range shards {
 		shards[i] = &shard{
@@ -181,6 +186,10 @@ func newID() string {
 // produce; the pool itself is durable before that append, so a create
 // record can never name a pool a crash could lose.
 func (m *Manager) Create(cfg Config) (*Session, error) {
+	var start time.Time
+	if m.opts.Metrics != nil {
+		start = time.Now()
+	}
 	if cfg.ID == "" {
 		cfg.ID = newID()
 	}
@@ -205,7 +214,9 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	}
 	s.id = cfg.ID
 	s.jrn = m.jrn
-	sh := m.shardFor(cfg.ID)
+	shardIdx := m.ShardFor(cfg.ID)
+	s.met = m.opts.Metrics.Shard(shardIdx)
+	sh := m.shards[shardIdx]
 	// Reserve the ID, journal the creation outside sh.mu (the create record's
 	// fsync must not stall the shard's other sessions behind the shard lock),
 	// then register. The session becomes reachable only after the append, so
@@ -237,6 +248,10 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	}
 	s.lastLSN = lsn
 	sh.sessions[cfg.ID] = s
+	if s.met != nil {
+		s.met.Creates.Inc()
+		s.met.CreateSeconds.Observe(time.Since(start).Seconds())
+	}
 	return s, nil
 }
 
@@ -298,7 +313,16 @@ func (m *Manager) Delete(id string) error {
 	}
 	delete(sh.sessions, id)
 	s.releasePool()
+	if s.met != nil {
+		s.met.Deletes.Inc()
+	}
 	return nil
+}
+
+// Sessions snapshots one shard's session pointers. The metrics collector
+// iterates it at scrape time to export per-session sampler health.
+func (m *Manager) Sessions(shard int) []*Session {
+	return m.sessionsOfShard(shard)
 }
 
 // sessionsOfShard snapshots one shard's session pointers under its read
@@ -517,6 +541,7 @@ func (m *Manager) restore(data []byte, parkUnavailable bool) (err error) {
 		restored = append(restored, s)
 		s.id = snap.Config.ID
 		s.jrn = m.jrn
+		s.met = m.opts.Metrics.Shard(m.ShardFor(s.id))
 		s.lastLSN = snap.LastLSN
 		switch {
 		case snap.Sampler != nil:
@@ -635,6 +660,9 @@ func (m *Manager) ReplayEvent(ev *Event) (bool, error) {
 		}
 		s.id = cfg.ID
 		s.jrn = m.jrn
+		// Replayed events never count as live traffic, but the recovered
+		// session must instrument the traffic it serves from here on.
+		s.met = m.opts.Metrics.Shard(m.ShardFor(cfg.ID))
 		s.lastLSN = ev.LSN
 		sh.sessions[cfg.ID] = s
 		return true, nil

@@ -1,0 +1,76 @@
+package session
+
+import (
+	"fmt"
+	"strconv"
+
+	"oasis/internal/obs"
+)
+
+// ShardMetrics holds the hot-path instruments of one manager shard. All
+// instruments are updated lock-free; sessions carry a pointer to their
+// shard's metrics (nil when metrics are disabled) and skip the timing
+// calls entirely in that case.
+type ShardMetrics struct {
+	Creates         *obs.Counter
+	Deletes         *obs.Counter
+	ProposedPairs   *obs.Counter
+	LabelsCommitted *obs.Counter
+	LeaseExpiries   *obs.Counter
+
+	CreateSeconds  *obs.Histogram
+	ProposeSeconds *obs.Histogram
+	CommitSeconds  *obs.Histogram
+}
+
+// Metrics is the per-shard instrumentation of a Manager, registered once
+// against an obs.Registry at wiring time. It must be built with the same
+// shard count the Manager is configured with.
+type Metrics struct {
+	shards []ShardMetrics
+}
+
+// NewMetrics registers the session metric families for the given shard
+// count (normalised exactly as ManagerOptions.Shards is).
+func NewMetrics(reg *obs.Registry, shards int) *Metrics {
+	shards = NormalizeShards(shards)
+	m := &Metrics{shards: make([]ShardMetrics, shards)}
+	for i := range m.shards {
+		l := obs.Label{Name: "shard", Value: strconv.Itoa(i)}
+		m.shards[i] = ShardMetrics{
+			Creates:         reg.Counter("oasis_session_creates_total", "Sessions created, per manager shard.", l),
+			Deletes:         reg.Counter("oasis_session_deletes_total", "Sessions deleted, per manager shard.", l),
+			ProposedPairs:   reg.Counter("oasis_session_proposed_pairs_total", "Pairs leased out by Propose, per manager shard.", l),
+			LabelsCommitted: reg.Counter("oasis_session_labels_committed_total", "Fresh labels committed, per manager shard.", l),
+			LeaseExpiries:   reg.Counter("oasis_session_lease_expiries_total", "Proposal leases expired back to the pool, per manager shard.", l),
+			CreateSeconds:   reg.Histogram("oasis_session_create_seconds", "Session create latency (pool resolve, stratify, journal).", nil, l),
+			ProposeSeconds:  reg.Histogram("oasis_session_propose_seconds", "Propose batch latency.", nil, l),
+			CommitSeconds:   reg.Histogram("oasis_session_commit_seconds", "Commit batch latency.", nil, l),
+		}
+	}
+	return m
+}
+
+// Shards returns the shard count the metrics were built for.
+func (m *Metrics) Shards() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.shards)
+}
+
+// Shard returns the instruments of shard i, or nil when m is nil.
+func (m *Metrics) Shard(i int) *ShardMetrics {
+	if m == nil {
+		return nil
+	}
+	return &m.shards[i]
+}
+
+// checkShards panics when the metrics were built for a different shard
+// count than the manager: the per-shard series would silently misattribute.
+func (m *Metrics) checkShards(shards int) {
+	if m != nil && len(m.shards) != shards {
+		panic(fmt.Sprintf("session: Metrics built for %d shards, manager has %d", len(m.shards), shards))
+	}
+}

@@ -191,6 +191,16 @@ func (s *passiveProposer) Estimate() float64 { return s.est.Estimate() }
 
 func (s *passiveProposer) LabelsCommitted() int { return len(s.labels) }
 
+func (s *passiveProposer) Health() oasis.Health {
+	return oasis.Health{
+		Estimate:           s.est.Estimate(),
+		AsymptoticVariance: s.est.AsymptoticVariance(),
+		ESS:                s.est.ESS(),
+		ESSRatio:           s.est.ESSRatio(),
+		Terms:              s.est.N(),
+	}
+}
+
 // passivePendingState is one outstanding proposal in a passiveState.
 type passivePendingState struct {
 	Pair  int     `json:"pair"`
@@ -208,6 +218,14 @@ type passiveState struct {
 	RNG     rng.State             `json:"rng"`
 	Labels  map[int]bool          `json:"labels,omitempty"`
 	Pending []passivePendingState `json:"pending,omitempty"`
+
+	// Weight moments for the health gauges; omitempty keeps pre-moment
+	// snapshots decodable (they restore as "health unknown").
+	SumW  float64 `json:"sumW,omitempty"`
+	SumW2 float64 `json:"sumW2,omitempty"`
+	YY    float64 `json:"yy,omitempty"`
+	YZ    float64 `json:"yz,omitempty"`
+	ZZ    float64 `json:"zz,omitempty"`
 }
 
 func (s *passiveProposer) state() *passiveState {
@@ -216,10 +234,12 @@ func (s *passiveProposer) state() *passiveState {
 	for i, l := range s.labels {
 		labels[i] = l
 	}
+	sumW, sumW2, yy, yz, zz := s.est.Moments()
 	st := &passiveState{
 		Num: num, Pred: pred, True: true_, N: s.est.N(),
 		RNG:    s.rng.State(),
 		Labels: labels,
+		SumW:   sumW, SumW2: sumW2, YY: yy, YZ: yz, ZZ: zz,
 	}
 	pairs := make([]int, 0, len(s.pending))
 	for pair := range s.pending {
@@ -254,6 +274,7 @@ func (s *passiveProposer) restore(st *passiveState) error {
 		return err
 	}
 	s.est.SetSums(st.Num, st.Pred, st.True, st.N)
+	s.est.SetMoments(st.SumW, st.SumW2, st.YY, st.YZ, st.ZZ)
 	s.pending = make(map[int]passivePending, len(st.Pending))
 	for _, p := range st.Pending {
 		s.pending[p.Pair] = passivePending{first: p.First, extra: p.Extra}

@@ -72,6 +72,7 @@ type proposer interface {
 	Release(pair int) bool
 	Estimate() float64
 	LabelsCommitted() int
+	Health() oasis.Health
 }
 
 // Config describes a new session: the evaluation pool (a content-addressed
@@ -159,6 +160,10 @@ type Session struct {
 	// skips up to).
 	jrn     *journalHolder
 	lastLSN uint64
+
+	// met points at the per-shard metrics of the owning manager's shard,
+	// nil when metrics are disabled.
+	met *ShardMetrics
 }
 
 // newSession builds a session from a validated config, resolving the pool
@@ -293,6 +298,9 @@ func (s *Session) expireLocked(now time.Time) {
 	}
 	if len(expired) > 0 {
 		_ = s.journalLocked(&Event{Type: EventRelease, Pairs: expired})
+		if s.met != nil {
+			s.met.LeaseExpiries.Add(uint64(len(expired)))
+		}
 	}
 }
 
@@ -319,6 +327,12 @@ func (s *Session) remainingLocked() int {
 func (s *Session) Propose(n int) ([]Proposal, error) {
 	if n <= 0 {
 		return nil, errors.New("session: batch size must be positive")
+	}
+	// Latency is measured on the real clock, not the injected test clock:
+	// the injected one is for lease arithmetic, not durations.
+	var start time.Time
+	if s.met != nil {
+		start = time.Now()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -375,6 +389,10 @@ func (s *Session) Propose(n int) ([]Proposal, error) {
 		s.leases[pair] = deadline
 		out[i] = Proposal{Pair: pair, Expires: deadline}
 	}
+	if s.met != nil {
+		s.met.ProposedPairs.Add(uint64(len(out)))
+		s.met.ProposeSeconds.Observe(time.Since(start).Seconds())
+	}
 	return out, nil
 }
 
@@ -413,6 +431,10 @@ const (
 // appended as one durable event before CommitBatch returns; an append
 // failure withholds the acknowledgement (non-nil error, nil results).
 func (s *Session) CommitBatch(pairs []int, labels []bool) ([]CommitResult, error) {
+	var start time.Time
+	if s.met != nil {
+		start = time.Now()
+	}
 	results := make([]CommitResult, len(pairs))
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -443,6 +465,16 @@ func (s *Session) CommitBatch(pairs []int, labels []bool) ([]CommitResult, error
 		if err := s.journalLocked(&Event{Type: EventCommit, Commits: fresh}); err != nil {
 			return nil, err
 		}
+	}
+	if s.met != nil {
+		var committed uint64
+		for _, r := range results {
+			if r == Committed {
+				committed++
+			}
+		}
+		s.met.LabelsCommitted.Add(committed)
+		s.met.CommitSeconds.Observe(time.Since(start).Seconds())
 	}
 	return results, nil
 }
@@ -477,4 +509,42 @@ func (s *Session) Status() Status {
 		st.InitialEstimate = &f0
 	}
 	return st
+}
+
+// SamplerHealth is a read-only snapshot of a session's estimator health
+// plus budget consumption, exported per session on /metrics.
+type SamplerHealth struct {
+	ID                 string
+	Method             MethodKind
+	Estimate           float64
+	AsymptoticVariance float64
+	ESS                float64
+	ESSRatio           float64
+	Terms              int
+	LabelsCommitted    int
+	PendingProposals   int
+	Budget             int
+	PoolSize           int
+}
+
+// SamplerHealth reports the session's estimator health. Unlike Status it
+// never mutates state (no lease expiry, no journaling): it is safe for a
+// scraper to call at any rate.
+func (s *Session) SamplerHealth() SamplerHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.prop.Health()
+	return SamplerHealth{
+		ID:                 s.id,
+		Method:             s.cfg.Method,
+		Estimate:           h.Estimate,
+		AsymptoticVariance: h.AsymptoticVariance,
+		ESS:                h.ESS,
+		ESSRatio:           h.ESSRatio,
+		Terms:              h.Terms,
+		LabelsCommitted:    s.prop.LabelsCommitted(),
+		PendingProposals:   len(s.leases),
+		Budget:             s.cfg.Budget,
+		PoolSize:           s.poolSize,
+	}
 }

@@ -1,0 +1,24 @@
+package wal
+
+import "oasis/internal/obs"
+
+// Metrics holds the journal's hot-path instruments. Counters that are
+// already maintained per lane for Stats() — records, bytes, syncs,
+// segment depth — are not duplicated here; the server exports those via a
+// scrape-time collector over Stats(). Only the latency distributions and
+// the rotation count, which cannot be reconstructed after the fact, live
+// on the hot path.
+type Metrics struct {
+	AppendSeconds *obs.Histogram
+	SyncSeconds   *obs.Histogram
+	Rotations     *obs.Counter
+}
+
+// NewMetrics registers the WAL metric families.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		AppendSeconds: reg.Histogram("oasis_wal_append_seconds", "Full journal append latency, inline fsync included.", nil),
+		SyncSeconds:   reg.Histogram("oasis_wal_fsync_seconds", "fsync(2) latency of journal segments.", nil),
+		Rotations:     reg.Counter("oasis_wal_rotations_total", "Journal lane segment rotations."),
+	}
+}

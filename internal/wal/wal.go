@@ -84,6 +84,9 @@ type Options struct {
 	// SegmentBytes rotates a lane's active segment once it exceeds this
 	// size; 0 means 8 MiB.
 	SegmentBytes int64
+	// Metrics, when set, records append/fsync latency histograms and the
+	// rotation count (see NewMetrics). Nil disables the timing entirely.
+	Metrics *Metrics
 }
 
 // DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
@@ -184,6 +187,7 @@ type Journal struct {
 
 	always   bool          // fsync per label-affecting append
 	interval time.Duration // background fsync interval (0: none)
+	met      *Metrics      // nil: no latency instrumentation
 
 	lanes []*lane
 
@@ -259,6 +263,7 @@ func Open(dir string, mgr *session.Manager, opts Options) (*Journal, error) {
 		opts:     opts,
 		always:   always,
 		interval: interval,
+		met:      opts.Metrics,
 		lanes:    make([]*lane, mgr.Shards()),
 	}
 	j.maxRec.Store(maxRecordSize)
@@ -852,6 +857,7 @@ func (j *Journal) rotateLane(ln *lane) error {
 	if err := j.errNow(); err != nil {
 		return err
 	}
+	rotated := ln.f != nil // opening the first segment is not a rotation
 	if ln.f != nil {
 		if err := ln.f.Sync(); err != nil {
 			j.fail(err)
@@ -879,6 +885,9 @@ func (j *Journal) rotateLane(ln *lane) error {
 	ln.segCount++
 	if ln.oldest == 0 {
 		ln.oldest = ln.seg
+	}
+	if rotated && j.met != nil {
+		j.met.Rotations.Inc()
 	}
 	return nil
 }
@@ -909,6 +918,10 @@ func (j *Journal) Append(ev *session.Event) (uint64, error) {
 // state it touches — the sticky error and the record cap — is atomic, so
 // appends on different lanes share no lock.
 func (j *Journal) appendLane(ln *lane, ev *session.Event) (uint64, error) {
+	var start time.Time
+	if j.met != nil {
+		start = time.Now()
+	}
 	if err := j.errNow(); err != nil {
 		return 0, err
 	}
@@ -958,9 +971,16 @@ func (j *Journal) appendLane(ln *lane, ev *session.Event) (uint64, error) {
 		return 0, j.errNow()
 	}
 	if j.always && syncedEvent(ev.Type) {
+		var syncStart time.Time
+		if j.met != nil {
+			syncStart = time.Now()
+		}
 		if err := ln.f.Sync(); err != nil {
 			j.fail(err)
 			return 0, j.errNow()
+		}
+		if j.met != nil {
+			j.met.SyncSeconds.Observe(time.Since(syncStart).Seconds())
 		}
 		ln.syncs++
 	}
@@ -968,6 +988,9 @@ func (j *Journal) appendLane(ln *lane, ev *session.Event) (uint64, error) {
 	ln.segSize += int64(len(ln.buf))
 	ln.records++
 	ln.bytes += uint64(len(ln.buf))
+	if j.met != nil {
+		j.met.AppendSeconds.Observe(time.Since(start).Seconds())
+	}
 	return ln.lsn, nil
 }
 
@@ -1013,9 +1036,16 @@ func (j *Journal) syncLane(ln *lane) error {
 	if ln.f == nil {
 		return nil
 	}
+	var start time.Time
+	if j.met != nil {
+		start = time.Now()
+	}
 	if err := ln.f.Sync(); err != nil {
 		j.fail(err)
 		return j.errNow()
+	}
+	if j.met != nil {
+		j.met.SyncSeconds.Observe(time.Since(start).Seconds())
 	}
 	ln.syncs++
 	return nil

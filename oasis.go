@@ -348,6 +348,32 @@ func (s *Sampler) InitialEstimate() float64 { return s.inner.InitialF() }
 // Estimate returns the current F-measure estimate.
 func (s *Sampler) Estimate() float64 { return s.inner.Estimate() }
 
+// Health summarises the estimator's statistical health for monitoring:
+// the current estimate, the delta-method asymptotic variance σ̂² (so that
+// Var(F̂) ≈ σ̂²/Terms), the effective sample size of the importance
+// weights, and ESS/Terms. An ESSRatio collapsing toward zero signals
+// weight degeneracy — the estimate's nominal sample count overstates the
+// information actually collected.
+type Health struct {
+	Estimate           float64
+	AsymptoticVariance float64
+	ESS                float64
+	ESSRatio           float64
+	Terms              int
+}
+
+// Health reports the sampler's current estimator health.
+func (s *Sampler) Health() Health {
+	est := s.inner.Estimator()
+	return Health{
+		Estimate:           s.inner.Estimate(),
+		AsymptoticVariance: est.AsymptoticVariance(),
+		ESS:                est.ESS(),
+		ESSRatio:           est.ESSRatio(),
+		Terms:              est.N(),
+	}
+}
+
 // Run performs adaptive sampling until `budget` distinct pairs have been
 // labelled by the oracle (or the pool is exhausted), and returns the final
 // estimate. Run may be called repeatedly to continue with a fresh budget;
