@@ -7,7 +7,7 @@
 // Usage:
 //
 //	oasis-server [-addr :8080] [-lease 1m] [-shards N] [-max-body bytes]
-//	             [-pools-dir dir] [-pool-gc 10m]
+//	             [-pools-dir dir] [-pool-gc 10m] [-pool-mem-budget bytes]
 //	             [-wal dir] [-fsync always|off|100ms] [-compact-every 10m]
 //	             [-snapshot state.json] [-snapshot-interval 1m]
 //	             [-pprof addr] [-access-log] [-slow-request 1s] [-version]
@@ -21,7 +21,13 @@
 // <snapshot>.pools), so recovery can always resolve the pool references its
 // durable state carries. -pool-gc sweeps the
 // in-memory columns of pools no session has referenced for one interval
-// (the durable files stay; the next use reloads them). -max-body bounds
+// (the durable files stay; the next use reloads them). -pool-mem-budget
+// additionally caps the store's resident pool memory (heap columns, mmap'd
+// files and cached strata) in bytes: crossing the budget evicts
+// least-recently-used unreferenced pools immediately, without waiting for
+// the idle sweep. On linux/{amd64,arm64} cold pools are served zero-copy off
+// a read-only mmap of the pool file (see the README's "Memory & zero-copy"
+// section); elsewhere they are decoded streaming. -max-body bounds
 // every HTTP request body (413 beyond it).
 //
 // -shards splits the session manager into N independent lock domains
@@ -110,6 +116,7 @@ func main() {
 		compactEvery = flag.Duration("compact-every", 0, "with -wal: fold cold WAL segments into a snapshot every interval (0 = never)")
 		poolsDir     = flag.String("pools-dir", "", "directory for the durable content-addressed pool store (empty = in-memory; defaults to <wal>/pools with -wal, <snapshot>.pools with -snapshot)")
 		poolGC       = flag.Duration("pool-gc", 0, "evict the in-memory copy of pools unreferenced for this long, checked on the same interval (0 = never)")
+		poolMemBud   = flag.Int64("pool-mem-budget", 0, "resident pool memory budget in bytes: evict least-recently-used unreferenced pools (columns, mappings, cached strata) when over it (0 = unlimited)")
 		maxBody      = flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum HTTP request body size in bytes (413 beyond it)")
 		pprofAddr    = flag.String("pprof", "", "listen address for the net/http/pprof debug server (empty = disabled)")
 		accessLog    = flag.Bool("access-log", false, "log one line per HTTP request, with request ID, route, status, and latency")
@@ -179,6 +186,15 @@ func main() {
 	}
 	if damaged := pools.Damaged(); len(damaged) > 0 {
 		log.Printf("pool store: quarantined %d unreadable pool file(s) (left on disk, inspect and remove): %v", len(damaged), damaged)
+	}
+	if *poolMemBud > 0 {
+		if !pools.Durable() {
+			// A memory-only store holds the only copy of every pool, so
+			// nothing can ever be evicted from it.
+			log.Fatalf("-pool-mem-budget requires a durable pool store (set -pools-dir, -wal or -snapshot)")
+		}
+		pools.SetMemBudget(*poolMemBud)
+		log.Printf("pool store: resident memory budget %d bytes (LRU eviction of unreferenced pools)", *poolMemBud)
 	}
 
 	// Metrics are always on: the instruments are atomic counters with no

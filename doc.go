@@ -112,11 +112,32 @@
 // requested size while supply lasts and exhaustion is the typed ErrExhausted
 // rather than a burned retry cap.
 //
+// The pool read path is zero-copy where the platform allows it. On
+// linux/amd64 and linux/arm64 the store serves a pool's scores column
+// straight off a read-only memory mapping of the immutable pool file — the
+// v2 binary format places the column 8-byte-aligned at offset 24 exactly so
+// it can be aliased as []float64 without copying — and the OS page cache,
+// not the Go heap, governs residency. Every other platform (and every
+// legacy v1 file) falls back to a streaming section-by-section decode
+// through one reused 1 MiB buffer; a cross-check test holds the two paths
+// byte-identical. Integrity work is paid once per open: the first load of a
+// pool verifies the full SHA-256 content address, finiteness and padding,
+// while warm reacquires after eviction recheck only the per-section CRCs.
+// Stratification is cached in the store entry under the same refcount, so
+// concurrent sessions over one pool share the strata instead of re-sorting
+// a million scores each (BenchmarkSessionCreate/poolref-warm measures the
+// steady-state create). The -pool-mem-budget flag bounds resident bytes
+// (heap columns + mappings + cached strata) with an LRU sweep of
+// unreferenced pools; referenced pools are pinned, evictions are counted by
+// reason in /metrics, and the README's "Memory & zero-copy" section has the
+// full platform matrix and gauge guide.
+//
 // The hot-path microbenchmarks live in internal/core (BenchmarkDraw,
 // BenchmarkDrawCommit, BenchmarkInstrumental), the package root
 // (BenchmarkProposeBatch/{n=1,64,1024}, BenchmarkProposeCommit),
-// internal/server (BenchmarkServerPropose) and internal/wal
-// (BenchmarkCommitDurable, the WAL durability tax per fsync policy).
+// internal/server (BenchmarkServerPropose), internal/wal
+// (BenchmarkCommitDurable, the WAL durability tax per fsync policy) and
+// internal/poolstore (BenchmarkPoolAcquire, cold load via mmap vs decode).
 // `make bench-json` runs them and
 // appends a labelled run to BENCH_core.json — the perf trajectory every
 // change is judged against; `make bench-smoke` is the 1-iteration CI guard.

@@ -58,6 +58,12 @@ type Config struct {
 	// essentially exact; the plug-in often has lower variance early. The
 	// default (false) is the estimator the paper analyses.
 	PosteriorEstimate bool
+	// TrustedPool skips New's O(N) validation scan of the pool columns. Set
+	// it only for pools whose columns are already validated by construction —
+	// e.g. resolved from the content-addressed pool store, whose load path
+	// verifies finiteness against CRC-pinned bytes. For a warm million-pair
+	// pool the scan is the dominant cost of building a sampler.
+	TrustedPool bool
 }
 
 func (c *Config) defaults(k int) {
@@ -125,12 +131,50 @@ type Sampler struct {
 // ErrNoStrata is returned when the stratification is empty.
 var ErrNoStrata = errors.New("core: empty stratification")
 
+// FlatMembers is a flattened strata membership: Members concatenates the
+// per-stratum item lists in stratum order (stratum k occupies
+// [Off[k], Off[k+1])), preserving each stratum's item order. It is a pure
+// function of the Strata and read-only after construction, so one
+// FlatMembers can be shared across every sampler built over the same
+// stratification (see NewWithMembers).
+type FlatMembers struct {
+	Members []int32
+	Off     []int32
+}
+
+// Flatten computes the FlatMembers of s.
+func Flatten(s *strata.Strata) FlatMembers {
+	k := s.K()
+	fm := FlatMembers{
+		Members: make([]int32, 0, s.N()),
+		Off:     make([]int32, k+1),
+	}
+	for j := 0; j < k; j++ {
+		fm.Off[j] = int32(len(fm.Members))
+		for _, i := range s.Items[j] {
+			fm.Members = append(fm.Members, int32(i))
+		}
+	}
+	fm.Off[k] = int32(len(fm.Members))
+	return fm
+}
+
 // New builds an OASIS sampler over an already-stratified pool. The Strata
 // must partition exactly the pool's items (as produced by strata.CSF or
 // strata.EqualSize on the same pool).
 func New(p *pool.Pool, s *strata.Strata, cfg Config, r *rng.RNG) (*Sampler, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
+	return NewWithMembers(p, s, cfg, r, FlatMembers{})
+}
+
+// NewWithMembers is New with a precomputed flattened membership, aliased
+// read-only — the caller may share one FlatMembers (from Flatten over the
+// same Strata) across samplers, saving the O(N) rebuild per sampler. A
+// zero-value fm means "flatten here".
+func NewWithMembers(p *pool.Pool, s *strata.Strata, cfg Config, r *rng.RNG, fm FlatMembers) (*Sampler, error) {
+	if !cfg.TrustedPool {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if s == nil || s.K() == 0 {
 		return nil, ErrNoStrata
@@ -194,15 +238,13 @@ func New(p *pool.Pool, s *strata.Strata, cfg Config, r *rng.RNG) (*Sampler, erro
 		o.prior0[j] = cfg.PriorStrength * o.piInit[j]
 		o.prior1[j] = cfg.PriorStrength * (1 - o.piInit[j])
 	}
-	o.membersFlat = make([]int32, 0, p.N())
-	o.strataOff = make([]int32, k+1)
-	for j := 0; j < k; j++ {
-		o.strataOff[j] = int32(len(o.membersFlat))
-		for _, i := range s.Items[j] {
-			o.membersFlat = append(o.membersFlat, int32(i))
-		}
+	if fm.Members == nil {
+		fm = Flatten(s)
+	} else if len(fm.Members) != s.N() || len(fm.Off) != k+1 {
+		return nil, errors.New("core: flat members do not match the strata")
 	}
-	o.strataOff[k] = int32(len(o.membersFlat))
+	o.membersFlat = fm.Members
+	o.strataOff = fm.Off
 	return o, nil
 }
 

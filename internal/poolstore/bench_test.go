@@ -1,0 +1,103 @@
+package poolstore
+
+import (
+	"os"
+	"testing"
+)
+
+// benchPairs matches the 1M-pair pool of BenchmarkSessionCreate, so the two
+// benchmarks decompose the same workload: this one isolates the store's
+// cold-load cost (read + verify + materialise columns), mmap vs streaming
+// decode.
+const benchPairs = 1 << 20
+
+// BenchmarkPoolAcquire measures a cold pool load per iteration (the pool is
+// evicted between acquires). The first iteration pays the one-time SHA-256;
+// steady state is the warm-reacquire path the serving tier sees: section
+// CRCs plus (mmap) aliasing or (decode) a streamed column rebuild.
+func BenchmarkPoolAcquire(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		decodeOnly bool
+	}{{"mmap", false}, {"decode", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			if !mode.decodeOnly && !mmapSupported {
+				b.Skip("mmap unsupported on this platform")
+			}
+			s, err := Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.SetDecodeOnly(mode.decodeOnly)
+			scores, preds := testColumns(benchPairs, 42)
+			info, _, err := s.Put(scores, preds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Sweep(0)
+			b.SetBytes(int64(encodedSize(benchPairs)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := s.Acquire(info.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p.N() != benchPairs {
+					b.Fatal("wrong pool")
+				}
+				s.Release(info.ID)
+				b.StopTimer()
+				s.Sweep(0) // evict outside the timer: measure the load, not the drop
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// TestHundredMillionPairPoolSmoke proves a 100M-pair pool is practical on
+// one node through the zero-copy path: store it once, evict, reacquire off
+// the mmap and spot-check the columns. It needs ~2.5 GiB of disk and RAM,
+// so it is double-gated: skipped under -short and unless OASIS_HUGE_SMOKE
+// is set.
+//
+//	OASIS_HUGE_SMOKE=1 go test -run HundredMillion -timeout 0 ./internal/poolstore
+func TestHundredMillionPairPoolSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	if os.Getenv("OASIS_HUGE_SMOKE") == "" {
+		t.Skip("set OASIS_HUGE_SMOKE=1 to run (needs ~2.5 GiB disk and RAM)")
+	}
+	const n = 100_000_000
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, preds := testColumns(n, 1)
+	info, _, err := s.Put(scores, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sweep(0) != 1 {
+		t.Fatal("evict failed")
+	}
+	p, err := s.Acquire(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release(info.ID)
+	if p.N() != n {
+		t.Fatalf("pool has %d pairs, want %d", p.N(), n)
+	}
+	for _, i := range []int{0, 1, n / 2, n - 2, n - 1} {
+		if p.Scores[i] != scores[i] || p.Preds[i] != preds[i] {
+			t.Fatalf("column mismatch at %d", i)
+		}
+	}
+	if mmapSupported {
+		st := s.Stats()
+		if st.Mapped != 1 || st.MmapBytes == 0 {
+			t.Fatalf("expected the 100M pool to be mapped: %+v", st)
+		}
+	}
+}

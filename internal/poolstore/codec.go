@@ -10,19 +10,32 @@ import (
 	"regexp"
 )
 
-// Binary columnar pool encoding, version 1. The format is canonical — one
-// pool has exactly one encoding — which is what makes the SHA-256 of the
-// encoded bytes a content address: uploading the same pool twice, in either
-// JSON or binary form, always lands on the same ID.
+// Binary columnar pool encoding. The format is canonical — one pool has
+// exactly one encoding — which is what makes the SHA-256 of the encoded
+// bytes a content address: uploading the same pool twice, in either JSON or
+// binary form, always lands on the same ID.
 //
-//	magic   [8]byte  "OASISPL1"
+// Version 2 (current, written by Encode):
+//
+//	magic   [8]byte  "OASISPL2"
 //	count   uint64   little-endian number of pairs (> 0)
-//	crcHdr  uint32   CRC-32C (Castagnoli) of the 16 header bytes
+//	crcHdr  uint32   CRC-32C (Castagnoli) of the 16 bytes above
+//	pad     [4]byte  zero — brings the header to 24 bytes so the scores
+//	        section starts 8-byte aligned; required for the zero-copy read
+//	        path, which aliases the scores of a page-aligned mmap directly
+//	        as []float64 (a misaligned float64 slice would be undefined
+//	        behaviour, and trips checkptr under the race detector)
 //	scores  count × 8 bytes, math.Float64bits little-endian
 //	crcS    uint32   CRC-32C of the scores section
 //	preds   ⌈count/8⌉ bytes, pair i at bit i%8 (LSB-first) of byte i/8;
 //	        trailing pad bits of the last byte are zero
 //	crcP    uint32   CRC-32C of the preds section
+//
+// Version 1 ("OASISPL1") is identical except the header stops after crcHdr
+// (20 bytes, scores misaligned). Decode and the store still read v1 files —
+// the content address is the hash of the bytes as stored, so a v1 file keeps
+// its v1 ID forever — but v1 pools always take the decode path, never the
+// mmap alias.
 //
 // Every section carries its own CRC so a flipped bit is pinned to a section
 // (and detected without hashing the whole file), and the total length is a
@@ -31,11 +44,18 @@ import (
 // larger than the payload actually carried.
 //
 // Compared to the JSON upload form (~18 bytes/pair), the binary form is
-// 8.125 bytes/pair plus 28 bytes of framing: a 1M-pair pool is ~8.1 MiB.
+// 8.125 bytes/pair plus 32 bytes of framing: a 1M-pair pool is ~8.1 MiB.
 
 const (
-	codecMagic      = "OASISPL1"
-	codecHeaderSize = len(codecMagic) + 8 + 4 // magic + count + header CRC
+	codecMagic   = "OASISPL2"
+	codecMagicV1 = "OASISPL1"
+	// codecCRCEnd is where the header CRC's coverage ends (magic + count),
+	// identical in both versions.
+	codecCRCEnd = 16
+	// codecHeaderSize is the v2 header: magic + count + header CRC + 4 pad
+	// bytes, sized so the scores section starts at an 8-byte boundary.
+	codecHeaderSize   = codecCRCEnd + 4 + 4
+	codecHeaderSizeV1 = codecCRCEnd + 4
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -47,9 +67,86 @@ var idPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
 // ValidID reports whether id has the shape of a pool content address.
 func ValidID(id string) bool { return idPattern.MatchString(id) }
 
-// encodedSize returns the canonical encoding's total length for n pairs.
-func encodedSize(n int) int {
-	return codecHeaderSize + 8*n + 4 + (n+7)/8 + 4
+// encodedSize returns the canonical (v2) encoding's total length for n pairs.
+func encodedSize(n int) int { return sectionsSize(n) + codecHeaderSize }
+
+// sectionsSize is the post-header length: scores + crcS + preds + crcP.
+func sectionsSize(n int) int { return 8*n + 4 + (n+7)/8 + 4 }
+
+// poolLayout locates the sections of one verified encoding. scoresOff is
+// also the header size (20 for v1, 24 for v2).
+type poolLayout struct {
+	n         int
+	scoresOff int
+	aligned   bool // scores start 8-byte aligned (v2): mmap-aliasable
+}
+
+func (l poolLayout) scoresEnd() int { return l.scoresOff + 8*l.n }
+func (l poolLayout) predsOff() int  { return l.scoresEnd() + 4 }
+func (l poolLayout) predsEnd() int  { return l.predsOff() + (l.n+7)/8 }
+func (l poolLayout) total() int     { return l.predsEnd() + 4 }
+
+// parseHeader verifies the header prefix of an encoding (magic, header CRC,
+// count bounds, v2 pad bytes) against the total length and returns the
+// layout. data may be just the header or the whole encoding; limit is the
+// full encoding's length (for the count bound and exact-size check).
+func parseHeader(data []byte, limit int) (poolLayout, error) {
+	if len(data) < codecHeaderSizeV1 {
+		return poolLayout{}, fmt.Errorf("poolstore: pool encoding is %d bytes, shorter than the %d-byte header", len(data), codecHeaderSizeV1)
+	}
+	var lay poolLayout
+	switch string(data[:8]) {
+	case codecMagic:
+		lay.scoresOff = codecHeaderSize
+		lay.aligned = true
+	case codecMagicV1:
+		lay.scoresOff = codecHeaderSizeV1
+	default:
+		return poolLayout{}, fmt.Errorf("poolstore: bad magic %q", data[:8])
+	}
+	if len(data) < lay.scoresOff {
+		return poolLayout{}, fmt.Errorf("poolstore: pool encoding is %d bytes, shorter than the %d-byte header", len(data), lay.scoresOff)
+	}
+	if got, want := crc32.Checksum(data[:codecCRCEnd], castagnoli), binary.LittleEndian.Uint32(data[codecCRCEnd:codecCRCEnd+4]); got != want {
+		return poolLayout{}, fmt.Errorf("poolstore: header CRC mismatch")
+	}
+	if lay.aligned && (data[20] != 0 || data[21] != 0 || data[22] != 0 || data[23] != 0) {
+		return poolLayout{}, fmt.Errorf("poolstore: non-zero header padding")
+	}
+	count := binary.LittleEndian.Uint64(data[8:codecCRCEnd])
+	// The count is CRC-verified, but the file could still be truncated or
+	// padded: the total length must match exactly. Bound count first so the
+	// size arithmetic cannot overflow int on any platform.
+	if count == 0 || count > uint64(limit)/8 {
+		return poolLayout{}, fmt.Errorf("poolstore: pool declares %d pairs, impossible for a %d-byte encoding", count, limit)
+	}
+	lay.n = int(count)
+	if limit != lay.total() {
+		return poolLayout{}, fmt.Errorf("poolstore: pool of %d pairs must encode to %d bytes, got %d", lay.n, lay.total(), limit)
+	}
+	return lay, nil
+}
+
+// verifySections checks the scores and preds CRCs of a full encoding whose
+// header parseHeader already verified.
+func verifySections(data []byte, lay poolLayout) error {
+	if got, want := crc32.Checksum(data[lay.scoresOff:lay.scoresEnd()], castagnoli), binary.LittleEndian.Uint32(data[lay.scoresEnd():]); got != want {
+		return fmt.Errorf("poolstore: scores section CRC mismatch")
+	}
+	if got, want := crc32.Checksum(data[lay.predsOff():lay.predsEnd()], castagnoli), binary.LittleEndian.Uint32(data[lay.predsEnd():]); got != want {
+		return fmt.Errorf("poolstore: preds section CRC mismatch")
+	}
+	return nil
+}
+
+// checkPadBits rejects set pad bits in the last preds byte: they would make
+// the encoding non-canonical, so the same pool could carry two different
+// content addresses.
+func checkPadBits(lastPredsByte byte, n int) error {
+	if n%8 != 0 && lastPredsByte>>(n%8) != 0 {
+		return fmt.Errorf("poolstore: non-zero padding bits in the preds section")
+	}
+	return nil
 }
 
 // validatePool checks the (scores, preds) columns describe a well-formed
@@ -70,7 +167,7 @@ func validatePool(scores []float64, preds []bool) error {
 	return nil
 }
 
-// Encode serialises the pool columns into the canonical binary form.
+// Encode serialises the pool columns into the canonical binary form (v2).
 func Encode(scores []float64, preds []bool) ([]byte, error) {
 	if err := validatePool(scores, preds); err != nil {
 		return nil, err
@@ -80,6 +177,7 @@ func Encode(scores []float64, preds []bool) ([]byte, error) {
 	buf = append(buf, codecMagic...)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	buf = append(buf, 0, 0, 0, 0) // alignment pad, see the format comment
 
 	scoresOff := len(buf)
 	for _, s := range scores {
@@ -98,59 +196,52 @@ func Encode(scores []float64, preds []bool) ([]byte, error) {
 	return buf, nil
 }
 
-// Decode parses and fully verifies a canonical binary pool: magic, exact
-// length, all three CRCs, zero pad bits, finite scores. It allocates fresh
-// column slices, so the caller may retain them past the input buffer.
-func Decode(data []byte) (scores []float64, preds []bool, err error) {
-	if len(data) < codecHeaderSize {
-		return nil, nil, fmt.Errorf("poolstore: pool encoding is %d bytes, shorter than the %d-byte header", len(data), codecHeaderSize)
-	}
-	if string(data[:len(codecMagic)]) != codecMagic {
-		return nil, nil, fmt.Errorf("poolstore: bad magic %q", data[:len(codecMagic)])
-	}
-	hdrEnd := len(codecMagic) + 8
-	if got, want := crc32.Checksum(data[:hdrEnd], castagnoli), binary.LittleEndian.Uint32(data[hdrEnd:hdrEnd+4]); got != want {
-		return nil, nil, fmt.Errorf("poolstore: header CRC mismatch")
-	}
-	count := binary.LittleEndian.Uint64(data[len(codecMagic):hdrEnd])
-	// The count is CRC-verified, but the file could still be truncated or
-	// padded: the total length must match exactly. Bound count first so
-	// encodedSize cannot overflow int on any platform.
-	if count == 0 || count > uint64(len(data))/8 {
-		return nil, nil, fmt.Errorf("poolstore: pool declares %d pairs, impossible for a %d-byte encoding", count, len(data))
-	}
-	n := int(count)
-	if len(data) != encodedSize(n) {
-		return nil, nil, fmt.Errorf("poolstore: pool of %d pairs must encode to %d bytes, got %d", n, encodedSize(n), len(data))
-	}
-
-	scoresOff := codecHeaderSize
-	scoresEnd := scoresOff + 8*n
-	if got, want := crc32.Checksum(data[scoresOff:scoresEnd], castagnoli), binary.LittleEndian.Uint32(data[scoresEnd:scoresEnd+4]); got != want {
-		return nil, nil, fmt.Errorf("poolstore: scores section CRC mismatch")
-	}
-	predsOff := scoresEnd + 4
-	predsEnd := predsOff + (n+7)/8
-	if got, want := crc32.Checksum(data[predsOff:predsEnd], castagnoli), binary.LittleEndian.Uint32(data[predsEnd:predsEnd+4]); got != want {
-		return nil, nil, fmt.Errorf("poolstore: preds section CRC mismatch")
-	}
-
-	scores = make([]float64, n)
+// decodeScores extracts and validates the scores column of a CRC-verified
+// encoding into a fresh slice.
+func decodeScores(data []byte, lay poolLayout) ([]float64, error) {
+	scores := make([]float64, lay.n)
+	raw := data[lay.scoresOff:lay.scoresEnd()]
 	for i := range scores {
-		s := math.Float64frombits(binary.LittleEndian.Uint64(data[scoresOff+8*i:]))
+		s := math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
 		if math.IsNaN(s) || math.IsInf(s, 0) {
-			return nil, nil, fmt.Errorf("poolstore: non-finite score at %d", i)
+			return nil, fmt.Errorf("poolstore: non-finite score at %d", i)
 		}
 		scores[i] = s
 	}
-	preds = make([]bool, n)
-	for i := range preds {
-		preds[i] = data[predsOff+i/8]&(1<<(i%8)) != 0
+	return scores, nil
+}
+
+// decodePreds extracts the preds bitset of a CRC-verified encoding into a
+// fresh bool slice, rejecting non-canonical pad bits.
+func decodePreds(data []byte, lay poolLayout) ([]bool, error) {
+	raw := data[lay.predsOff():lay.predsEnd()]
+	if err := checkPadBits(raw[len(raw)-1], lay.n); err != nil {
+		return nil, err
 	}
-	// Reject set pad bits: they would make the encoding non-canonical, so
-	// the same pool could carry two different content addresses.
-	if n%8 != 0 && data[predsEnd-1]>>(n%8) != 0 {
-		return nil, nil, fmt.Errorf("poolstore: non-zero padding bits in the preds section")
+	preds := make([]bool, lay.n)
+	for i := range preds {
+		preds[i] = raw[i/8]&(1<<(i%8)) != 0
+	}
+	return preds, nil
+}
+
+// Decode parses and fully verifies a canonical binary pool (either format
+// version): magic, exact length, all three CRCs, zero pad bits/bytes, finite
+// scores. It allocates fresh column slices, so the caller may retain them
+// past the input buffer.
+func Decode(data []byte) (scores []float64, preds []bool, err error) {
+	lay, err := parseHeader(data, len(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := verifySections(data, lay); err != nil {
+		return nil, nil, err
+	}
+	if scores, err = decodeScores(data, lay); err != nil {
+		return nil, nil, err
+	}
+	if preds, err = decodePreds(data, lay); err != nil {
+		return nil, nil, err
 	}
 	return scores, preds, nil
 }
@@ -162,22 +253,17 @@ func contentID(encoded []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// decodeHeader reads just the verified header of an encoded pool, returning
-// its pair count. Used to index on-disk pools without loading their columns.
-func decodeHeader(data []byte) (pairs int, err error) {
-	if len(data) < codecHeaderSize {
-		return 0, fmt.Errorf("poolstore: pool file is %d bytes, shorter than the %d-byte header", len(data), codecHeaderSize)
+// decodeHeader reads just the verified header of an encoded pool (either
+// version), returning its pair count. size is the full file size, used for
+// the exact-length check. Used to index on-disk pools without loading their
+// columns.
+func decodeHeader(data []byte, size int64) (pairs int, err error) {
+	if size > math.MaxInt32*8 {
+		return 0, fmt.Errorf("poolstore: pool file of %d bytes is too large", size)
 	}
-	if string(data[:len(codecMagic)]) != codecMagic {
-		return 0, fmt.Errorf("poolstore: bad magic %q", data[:len(codecMagic)])
+	lay, err := parseHeader(data, int(size))
+	if err != nil {
+		return 0, err
 	}
-	hdrEnd := len(codecMagic) + 8
-	if got, want := crc32.Checksum(data[:hdrEnd], castagnoli), binary.LittleEndian.Uint32(data[hdrEnd:hdrEnd+4]); got != want {
-		return 0, fmt.Errorf("poolstore: header CRC mismatch")
-	}
-	count := binary.LittleEndian.Uint64(data[len(codecMagic):hdrEnd])
-	if count == 0 || count > math.MaxInt32 {
-		return 0, fmt.Errorf("poolstore: pool declares %d pairs", count)
-	}
-	return int(count), nil
+	return lay.n, nil
 }

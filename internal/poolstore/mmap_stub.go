@@ -1,0 +1,29 @@
+//go:build !(linux && (amd64 || arm64))
+
+// Portable fallback for platforms without the zero-copy mapping (different
+// OS, big-endian, or no mmap): every cold load takes the streaming decode
+// path in store.go. The CI cross-compile matrix keeps this file building.
+
+package poolstore
+
+import "errors"
+
+// mmapSupported reports whether this build can serve pools straight off a
+// read-only memory mapping.
+const mmapSupported = false
+
+// mapping is never constructed on this platform; the type (and its data
+// field, always nil here) exists so store.go compiles unchanged.
+type mapping struct {
+	data []byte
+}
+
+func mapPoolFile(string) (*mapping, error) {
+	return nil, errors.New("poolstore: mmap not supported on this platform")
+}
+
+func (m *mapping) unmap() error { return nil }
+
+func (m *mapping) aliasScores(poolLayout) []float64 {
+	panic("poolstore: aliasScores without mmap support")
+}

@@ -16,20 +16,45 @@
 // the pool file is durable, so a WAL create record can never reference a
 // pool that a crash could un-write.
 //
-// Unreferenced pools are garbage-collected two ways: DELETE (Remove) drops
-// an unreferenced pool from disk and memory, and an idle sweep (Sweep)
-// evicts the in-memory columns of unreferenced pools while leaving the
-// durable file — the next Acquire reloads and re-verifies it.
+// Cold loads are zero-copy where the platform allows: on linux/{amd64,arm64}
+// the immutable pool file is mmap'd read-only, the section CRCs are verified
+// against the mapped bytes, and the scores column is aliased straight out of
+// the mapping as []float64 — residency is then governed by the page cache,
+// not the Go heap. The full SHA-256 content verification runs once per
+// store open per pool; warm reacquires of an evicted pool re-check only the
+// section CRCs. Other platforms (and legacy v1 files) take a streaming
+// decode that reads the file section by section through a fixed-size buffer,
+// so peak load memory is one buffer, never a second whole-pool copy.
+//
+// Stratifications are cached beside the pool: CSF/equal-size strata are a
+// pure function of (pool columns, strata options), so the session layer
+// memoises them per (pool, options) under the same refcount via Strata —
+// N sessions over one pool stratify once.
+//
+// Unreferenced pools are garbage-collected three ways: DELETE (Remove)
+// drops an unreferenced pool from disk and memory, an idle sweep (Sweep)
+// evicts the in-memory columns of unreferenced pools, and a byte-budget
+// sweep (SetMemBudget) evicts least-recently-used unreferenced residents —
+// unmapping or dropping their columns and cached strata — until resident
+// memory is back under budget. Eviction decisions are surfaced in Stats.
+// The durable files stay; the next Acquire reloads and re-verifies.
 //
 // All methods are safe for concurrent use. The store never mutates a
 // loaded pool's columns, and callers must not either: the whole point is
-// that every session reads the same backing arrays.
+// that every session reads the same backing arrays (for mapped pools they
+// are not even writable — the mapping is PROT_READ).
 package poolstore
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -47,7 +72,9 @@ var (
 
 // Pool is one immutable, shared evaluation pool. Scores and Preds are the
 // content-addressed columns; every session referencing the pool aliases the
-// same backing arrays and must treat them as read-only.
+// same backing arrays and must treat them as read-only. For a mapped pool,
+// Scores aliases the read-only mmap directly (zero-copy); the refcount the
+// session holds is what pins the mapping.
 type Pool struct {
 	// ID is the pool's content address (hex SHA-256 of its encoding).
 	ID string
@@ -72,48 +99,112 @@ func (p *Pool) Truth() []float64 { return p.truth }
 // are not resident (on-disk only, loaded on demand).
 type entry struct {
 	pool      *Pool
+	mapped    *mapping // non-nil while pool.Scores aliases an mmap
 	pairs     int
 	bytes     int64
+	heapBytes int64 // resident heap cost of the columns (excludes the mapping)
 	refs      int
 	idleSince time.Time // refs last hit zero (or the entry appeared unreferenced)
+	lastUsed  time.Time // most recent Acquire/Release/strata hit: the LRU clock
+	// verified records that the full SHA-256 content verification ran for
+	// this entry since the store opened; warm reloads after an eviction then
+	// re-check only the per-section CRCs (the one-time-per-open policy).
+	verified bool
+
+	// strata caches stratifications computed over this pool's columns, keyed
+	// by the options that determine them; strataBytes is their resident
+	// cost. The cache lives and dies with the resident columns: eviction
+	// drops both.
+	strata      map[StrataKey]any
+	strataBytes int64
+
 	// loadMu serialises cold loads of this entry only: the disk read, hash
 	// verification and decode of a large pool must not run under the
 	// store-wide mutex, or every unrelated Acquire/Release/Stats would stall
 	// behind it.
 	loadMu sync.Mutex
+	// strataMu serialises stratification computes for this entry, so N
+	// racing sessions over one pool stratify once instead of N times.
+	strataMu sync.Mutex
+}
+
+// residentCost is the entry's contribution to the memory budget: heap
+// columns, the mapped file (address space + page cache), and cached strata.
+// Callers hold s.mu.
+func (e *entry) residentCost() int64 {
+	if e.pool == nil {
+		return 0
+	}
+	c := e.heapBytes + e.strataBytes
+	if e.mapped != nil {
+		c += int64(len(e.mapped.data))
+	}
+	return c
 }
 
 // info snapshots the entry's Info; callers hold s.mu.
 func (e *entry) info(id string) Info {
-	return Info{ID: id, Pairs: e.pairs, Bytes: e.bytes, Refs: e.refs, Loaded: e.pool != nil}
+	return Info{ID: id, Pairs: e.pairs, Bytes: e.bytes, Refs: e.refs, Loaded: e.pool != nil,
+		Mapped: e.mapped != nil, StrataCached: len(e.strata)}
 }
+
+// EvictionRecord is one eviction decision, surfaced via Stats (and from
+// there /v1/stats) so operators can see what the budget and idle sweeps are
+// doing without scraping logs.
+type EvictionRecord struct {
+	ID    string `json:"id"`
+	Bytes int64  `json:"bytes"` // resident cost released
+	// Reason is "idle" (Sweep) or "budget" (memory-budget LRU).
+	Reason string `json:"reason"`
+	Unix   int64  `json:"unix"`
+}
+
+// evictionLogSize bounds the eviction ring kept for Stats.
+const evictionLogSize = 16
 
 // Stats is a snapshot of the store's counters, exposed by the server's
 // /v1/stats endpoint.
 type Stats struct {
-	// Pools counts registered pools; Loaded those with resident columns.
+	// Pools counts registered pools; Loaded those with resident columns;
+	// Mapped the subset served zero-copy off an mmap.
 	Pools  int `json:"pools"`
 	Loaded int `json:"loaded"`
+	Mapped int `json:"mapped"`
 	// Refs is the total number of live session references across all pools.
 	Refs int `json:"refs"`
 	// Bytes is the total encoded size of all registered pools;
-	// ResidentBytes the size of those currently loaded in memory.
+	// ResidentBytes the store's estimate of resident memory cost (heap
+	// columns + mapped files + cached strata); MmapBytes the mapped share of
+	// it (page-cache-governed, reclaimable by the kernel).
 	Bytes         int64 `json:"bytes"`
 	ResidentBytes int64 `json:"residentBytes"`
+	MmapBytes     int64 `json:"mmapBytes"`
+	// MemBudget is the configured resident-memory budget (0 = unlimited).
+	MemBudget int64 `json:"memBudget,omitempty"`
 	// Puts counts uploads that stored a new pool; DedupHits uploads that
 	// landed on an already-stored one.
 	Puts      uint64 `json:"puts"`
 	DedupHits uint64 `json:"dedupHits"`
-	// Loads counts on-demand loads from disk; Evictions idle-sweep drops of
-	// resident columns; Sweeps the sweep passes that produced them;
-	// Removes deleted pools.
-	Loads     uint64 `json:"loads"`
-	Evictions uint64 `json:"evictions"`
-	Sweeps    uint64 `json:"sweeps"`
-	Removes   uint64 `json:"removes"`
+	// Loads counts on-demand loads from disk; Evictions drops of resident
+	// pool columns (idle sweeps and budget sweeps; BudgetEvictions is the
+	// budget share); Sweeps the idle-sweep passes; Removes deleted pools.
+	Loads           uint64 `json:"loads"`
+	Evictions       uint64 `json:"evictions"`
+	BudgetEvictions uint64 `json:"budgetEvictions"`
+	Sweeps          uint64 `json:"sweeps"`
+	Removes         uint64 `json:"removes"`
+	// StrataCacheHits counts sessions that reused a cached stratification;
+	// StrataCacheMisses those that computed one; StrataCached the
+	// stratifications currently resident.
+	StrataCacheHits   uint64 `json:"strataCacheHits"`
+	StrataCacheMisses uint64 `json:"strataCacheMisses"`
+	StrataCached      int    `json:"strataCached"`
 	// Damaged counts pool files Open quarantined (unreadable headers); see
 	// Store.Damaged for the names.
 	Damaged int `json:"damaged,omitempty"`
+	// RecentEvictions is the ring of the most recent eviction decisions,
+	// newest last.
+	RecentEvictions []EvictionRecord `json:"recentEvictions,omitempty"`
 }
 
 // Info describes one pool for the list/introspection endpoints.
@@ -123,6 +214,10 @@ type Info struct {
 	Bytes  int64  `json:"bytes"`
 	Refs   int    `json:"refs"`
 	Loaded bool   `json:"loaded"`
+	// Mapped reports the columns are served zero-copy off an mmap;
+	// StrataCached counts cached stratifications for this pool.
+	Mapped       bool `json:"mapped,omitempty"`
+	StrataCached int  `json:"strataCached,omitempty"`
 }
 
 // Store is the pool registry. A Store with a directory persists every pool
@@ -133,16 +228,22 @@ type Info struct {
 type Store struct {
 	dir string
 
-	mu      sync.Mutex
-	pools   map[string]*entry
-	damaged []string         // pool files Open could not index (quarantined)
-	now     func() time.Time // injected by tests
-	puts    uint64
-	hits    uint64
-	loads   uint64
-	evicts  uint64
-	sweeps  uint64
-	removes uint64
+	mu           sync.Mutex
+	pools        map[string]*entry
+	damaged      []string         // pool files Open could not index (quarantined)
+	now          func() time.Time // injected by tests
+	memBudget    int64
+	decodeOnly   bool // force the streaming decode path (tests, benchmarks, ops escape hatch)
+	puts         uint64
+	hits         uint64
+	loads        uint64
+	evicts       uint64
+	budgetEvicts uint64
+	sweeps       uint64
+	removes      uint64
+	strataHits   uint64
+	strataMisses uint64
+	evictLog     []EvictionRecord
 }
 
 const poolFileSuffix = ".pool"
@@ -180,7 +281,8 @@ func Open(dir string) (*Store, error) {
 			s.damaged = append(s.damaged, name)
 			continue
 		}
-		s.pools[id] = &entry{pairs: pairs, bytes: size, idleSince: s.now()}
+		now := s.now()
+		s.pools[id] = &entry{pairs: pairs, bytes: size, idleSince: now, lastUsed: now}
 	}
 	sort.Strings(s.damaged)
 	return s, nil
@@ -205,6 +307,30 @@ func (s *Store) Dir() string { return s.dir }
 // references die with the process.
 func (s *Store) Durable() bool { return s.dir != "" }
 
+// SetMemBudget caps the store's resident pool memory (heap columns, mapped
+// files and cached strata) at budget bytes; 0 disables the cap. When over
+// budget, least-recently-used unreferenced residents are evicted — columns
+// unmapped or dropped, cached strata with them — until back under (or
+// nothing unreferenced remains; referenced pools are never evicted, so the
+// budget is a target, not a hard guarantee). Enforcement runs inline on
+// every transition that can cross the budget: loads, puts, releases, and
+// this call.
+func (s *Store) SetMemBudget(budget int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.memBudget = budget
+	s.enforceBudgetLocked()
+}
+
+// SetDecodeOnly forces every cold load onto the streaming decode path even
+// where mmap is supported — the knob the mmap-vs-decode equivalence tests
+// and benchmarks use, and an operational escape hatch.
+func (s *Store) SetDecodeOnly(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.decodeOnly = v
+}
+
 // readPoolHeader reads just enough of a pool file to index it: the verified
 // header (pair count) and the file size.
 func readPoolHeader(path string) (pairs int, size int64, err error) {
@@ -217,11 +343,13 @@ func readPoolHeader(path string) (pairs int, size int64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	// Read the larger (v2) header size; any structurally valid pool file of
+	// either version is longer than that, so a short read means damage.
 	hdr := make([]byte, codecHeaderSize)
 	if _, err := io.ReadFull(f, hdr); err != nil {
 		return 0, 0, fmt.Errorf("short pool file: %w", err)
 	}
-	pairs, err = decodeHeader(hdr)
+	pairs, err = decodeHeader(hdr, info.Size())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -230,6 +358,14 @@ func readPoolHeader(path string) (pairs int, size int64, err error) {
 
 // path returns the pool file path for id.
 func (s *Store) path(id string) string { return filepath.Join(s.dir, id+poolFileSuffix) }
+
+// heapColumnsBytes is the resident heap cost of fully decoded columns:
+// scores (8n) + preds (n) + truth (8n).
+func heapColumnsBytes(n int) int64 { return int64(n) * 17 }
+
+// mappedColumnsBytes is the resident heap cost of mmap-aliased columns:
+// preds (n) + truth (8n); the scores live in the mapping.
+func mappedColumnsBytes(n int) int64 { return int64(n) * 9 }
 
 // Put canonically encodes the pool columns, stores them under their content
 // address, and returns the pool's Info (Info.ID is the content address).
@@ -281,12 +417,19 @@ func (s *Store) putEncoded(encoded []byte, scores []float64, preds []bool, acqui
 		// Re-populating the columns costs nothing and saves a disk reload.
 		if e.pool == nil {
 			e.pool = &Pool{ID: id, Scores: scores, Preds: preds, truth: make([]float64, len(scores))}
+			e.heapBytes = heapColumnsBytes(len(scores))
+			// The columns are byte-verified against the address by
+			// construction: the encoding was just hashed.
+			e.verified = true
 		}
 		if acquire {
 			e.refs++
 		}
+		e.lastUsed = s.now()
 		s.hits++
-		return e.info(id), true
+		info := e.info(id)
+		s.enforceBudgetLocked()
+		return info, true
 	}
 	s.mu.Lock()
 	if info, ok := registerHit(); ok {
@@ -308,18 +451,24 @@ func (s *Store) putEncoded(encoded []byte, scores []float64, preds []bool, acqui
 	if info, ok := registerHit(); ok {
 		return info, false, nil
 	}
+	now := s.now()
 	ent := &entry{
 		pool:      &Pool{ID: id, Scores: scores, Preds: preds, truth: make([]float64, len(scores))},
 		pairs:     len(scores),
 		bytes:     int64(len(encoded)),
-		idleSince: s.now(),
+		heapBytes: heapColumnsBytes(len(scores)),
+		verified:  true,
+		idleSince: now,
+		lastUsed:  now,
 	}
 	if acquire {
 		ent.refs = 1
 	}
 	s.pools[id] = ent
 	s.puts++
-	return ent.info(id), true, nil
+	info := ent.info(id)
+	s.enforceBudgetLocked()
+	return info, true, nil
 }
 
 // Intern stores the pool columns (a dedup hit if already stored) and takes
@@ -349,10 +498,13 @@ func (s *Store) Intern(scores []float64, preds []bool) (id string, release func(
 // Acquire must be balanced by a Release. The returned pool is shared:
 // callers must not mutate its columns.
 //
-// A cold load — disk read, hash verification, decode — runs under the
+// A cold load — mmap or streaming decode, verification — runs under the
 // entry's own lock, not the store-wide one, so loading one large pool never
 // stalls operations on other pools; racing Acquires of the same pool still
-// load it exactly once.
+// load it exactly once. The reference is taken in the same critical section
+// that registers the loaded columns, so a budget or idle sweep can never
+// observe a freshly loaded pool as unreferenced and unmap it out from under
+// the acquiring session.
 func (s *Store) Acquire(id string) (*Pool, error) {
 	for {
 		s.mu.Lock()
@@ -363,6 +515,7 @@ func (s *Store) Acquire(id string) (*Pool, error) {
 		}
 		if e.pool != nil {
 			e.refs++
+			e.lastUsed = s.now()
 			p := e.pool
 			s.mu.Unlock()
 			return p, nil
@@ -382,20 +535,26 @@ func (s *Store) Acquire(id string) (*Pool, error) {
 		}
 		if e.pool != nil {
 			e.refs++
+			e.lastUsed = s.now()
 			p := e.pool
 			s.mu.Unlock()
 			e.loadMu.Unlock()
 			return p, nil
 		}
+		verified := e.verified
+		decodeOnly := s.decodeOnly
 		s.mu.Unlock()
 
-		p, err := s.load(id) // slow: no store-wide lock held
+		p, m, err := s.load(id, verified, decodeOnly) // slow: no store-wide lock held
 		s.mu.Lock()
 		if cur, ok := s.pools[id]; !ok || cur != e {
 			// A concurrent Remove won while we were reading (refs were 0, so
 			// it was entitled to): the loaded copy is orphaned.
 			s.mu.Unlock()
 			e.loadMu.Unlock()
+			if m != nil {
+				_ = m.unmap()
+			}
 			if err == nil {
 				continue // the ID may have been re-put; re-resolve
 			}
@@ -407,32 +566,199 @@ func (s *Store) Acquire(id string) (*Pool, error) {
 			return nil, err
 		}
 		e.pool = p
+		e.mapped = m
+		if m != nil {
+			e.heapBytes = mappedColumnsBytes(p.N())
+		} else {
+			e.heapBytes = heapColumnsBytes(p.N())
+		}
 		e.pairs = p.N()
+		e.verified = true
+		e.lastUsed = s.now()
 		s.loads++
 		e.refs++
+		s.enforceBudgetLocked()
 		s.mu.Unlock()
 		e.loadMu.Unlock()
 		return p, nil
 	}
 }
 
-// load reads, hash-verifies and decodes the pool file for id.
-func (s *Store) load(id string) (*Pool, error) {
+// load materialises the pool file for id: the zero-copy mmap path where the
+// platform and the file's format version allow it, the streaming decode
+// otherwise. verified skips the whole-file SHA-256 (the one-time-per-open
+// policy — section CRCs are always re-checked).
+func (s *Store) load(id string, verified, decodeOnly bool) (*Pool, *mapping, error) {
 	path := s.path(id)
-	data, err := os.ReadFile(path)
+	if mmapSupported && !decodeOnly {
+		p, m, err, fellBack := s.loadMapped(path, id, verified)
+		if !fellBack {
+			return p, m, err
+		}
+	}
+	p, err := s.loadDecode(path, id, verified)
+	return p, nil, err
+}
+
+// loadMapped maps the pool file and serves the scores column straight out
+// of the mapping. fellBack reports the file needs the decode path instead
+// (v1 layout, whose scores are misaligned); verification failures are
+// returned as errors, not fallbacks — a corrupt file must fail loudly, not
+// be re-read more forgivingly.
+func (s *Store) loadMapped(path, id string, verified bool) (_ *Pool, _ *mapping, err error, fellBack bool) {
+	m, err := mapPoolFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil, fmt.Errorf("poolstore: read pool %q: %w", id, err), false
+		}
+		// mmap itself failed (exotic filesystem, resource limits): the
+		// decode path still works, so degrade instead of failing the load.
+		return nil, nil, nil, true
+	}
+	defer func() {
+		if err != nil || fellBack {
+			_ = m.unmap()
+		}
+	}()
+	lay, err := parseHeader(m.data, len(m.data))
+	if err != nil {
+		return nil, nil, fmt.Errorf("poolstore: pool %q: %w", id, err), false
+	}
+	if !lay.aligned {
+		return nil, nil, nil, true // v1 file: scores misaligned, decode it
+	}
+	if err := verifySections(m.data, lay); err != nil {
+		return nil, nil, fmt.Errorf("poolstore: pool %q: %w", id, err), false
+	}
+	if !verified {
+		// First load since open: the content address is the root of trust —
+		// recompute it over the mapped bytes so a swapped file can never
+		// resolve — and scan the scores for non-finite values once.
+		if got := contentID(m.data); got != id {
+			return nil, nil, fmt.Errorf("poolstore: pool %q fails content verification: file hashes to %q", id, got), false
+		}
+		for i, sc := range m.aliasScores(lay) {
+			if math.IsNaN(sc) || math.IsInf(sc, 0) {
+				return nil, nil, fmt.Errorf("poolstore: pool %q: non-finite score at %d", id, i), false
+			}
+		}
+	}
+	preds, err := decodePreds(m.data, lay)
+	if err != nil {
+		return nil, nil, fmt.Errorf("poolstore: pool %q: %w", id, err), false
+	}
+	p := &Pool{ID: id, Scores: m.aliasScores(lay), Preds: preds, truth: make([]float64, lay.n)}
+	return p, m, nil, false
+}
+
+// loadBufSize is the reused read buffer of the streaming decode path: peak
+// load memory is one buffer (plus the decoded columns), never a second
+// whole-pool copy. Must be a multiple of 8 so score chunks split cleanly.
+const loadBufSize = 1 << 20
+
+// loadDecode reads, verifies and decodes the pool file section by section
+// through a fixed-size buffer. verified skips the whole-file SHA-256.
+func (s *Store) loadDecode(path, id string, verified bool) (*Pool, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("poolstore: read pool %q: %w", id, err)
 	}
-	// The content address is the root of trust: recompute it over the full
-	// file before decoding, so a corrupt or swapped file can never resolve.
-	if got := contentID(data); got != id {
-		return nil, fmt.Errorf("poolstore: pool %q fails content verification: file hashes to %q", id, got)
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("poolstore: read pool %q: %w", id, err)
 	}
-	scores, preds, err := Decode(data)
+	var hasher hash.Hash
+	var r io.Reader = f
+	if !verified {
+		hasher = sha256.New()
+		r = io.TeeReader(f, hasher)
+	}
+	// Header: read the v1 prefix, then the v2 pad if the magic says so.
+	hdr := make([]byte, codecHeaderSizeV1, codecHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("poolstore: pool %q: short pool file: %w", id, err)
+	}
+	if string(hdr[:8]) == codecMagic {
+		hdr = hdr[:codecHeaderSize]
+		if _, err := io.ReadFull(r, hdr[codecHeaderSizeV1:]); err != nil {
+			return nil, fmt.Errorf("poolstore: pool %q: short pool file: %w", id, err)
+		}
+	}
+	lay, err := parseHeader(hdr, int(info.Size()))
 	if err != nil {
 		return nil, fmt.Errorf("poolstore: pool %q: %w", id, err)
 	}
-	return &Pool{ID: id, Scores: scores, Preds: preds, truth: make([]float64, len(scores))}, nil
+
+	buf := make([]byte, loadBufSize)
+	var trailer [4]byte
+	readSection := func(size int, consume func(chunk []byte)) (uint32, error) {
+		crc := uint32(0)
+		for size > 0 {
+			chunk := buf
+			if size < len(chunk) {
+				chunk = chunk[:size]
+			}
+			if _, err := io.ReadFull(r, chunk); err != nil {
+				return 0, fmt.Errorf("short section: %w", err)
+			}
+			crc = crc32.Update(crc, castagnoli, chunk)
+			consume(chunk)
+			size -= len(chunk)
+		}
+		if _, err := io.ReadFull(r, trailer[:]); err != nil {
+			return 0, fmt.Errorf("short section CRC: %w", err)
+		}
+		return crc, nil
+	}
+
+	scores := make([]float64, lay.n)
+	si := 0
+	crcS, err := readSection(8*lay.n, func(chunk []byte) {
+		for off := 0; off < len(chunk); off += 8 {
+			scores[si] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[off:]))
+			si++
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("poolstore: pool %q: %w", id, err)
+	}
+	if crcS != binary.LittleEndian.Uint32(trailer[:]) {
+		return nil, fmt.Errorf("poolstore: pool %q: scores section CRC mismatch", id)
+	}
+	for i, sc := range scores {
+		if math.IsNaN(sc) || math.IsInf(sc, 0) {
+			return nil, fmt.Errorf("poolstore: pool %q: non-finite score at %d", id, i)
+		}
+	}
+
+	preds := make([]bool, lay.n)
+	pi := 0
+	var lastPredsByte byte
+	crcP, err := readSection((lay.n+7)/8, func(chunk []byte) {
+		for _, b := range chunk {
+			for bit := 0; bit < 8 && pi < lay.n; bit++ {
+				preds[pi] = b&(1<<bit) != 0
+				pi++
+			}
+			lastPredsByte = b
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("poolstore: pool %q: %w", id, err)
+	}
+	if crcP != binary.LittleEndian.Uint32(trailer[:]) {
+		return nil, fmt.Errorf("poolstore: pool %q: preds section CRC mismatch", id)
+	}
+	if err := checkPadBits(lastPredsByte, lay.n); err != nil {
+		return nil, fmt.Errorf("poolstore: pool %q: %w", id, err)
+	}
+	if hasher != nil {
+		if got := hex.EncodeToString(hasher.Sum(nil)); got != id {
+			return nil, fmt.Errorf("poolstore: pool %q fails content verification: file hashes to %q", id, got)
+		}
+	}
+	return &Pool{ID: id, Scores: scores, Preds: preds, truth: make([]float64, lay.n)}, nil
 }
 
 // Release returns one reference taken by Acquire. Releasing an unknown or
@@ -446,8 +772,12 @@ func (s *Store) Release(id string) {
 		return
 	}
 	e.refs--
+	e.lastUsed = s.now()
 	if e.refs == 0 {
 		e.idleSince = s.now()
+		// The pool just became evictable: if the store is over budget, this
+		// is the moment the LRU sweep can finally act on it.
+		s.enforceBudgetLocked()
 	}
 }
 
@@ -479,9 +809,71 @@ func (s *Store) Remove(id string) error {
 			return fmt.Errorf("poolstore: remove pool %q: %w", id, err)
 		}
 	}
+	if e.mapped != nil {
+		_ = e.mapped.unmap()
+		e.mapped = nil
+	}
+	e.pool = nil
 	delete(s.pools, id)
 	s.removes++
 	return nil
+}
+
+// evictLocked drops the entry's resident columns (unmapping if mapped) and
+// cached strata, recording the decision. Callers hold s.mu and must have
+// checked refs == 0 and pool != nil.
+func (s *Store) evictLocked(id string, e *entry, reason string) {
+	cost := e.residentCost()
+	if e.mapped != nil {
+		_ = e.mapped.unmap()
+		e.mapped = nil
+	}
+	e.pool = nil
+	e.heapBytes = 0
+	e.strata = nil
+	e.strataBytes = 0
+	s.evicts++
+	if reason == "budget" {
+		s.budgetEvicts++
+	}
+	s.evictLog = append(s.evictLog, EvictionRecord{ID: id, Bytes: cost, Reason: reason, Unix: s.now().Unix()})
+	if len(s.evictLog) > evictionLogSize {
+		s.evictLog = s.evictLog[len(s.evictLog)-evictionLogSize:]
+	}
+}
+
+// enforceBudgetLocked evicts least-recently-used unreferenced residents
+// until resident memory is back under the budget. Callers hold s.mu. A
+// memory-only store never evicts (the columns are the only copy), and
+// referenced pools are pinned — with every resident referenced the store
+// stays over budget until something is released.
+func (s *Store) enforceBudgetLocked() {
+	if s.memBudget <= 0 || s.dir == "" {
+		return
+	}
+	var resident int64
+	type victim struct {
+		id string
+		e  *entry
+	}
+	var victims []victim
+	for id, e := range s.pools {
+		resident += e.residentCost()
+		if e.pool != nil && e.refs == 0 {
+			victims = append(victims, victim{id, e})
+		}
+	}
+	if resident <= s.memBudget {
+		return
+	}
+	sort.Slice(victims, func(i, k int) bool { return victims[i].e.lastUsed.Before(victims[k].e.lastUsed) })
+	for _, v := range victims {
+		if resident <= s.memBudget {
+			return
+		}
+		resident -= v.e.residentCost()
+		s.evictLocked(v.id, v.e, "budget")
+	}
 }
 
 // Sweep evicts the resident columns of every unreferenced pool that has
@@ -497,11 +889,10 @@ func (s *Store) Sweep(idleFor time.Duration) int {
 	s.sweeps++
 	now := s.now()
 	evicted := 0
-	for _, e := range s.pools {
+	for id, e := range s.pools {
 		if e.pool != nil && e.refs == 0 && now.Sub(e.idleSince) >= idleFor {
-			e.pool = nil
+			s.evictLocked(id, e, "idle")
 			evicted++
-			s.evicts++
 		}
 	}
 	return evicted
@@ -542,20 +933,30 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Pools:     len(s.pools),
-		Puts:      s.puts,
-		DedupHits: s.hits,
-		Loads:     s.loads,
-		Evictions: s.evicts,
-		Sweeps:    s.sweeps,
-		Removes:   s.removes,
-		Damaged:   len(s.damaged),
+		Pools:             len(s.pools),
+		MemBudget:         s.memBudget,
+		Puts:              s.puts,
+		DedupHits:         s.hits,
+		Loads:             s.loads,
+		Evictions:         s.evicts,
+		BudgetEvictions:   s.budgetEvicts,
+		Sweeps:            s.sweeps,
+		Removes:           s.removes,
+		StrataCacheHits:   s.strataHits,
+		StrataCacheMisses: s.strataMisses,
+		Damaged:           len(s.damaged),
+		RecentEvictions:   append([]EvictionRecord(nil), s.evictLog...),
 	}
 	for _, e := range s.pools {
 		if e.pool != nil {
 			st.Loaded++
-			st.ResidentBytes += e.bytes
+			st.ResidentBytes += e.residentCost()
 		}
+		if e.mapped != nil {
+			st.Mapped++
+			st.MmapBytes += int64(len(e.mapped.data))
+		}
+		st.StrataCached += len(e.strata)
 		st.Refs += e.refs
 		st.Bytes += e.bytes
 	}

@@ -200,13 +200,20 @@ func (s *Server) registerCollectors(reg *obs.Registry) {
 	reg.DeclareGauge("oasis_pool_store_loaded", "Pools with resident columns.")
 	reg.DeclareGauge("oasis_pool_store_refs", "Live session references across all pools.")
 	reg.DeclareGauge("oasis_pool_store_bytes", "Encoded size of all registered pools.")
-	reg.DeclareGauge("oasis_pool_store_resident_bytes", "Encoded size of the pools currently resident in memory.")
+	reg.DeclareGauge("oasis_pool_store_resident_bytes", "Estimated resident memory cost of loaded pools (heap columns + mapped files + cached strata).")
+	reg.DeclareGauge("oasis_pool_store_mapped", "Pools served zero-copy off a read-only mmap.")
+	reg.DeclareGauge("oasis_pool_mmap_bytes", "Bytes of pool files currently memory-mapped (page-cache governed).")
+	reg.DeclareGauge("oasis_pool_store_mem_budget_bytes", "Configured resident-memory budget (0 = unlimited).")
 	reg.DeclareCounter("oasis_pool_store_puts_total", "Uploads that stored a new pool.")
 	reg.DeclareCounter("oasis_pool_store_dedup_hits_total", "Uploads that landed on an already-stored pool.")
 	reg.DeclareCounter("oasis_pool_store_loads_total", "On-demand pool loads from disk.")
-	reg.DeclareCounter("oasis_pool_store_evictions_total", "Idle-sweep evictions of resident pool columns.")
+	reg.DeclareCounter("oasis_pool_evictions_total", "Evictions of resident pool columns, by reason (idle sweep vs memory budget).")
+	reg.DeclareCounter("oasis_pool_store_evictions_total", "Evictions of resident pool columns (all reasons).")
 	reg.DeclareCounter("oasis_pool_store_sweeps_total", "Idle-sweep passes.")
 	reg.DeclareCounter("oasis_pool_store_removes_total", "Pools deleted.")
+	reg.DeclareCounter("oasis_pool_strata_cache_hits_total", "Sessions that reused a cached stratification.")
+	reg.DeclareCounter("oasis_pool_strata_cache_misses_total", "Sessions that computed (and cached) a stratification.")
+	reg.DeclareGauge("oasis_pool_strata_cached", "Stratifications currently cached across all pools.")
 	reg.DeclareGauge("oasis_pool_store_damaged_files", "Quarantined pool files (unreadable at open).")
 
 	reg.AddCollector(s.collect)
@@ -272,12 +279,20 @@ func (s *Server) collect(emit obs.Emit) {
 		emit("oasis_pool_store_refs", float64(st.Refs))
 		emit("oasis_pool_store_bytes", float64(st.Bytes))
 		emit("oasis_pool_store_resident_bytes", float64(st.ResidentBytes))
+		emit("oasis_pool_store_mapped", float64(st.Mapped))
+		emit("oasis_pool_mmap_bytes", float64(st.MmapBytes))
+		emit("oasis_pool_store_mem_budget_bytes", float64(st.MemBudget))
 		emit("oasis_pool_store_puts_total", float64(st.Puts))
 		emit("oasis_pool_store_dedup_hits_total", float64(st.DedupHits))
 		emit("oasis_pool_store_loads_total", float64(st.Loads))
+		emit("oasis_pool_evictions_total", float64(st.Evictions-st.BudgetEvictions), obs.Label{Name: "reason", Value: "idle"})
+		emit("oasis_pool_evictions_total", float64(st.BudgetEvictions), obs.Label{Name: "reason", Value: "budget"})
 		emit("oasis_pool_store_evictions_total", float64(st.Evictions))
 		emit("oasis_pool_store_sweeps_total", float64(st.Sweeps))
 		emit("oasis_pool_store_removes_total", float64(st.Removes))
+		emit("oasis_pool_strata_cache_hits_total", float64(st.StrataCacheHits))
+		emit("oasis_pool_strata_cache_misses_total", float64(st.StrataCacheMisses))
+		emit("oasis_pool_strata_cached", float64(st.StrataCached))
 		emit("oasis_pool_store_damaged_files", float64(st.Damaged))
 	}
 }

@@ -200,7 +200,7 @@ func newSession(cfg Config, defaultTTL time.Duration, now func() time.Time, pool
 	var prop proposer
 	switch cfg.Method {
 	case MethodOASIS:
-		s, err := oasis.NewSampler(p, cfg.Options)
+		s, err := newOASISSampler(p, cfg, pools)
 		if err != nil {
 			return nil, err
 		}
@@ -220,6 +220,42 @@ func newSession(cfg Config, defaultTTL time.Duration, now func() time.Time, pool
 		poolSize:    poolSize,
 		poolRelease: release,
 	}, nil
+}
+
+// newOASISSampler builds the session's OASIS sampler. For a store-resolved
+// pool the O(N log N) stratification is memoised in the pool store under the
+// session's pool reference, so N sessions over one pool stratify once; the
+// cached stratification is bit-identical to a fresh one (it is a pure
+// function of the immutable columns and the key below), so sampling
+// sequences do not change. Inline pools stratify privately as before.
+//
+// The cache key must carry every input the stratification reads: the
+// stratifier rule and its K/bins (post-clamp — the caller already clamped
+// them to the pool size), and the probability mapping (calibration kind and
+// threshold) that shapes the per-stratum mean probability-scores.
+func newOASISSampler(p *oasis.Pool, cfg Config, pools *poolstore.Store) (*oasis.Sampler, error) {
+	if cfg.PoolID == "" || pools == nil {
+		return oasis.NewSampler(p, cfg.Options)
+	}
+	opts := cfg.Options.WithDefaults()
+	key := poolstore.StrataKey{
+		Stratifier: int(opts.Stratifier),
+		K:          opts.Strata,
+		Bins:       opts.StrataBins,
+		Calibrated: cfg.Calibrated,
+		Threshold:  cfg.Threshold,
+	}
+	v, err := pools.Strata(cfg.PoolID, key, func() (any, int64, error) {
+		st, err := oasis.Stratify(p, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return st, st.MemBytes(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return oasis.NewSamplerStratified(p, opts, v.(*oasis.Stratification))
 }
 
 // resolvePool materialises a config's evaluation pool. A PoolID resolves

@@ -9,7 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"oasis/internal/pool"
 	"oasis/internal/stats"
@@ -175,18 +175,38 @@ func EqualSize(p *pool.Pool, targetK int) (*Strata, error) {
 	if targetK > n {
 		targetK = n
 	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	// Sort a keyed slice rather than an index slice with a closure: each
+	// compare reads adjacent memory instead of chasing two indirections, and
+	// slices.SortStableFunc avoids the reflection-based swaps of
+	// sort.SliceStable. Stability preserves the original index order within
+	// equal scores, so the assignment is bit-identical to the index sort.
+	type rankedItem struct {
+		score float64
+		idx   int
 	}
-	sort.SliceStable(order, func(a, b int) bool { return p.Scores[order[a]] < p.Scores[order[b]] })
+	order := make([]rankedItem, n)
+	for i := range order {
+		order[i] = rankedItem{score: p.Scores[i], idx: i}
+	}
+	slices.SortStableFunc(order, func(a, b rankedItem) int {
+		// Scores are validated finite, so '<' is a total order here and the
+		// three-way compare cannot misbehave on NaN.
+		switch {
+		case a.score < b.score:
+			return -1
+		case a.score > b.score:
+			return 1
+		default:
+			return 0
+		}
+	})
 	assign := make([]int, n)
-	for rank, idx := range order {
+	for rank, it := range order {
 		k := rank * targetK / n
 		if k >= targetK {
 			k = targetK - 1
 		}
-		assign[idx] = k
+		assign[it.idx] = k
 	}
 	return fromAllocation(p, assign, targetK)
 }

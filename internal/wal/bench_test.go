@@ -79,6 +79,40 @@ func BenchmarkSessionCreate(b *testing.B) {
 		defer j.Close()
 		run(b, mgr, j, session.Config{PoolID: id, Calibrated: true, Options: opts})
 	})
+	// poolref-warm is the steady-state serving case the zero-copy PR targets:
+	// the pool is already resident (or mapped) and its stratification cached
+	// from an earlier session over the same pool, so a create costs only the
+	// sampler initialisation and the O(1) WAL record — no column load, no
+	// O(N log N) stratify, no O(N) validation re-scan.
+	b.Run("poolref-warm", func(b *testing.B) {
+		store, err := poolstore.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		putInfo, _, err := store.Put(scores, preds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		id := putInfo.ID
+		mgr := session.NewManager(session.ManagerOptions{Pools: store})
+		j, err := Open(b.TempDir(), mgr, Options{Fsync: "off"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		cfg := session.Config{PoolID: id, Calibrated: true, Options: opts}
+		// Warm the caches: one throwaway create loads the columns and fills
+		// the strata cache; deleting it releases the reference but leaves
+		// both resident.
+		cfg.ID = "warmup"
+		if _, err := mgr.Create(cfg); err != nil {
+			b.Fatal(err)
+		}
+		if err := mgr.Delete(cfg.ID); err != nil {
+			b.Fatal(err)
+		}
+		run(b, mgr, j, cfg)
+	})
 }
 
 // BenchmarkManagerParallel measures multi-session commit throughput through

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"oasis/internal/core"
 	"oasis/internal/oracle"
@@ -162,6 +163,10 @@ type Result struct {
 type Sampler struct {
 	inner *core.Sampler
 	str   *strata.Strata
+	// proto is the shared initial slot state of the stratification this
+	// sampler was built over (nil for legacy construction paths); see
+	// resetAvailability.
+	proto *samplerProto
 
 	// Propose/commit bookkeeping: outstanding proposals live in a dense slab
 	// (pendingSlab) indexed per pair by pendingIdx, holding every draw
@@ -234,9 +239,62 @@ const (
 	pairLabelled  int32 = -2
 )
 
-// NewSampler stratifies the pool and initialises OASIS from its scores
-// (Algorithms 1 and 2), returning a ready-to-run sampler.
-func NewSampler(p *Pool, opts Options) (*Sampler, error) {
+// Stratification is a precomputed, immutable stratification of a pool,
+// produced by Stratify. It is a pure function of the pool's columns and the
+// strata-shaping options, so it can be cached and shared: every sampler
+// built over the same (pool, options) via NewSamplerStratified reuses it
+// instead of re-running the O(N log N) stratify. Treat it as read-only.
+type Stratification struct {
+	s *strata.Strata
+
+	protoOnce sync.Once
+	proto     samplerProto
+}
+
+// samplerProto is the shareable initial state of every sampler built over
+// one stratification: the core's flattened membership plus the
+// propose/commit slot template and the pair→slot map — all pure functions
+// of the Strata, read-only once built. With it, a warm sampler build is one
+// sequential slot-template copy instead of three O(N) scattered fills.
+type samplerProto struct {
+	fm        core.FlatMembers
+	slots     []pairSlot // template: every pair available
+	posOfPair []int32
+}
+
+// sharedProto builds (once) and returns the stratification's sampler
+// prototype.
+func (st *Stratification) sharedProto() *samplerProto {
+	st.protoOnce.Do(func() {
+		fm := core.Flatten(st.s)
+		slots := make([]pairSlot, len(fm.Members))
+		pos := make([]int32, len(fm.Members))
+		for i, pair := range fm.Members {
+			slots[i] = pairSlot{pair: pair, state: pairAvailable}
+			pos[pair] = int32(i)
+		}
+		st.proto = samplerProto{fm: fm, slots: slots, posOfPair: pos}
+	})
+	return &st.proto
+}
+
+// K returns the number of strata actually built (may be fewer than the
+// requested Options.Strata; see NewSampler).
+func (st *Stratification) K() int { return st.s.K() }
+
+// MemBytes estimates the stratification's resident size, for cache
+// accounting.
+func (st *Stratification) MemBytes() int64 {
+	// Items (one int per pool item plus a header per stratum), Assign (one
+	// int per item), four float64 columns per stratum, and the sampler
+	// prototype (flat members, slot template, pair→slot map: 16 bytes/item).
+	return int64(st.s.N())*32 + int64(st.s.K())*60
+}
+
+// Stratify computes the stratification NewSampler builds internally for
+// (p, opts): CSF or equal-size per opts.Stratifier with the same option
+// defaulting, validating the pool on the way.
+func Stratify(p *Pool, opts Options) (*Stratification, error) {
 	opts = opts.WithDefaults()
 	var (
 		s   *strata.Strata
@@ -251,19 +309,46 @@ func NewSampler(p *Pool, opts Options) (*Sampler, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.New(p.inner, s, core.Config{
+	return &Stratification{s: s}, nil
+}
+
+// NewSampler stratifies the pool and initialises OASIS from its scores
+// (Algorithms 1 and 2), returning a ready-to-run sampler.
+func NewSampler(p *Pool, opts Options) (*Sampler, error) {
+	st, err := Stratify(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewSamplerStratified(p, opts, st)
+}
+
+// NewSamplerStratified is NewSampler over a precomputed stratification: the
+// O(N log N) stratify is skipped, and so is the O(N) validation re-scan (the
+// stratification's own construction validated the pool). st must come from
+// Stratify over this same pool with these same strata options — a mismatched
+// stratification silently corrupts every estimate. The sampler produced is
+// bit-identical to what NewSampler would build: the stratification is
+// deterministic, and all randomness seeds from opts.Seed afterwards.
+func NewSamplerStratified(p *Pool, opts Options, st *Stratification) (*Sampler, error) {
+	opts = opts.WithDefaults()
+	proto := st.sharedProto()
+	inner, err := core.NewWithMembers(p.inner, st.s, core.Config{
 		Alpha:             opts.Alpha,
 		Epsilon:           opts.Epsilon,
 		PriorStrength:     opts.PriorStrength,
 		DisablePriorDecay: opts.NoPriorDecay,
 		PosteriorEstimate: opts.PosteriorEstimate,
-	}, rng.New(opts.Seed))
+		// The pool was validated when st was stratified (or, for store-resolved
+		// pools, when the columns were loaded and CRC/SHA-verified).
+		TrustedPool: true,
+	}, rng.New(opts.Seed), proto.fm)
 	if err != nil {
 		return nil, err
 	}
 	out := &Sampler{
 		inner:  inner,
-		str:    s,
+		str:    st.s,
+		proto:  proto,
 		labels: make(map[int]bool),
 	}
 	out.resetAvailability()
@@ -274,24 +359,39 @@ func NewSampler(p *Pool, opts Options) (*Sampler, error) {
 // cache, with no outstanding proposals: every unlabelled pair is available.
 func (s *Sampler) resetAvailability() {
 	n := s.str.N()
+	fresh := false // slots just built with every state already pairAvailable
 	if s.slots == nil {
-		s.slots = make([]pairSlot, n)
-		s.slotOff = make([]int32, s.str.K()+1)
-		s.posOfPair = make([]int32, n)
 		s.availCount = make([]int32, s.str.K())
-		pos := 0
-		for k, items := range s.str.Items {
-			s.slotOff[k] = int32(pos)
-			for _, pair := range items {
-				s.slots[pos].pair = int32(pair)
-				s.posOfPair[pair] = int32(pos)
-				pos++
+		if s.proto != nil {
+			// Warm path: one sequential copy of the shared slot template;
+			// slotOff and posOfPair are read-only after init, so they alias
+			// the prototype outright.
+			s.slots = make([]pairSlot, n)
+			copy(s.slots, s.proto.slots)
+			s.slotOff = s.proto.fm.Off
+			s.posOfPair = s.proto.posOfPair
+			fresh = true
+		} else {
+			s.slots = make([]pairSlot, n)
+			s.slotOff = make([]int32, s.str.K()+1)
+			s.posOfPair = make([]int32, n)
+			pos := 0
+			for k, items := range s.str.Items {
+				s.slotOff[k] = int32(pos)
+				for _, pair := range items {
+					s.slots[pos] = pairSlot{pair: int32(pair), state: pairAvailable}
+					s.posOfPair[pair] = int32(pos)
+					pos++
+				}
 			}
+			s.slotOff[s.str.K()] = int32(pos)
+			fresh = true
 		}
-		s.slotOff[s.str.K()] = int32(pos)
 	}
-	for i := range s.slots {
-		s.slots[i].state = pairAvailable
+	if !fresh {
+		for i := range s.slots {
+			s.slots[i].state = pairAvailable
+		}
 	}
 	s.pendingSlab = s.pendingSlab[:0]
 	s.extraDraws = nil
