@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test test-stress race bench bench-json bench-smoke fuzz-smoke metrics-smoke serve serve-wal serve-metrics example clean
+.PHONY: build vet fmt-check test test-stress race bench bench-json bench-smoke fuzz-smoke metrics-smoke trace-smoke serve serve-wal serve-metrics example clean
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,16 @@ bench-smoke:
 metrics-smoke:
 	$(GO) test ./cmd/oasis-server -run '^TestMetricsSmokeEndToEnd$$' -count=1
 	$(GO) test ./internal/server -run '^TestMetrics' -count=1
+
+# Tracing smoke (CI runs the same): boot the real binary, force a traced
+# create/propose/commit round via sampled traceparent headers, and fail
+# unless /debug/traces/{id} returns span timelines covering the server,
+# session, sampler, WAL and pool-store stages; then the in-process
+# middleware round-trip and trace-ring race tests.
+trace-smoke:
+	$(GO) test ./cmd/oasis-server -run '^TestTraceSmokeEndToEnd$$' -count=1
+	$(GO) test -race ./internal/server -run '^TestTracing' -count=1
+	$(GO) test -race ./internal/trace -count=1
 
 # Short fuzz of the WAL replay path (CI runs the same). Minimization is
 # capped: replay coverage is mildly nondeterministic (temp paths, map

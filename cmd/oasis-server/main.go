@@ -10,7 +10,8 @@
 //	             [-pools-dir dir] [-pool-gc 10m] [-pool-mem-budget bytes]
 //	             [-wal dir] [-fsync always|off|100ms] [-compact-every 10m]
 //	             [-snapshot state.json] [-snapshot-interval 1m]
-//	             [-pprof addr] [-access-log] [-slow-request 1s] [-version]
+//	             [-pprof addr] [-access-log] [-slow-request 1s]
+//	             [-trace-sample 0.01] [-version]
 //
 // -pools-dir enables the durable content-addressed pool store
 // (internal/poolstore): pools uploaded once via POST /v1/pools are stored as
@@ -61,8 +62,21 @@
 // exposition covering HTTP routes, session shards, WAL lanes, the pool
 // store, and per-session sampler health (see the README's Observability
 // section). -access-log logs one line per request with a request ID;
-// requests slower than -slow-request are tagged slow=true. -version
+// requests at or above -slow-request are tagged slow=true. -version
 // prints the build version and exits.
+//
+// Request tracing is also always on: a -trace-sample fraction of requests
+// (plus every request carrying a sampled W3C traceparent header) records a
+// span timeline across all five layers — server middleware, session
+// manager (shard-lock wait/hold, create barriers), sampler
+// (propose/commit, v(t) rebuilds), WAL (append vs fsync per lane) and
+// pool store (acquire mmap/decode, strata cache) — with no allocations on
+// unsampled requests. Completed traces land in two lock-free rings (the
+// last N, plus every slow or 5xx trace) served at GET /debug/traces and
+// GET /debug/traces/{id}. Request IDs, trace IDs and access-log lines all
+// share one random-per-boot 64-bit prefix, so any one of them greps to
+// the others; with -pprof, handlers additionally run under pprof labels
+// (route, shard, WAL sync lane) so CPU profiles slice along the same axes.
 package main
 
 import (
@@ -86,6 +100,7 @@ import (
 	"oasis/internal/poolstore"
 	"oasis/internal/server"
 	"oasis/internal/session"
+	"oasis/internal/trace"
 	"oasis/internal/wal"
 )
 
@@ -120,7 +135,8 @@ func main() {
 		maxBody      = flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum HTTP request body size in bytes (413 beyond it)")
 		pprofAddr    = flag.String("pprof", "", "listen address for the net/http/pprof debug server (empty = disabled)")
 		accessLog    = flag.Bool("access-log", false, "log one line per HTTP request, with request ID, route, status, and latency")
-		slowReq      = flag.Duration("slow-request", time.Second, "with -access-log: tag requests at or above this latency with slow=true")
+		slowReq      = flag.Duration("slow-request", time.Second, "latency at or above which a request counts as slow: tagged slow=true in the access log, counted per route in metrics, and its trace always retained (0 = never)")
+		traceSample  = flag.Float64("trace-sample", trace.DefaultSampleRate, "fraction of requests to record a span timeline for (0 = only requests with a sampled inbound traceparent; 1 = all); see GET /debug/traces")
 		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -303,6 +319,19 @@ func main() {
 	srv.SetPools(pools)
 	srv.SetMaxBodyBytes(*maxBody)
 	srv.SetVersion(buildVersion())
+	// Tracing is always on (unsampled requests cost nothing on the hot
+	// path) and must be enabled before the metrics registry so the trace
+	// counter families are declared. A flag value of 0 disables head
+	// sampling but still honors inbound sampled traceparent headers.
+	rate := *traceSample
+	if rate == 0 {
+		rate = -1
+	}
+	srv.EnableTracing(trace.NewCollector(trace.Options{SampleRate: rate, Slow: *slowReq}))
+	srv.SetSlowRequest(*slowReq)
+	if *pprofAddr != "" {
+		srv.EnableProfileLabels()
+	}
 	srv.EnableMetrics(reg)
 	if *accessLog {
 		srv.SetAccessLog(log.Default(), *slowReq)

@@ -28,6 +28,7 @@ import (
 	"oasis/internal/rng"
 	"oasis/internal/server"
 	"oasis/internal/session"
+	"oasis/internal/trace"
 )
 
 // e2ePool mirrors the synthetic pool generators used across the test suite.
@@ -481,5 +482,198 @@ func TestMetricsSmokeEndToEnd(t *testing.T) {
 	}
 	if out, err := exec.Command(bin, "-version").Output(); err != nil || !strings.Contains(string(out), stats.Version) {
 		t.Errorf("-version output %q does not carry stats version %q (err %v)", out, stats.Version, err)
+	}
+}
+
+// tracedJSON issues one request carrying a sampled W3C traceparent with the
+// given trace ID, forcing the server to record it regardless of the head
+// sampling rate, and decodes the JSON response.
+func tracedJSON(t *testing.T, method, url, traceID string, body, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Traceparent"); !strings.Contains(got, traceID) {
+		t.Fatalf("%s %s: response traceparent %q does not carry trace %s", method, url, got, traceID)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestTraceSmokeEndToEnd boots the real binary with the WAL enabled and
+// head sampling off, forces one traced create/propose/commit round via
+// sampled traceparent headers, and demands /debug/traces/{id} return span
+// timelines that cover every serving layer — the pool store on the create
+// (acquire + strata against the uploaded pool), the sampler and WAL on
+// propose and commit (append alone on propose, append+fsync on commit),
+// and a server-layer handle span covering >= 90% of each root span's wall
+// time. This is the check `make trace-smoke` runs in CI.
+func TestTraceSmokeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a real server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "oasis-server")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd, addr := startServer(t, bin,
+		"-addr", "127.0.0.1:0", "-wal", t.TempDir(), "-fsync", "always",
+		"-access-log", "-trace-sample", "0")
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+	base := "http://" + addr
+
+	scores, preds, truth := e2ePool(2000, 11)
+	var uploaded server.PoolResponse
+	if code := postJSON(t, base+"/v1/pools", server.PoolUploadRequest{Scores: scores, Preds: preds}, &uploaded); code != http.StatusCreated {
+		t.Fatalf("upload pool: status %d", code)
+	}
+
+	const (
+		tidCreate = "0000000000000008aaaaaaaaaaaaaaa1"
+		tidProp   = "0000000000000008aaaaaaaaaaaaaaa2"
+		tidCommit = "0000000000000008aaaaaaaaaaaaaaa3"
+	)
+	cfg := session.Config{
+		ID: "tsmoke", PoolID: uploaded.PoolID, Calibrated: true,
+		Options: oasis.Options{Strata: 10, Seed: 5},
+	}
+	if code := tracedJSON(t, "POST", base+"/v1/sessions", tidCreate, cfg, nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	var pr server.ProposeResponse
+	if code := tracedJSON(t, "GET", base+"/v1/sessions/tsmoke/propose?n=8", tidProp, nil, &pr); code != http.StatusOK {
+		t.Fatalf("propose: status %d", code)
+	}
+	if len(pr.Proposals) != 8 {
+		t.Fatalf("proposed %d pairs, want 8", len(pr.Proposals))
+	}
+	req := server.LabelsRequest{}
+	for _, p := range pr.Proposals {
+		req.Labels = append(req.Labels, server.Label{Pair: p.Pair, Label: truth[p.Pair]})
+	}
+	var lr server.LabelsResponse
+	if code := tracedJSON(t, "POST", base+"/v1/sessions/tsmoke/labels", tidCommit, req, &lr); code != http.StatusOK {
+		t.Fatalf("labels: status %d", code)
+	}
+	if lr.Committed != len(req.Labels) {
+		t.Fatalf("committed %d of %d", lr.Committed, len(req.Labels))
+	}
+
+	// fetchTrace pulls one retained trace and indexes its layers and names.
+	fetchTrace := func(tid string) (tj trace.TraceJSON, layers, names map[string]bool) {
+		t.Helper()
+		if code := getJSON(t, base+"/debug/traces/"+tid, &tj); code != http.StatusOK {
+			t.Fatalf("GET /debug/traces/%s: status %d", tid, code)
+		}
+		layers, names = map[string]bool{}, map[string]bool{}
+		for _, sp := range tj.Spans {
+			layers[sp.Layer] = true
+			names[sp.Name] = true
+		}
+		if tj.DroppedSpans != 0 {
+			t.Errorf("trace %s dropped %d spans", tid, tj.DroppedSpans)
+		}
+		// Root coverage: the direct children of the root span must account
+		// for >= 90% of the request's wall time, or the timeline has holes.
+		var rootCovered float64
+		for _, sp := range tj.Spans {
+			if sp.Parent == -1 {
+				rootCovered += sp.DurUs
+			}
+		}
+		if tj.DurationUs > 0 && rootCovered < 0.9*tj.DurationUs {
+			t.Errorf("trace %s: root-level spans cover %.1fµs of %.1fµs (< 90%%)", tid, rootCovered, tj.DurationUs)
+		}
+		return tj, layers, names
+	}
+
+	// Create: server + session + pool store (acquire and strata of the
+	// uploaded pool) + WAL (create record is fsynced).
+	_, layers, names := fetchTrace(tidCreate)
+	for _, want := range []string{"server", "session", "pool", "wal"} {
+		if !layers[want] {
+			t.Errorf("create trace missing %q layer; got %v", want, layers)
+		}
+	}
+	for _, want := range []string{"session.build", "pool.acquire", "pool.strata", "wal.append", "wal.fsync", "shard.lock_wait"} {
+		if !names[want] {
+			t.Errorf("create trace missing span %q; got %v", want, names)
+		}
+	}
+
+	// Propose: sampler draws journaled to the WAL lane (append, no fsync —
+	// the propose event is redone by replay, not awaited).
+	tj, layers, names := fetchTrace(tidProp)
+	for _, want := range []string{"server", "session", "sampler", "wal"} {
+		if !layers[want] {
+			t.Errorf("propose trace missing %q layer; got %v", want, layers)
+		}
+	}
+	for _, want := range []string{"http.handle", "session.propose", "lock.wait", "sampler.propose", "wal.append"} {
+		if !names[want] {
+			t.Errorf("propose trace missing span %q; got %v", want, names)
+		}
+	}
+	if tj.Route != "GET /v1/sessions/{id}/propose" {
+		t.Errorf("propose trace route %q", tj.Route)
+	}
+
+	// Commit: the durability tax must be visible — append and fsync spans
+	// on the session's WAL lane.
+	_, layers, names = fetchTrace(tidCommit)
+	for _, want := range []string{"server", "session", "sampler", "wal"} {
+		if !layers[want] {
+			t.Errorf("commit trace missing %q layer; got %v", want, layers)
+		}
+	}
+	for _, want := range []string{"http.decode", "session.commit", "sampler.commit", "wal.append", "wal.fsync"} {
+		if !names[want] {
+			t.Errorf("commit trace missing span %q; got %v", want, names)
+		}
+	}
+
+	// Head sampling is off: an untraced request must not be recorded, so
+	// the listing holds exactly the three forced traces.
+	var list server.TracesResponse
+	if code := getJSON(t, base+"/debug/traces", &list); code != http.StatusOK {
+		t.Fatalf("GET /debug/traces: status %d", code)
+	}
+	if len(list.Traces) != 3 {
+		t.Errorf("listing has %d traces, want exactly the 3 forced ones", len(list.Traces))
+	}
+	if list.Stats.Recorded != 3 {
+		t.Errorf("recorded = %d, want 3", list.Stats.Recorded)
 	}
 }

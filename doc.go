@@ -157,6 +157,19 @@
 // weight-degeneracy signal OASIS's stratified refresh exists to prevent.
 // A Sampler exposes the same diagnostics in-process via Health().
 //
+// Aggregates say that a route is slow; traces say why one request was.
+// internal/trace records, for a sampled fraction of requests (-trace-sample,
+// or any request carrying a sampled W3C traceparent header), a span
+// timeline across all five serving layers — HTTP handling, session
+// shard-lock wait/hold, sampler propose/commit with dirty-flag v(t)
+// rebuilds, WAL append vs fsync per lane, and pool-store acquire
+// (mmap/decode) and strata-cache hits — with zero allocations when a
+// request is unsampled. A lock-free ring retains the last N traces plus
+// every slow or errored one, served at GET /debug/traces[/{id}]; request
+// IDs, trace IDs and access-log lines share one random per-boot prefix,
+// and -pprof adds matching goroutine labels (route, shard, lane) so CPU
+// profiles attribute along the same dimensions as the spans.
+//
 // Every randomised component is seeded explicitly; identical seeds give
 // bit-identical runs.
 package oasis

@@ -26,6 +26,7 @@ package core
 import (
 	"errors"
 	"math"
+	"time"
 
 	"oasis/internal/estimator"
 	"oasis/internal/oracle"
@@ -116,6 +117,13 @@ type Sampler struct {
 	vWeight []float64 // ω_k / v_k per stratum, refreshed with vCum
 	vFresh  bool
 	vEpoch  uint64
+
+	// Rebuild accounting for tracing: how many times the cached v(t) was
+	// actually rebuilt and the nanoseconds those rebuilds took. Read via
+	// RebuildStats under the owning session's lock; the fresh-path check
+	// above costs nothing extra.
+	rebuilds     uint64
+	rebuildNanos int64
 
 	// membersFlat concatenates the strata member lists as int32 (stratum k
 	// occupies [strataOff[k], strataOff[k+1])), preserving each stratum's
@@ -338,6 +346,7 @@ func (o *Sampler) refreshV() {
 	if o.vFresh {
 		return
 	}
+	start := time.Now()
 	o.computeV()
 	// o.v is strictly positive (ε-greedy mixture over non-empty strata), so
 	// Reset cannot fail; it reuses vCum's buffer after the first rebuild.
@@ -359,6 +368,16 @@ func (o *Sampler) refreshV() {
 		o.vWeight[j] = o.str.Weights[j] / vj
 	}
 	o.vFresh = true
+	o.rebuilds++
+	o.rebuildNanos += time.Since(start).Nanoseconds()
+}
+
+// RebuildStats reports how many times the cached instrumental distribution
+// was rebuilt (the dirty-flag cache behind the O(1)-amortized draw path)
+// and the total nanoseconds spent rebuilding. Callers serialise against
+// draws and commits, as with every other sampler method.
+func (o *Sampler) RebuildStats() (count uint64, nanos int64) {
+	return o.rebuilds, o.rebuildNanos
 }
 
 // Epoch identifies the current instrumental distribution: it increments

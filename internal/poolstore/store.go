@@ -46,6 +46,7 @@
 package poolstore
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -60,6 +61,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"oasis/internal/trace"
 )
 
 // Errors returned by the store.
@@ -506,19 +509,57 @@ func (s *Store) Intern(scores []float64, preds []bool) (id string, release func(
 // observe a freshly loaded pool as unreferenced and unmap it out from under
 // the acquiring session.
 func (s *Store) Acquire(id string) (*Pool, error) {
+	return s.AcquireCtx(context.Background(), id)
+}
+
+// AcquireCtx is Acquire with request context: when ctx carries a trace
+// (internal/trace), the acquire is recorded as a span annotated with the
+// path taken — warm (columns resident, refcount bump) vs. cold, and for
+// cold loads whether the columns came off a zero-copy mmap or a streaming
+// decode.
+func (s *Store) AcquireCtx(ctx context.Context, id string) (*Pool, error) {
+	tr := trace.FromContext(ctx)
+	sp := tr.Start("pool", "pool.acquire")
+	p, warm, mapped, err := s.acquire(id)
+	if tr != nil {
+		state := "cold"
+		if warm {
+			state = "warm"
+		}
+		sp.Attr("state", state)
+		if !warm && err == nil {
+			mode := "decode"
+			if mapped {
+				mode = "mmap"
+			}
+			sp.Attr("mode", mode)
+		}
+		if len(id) >= 12 {
+			sp.Attr("pool", id[:12])
+		} else {
+			sp.Attr("pool", id)
+		}
+	}
+	sp.End()
+	return p, err
+}
+
+// acquire implements Acquire, reporting which path served the reference:
+// warm (resident columns) or cold, and whether a cold load mmapped.
+func (s *Store) acquire(id string) (_ *Pool, warm, mapped bool, err error) {
 	for {
 		s.mu.Lock()
 		e, ok := s.pools[id]
 		if !ok {
 			s.mu.Unlock()
-			return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+			return nil, false, false, fmt.Errorf("%w: %q", ErrNotFound, id)
 		}
 		if e.pool != nil {
 			e.refs++
 			e.lastUsed = s.now()
 			p := e.pool
 			s.mu.Unlock()
-			return p, nil
+			return p, true, e.mapped != nil, nil
 		}
 		s.mu.Unlock()
 
@@ -539,7 +580,7 @@ func (s *Store) Acquire(id string) (*Pool, error) {
 			p := e.pool
 			s.mu.Unlock()
 			e.loadMu.Unlock()
-			return p, nil
+			return p, true, e.mapped != nil, nil
 		}
 		verified := e.verified
 		decodeOnly := s.decodeOnly
@@ -558,12 +599,12 @@ func (s *Store) Acquire(id string) (*Pool, error) {
 			if err == nil {
 				continue // the ID may have been re-put; re-resolve
 			}
-			return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+			return nil, false, false, fmt.Errorf("%w: %q", ErrNotFound, id)
 		}
 		if err != nil {
 			s.mu.Unlock()
 			e.loadMu.Unlock()
-			return nil, err
+			return nil, false, false, err
 		}
 		e.pool = p
 		e.mapped = m
@@ -580,7 +621,7 @@ func (s *Store) Acquire(id string) (*Pool, error) {
 		s.enforceBudgetLocked()
 		s.mu.Unlock()
 		e.loadMu.Unlock()
-		return p, nil
+		return p, false, m != nil, nil
 	}
 }
 

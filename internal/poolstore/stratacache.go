@@ -1,5 +1,11 @@
 package poolstore
 
+import (
+	"context"
+
+	"oasis/internal/trace"
+)
+
 // The strata cache: a stratification is a pure function of (pool columns,
 // strata options), and the columns are immutable and content-addressed, so
 // the store memoises stratifications per (pool, options) — N sessions over
@@ -30,19 +36,45 @@ type StrataKey struct {
 // Racing calls for the same pool serialise on a per-entry lock, so the
 // computation runs once; calls for different pools do not contend.
 func (s *Store) Strata(id string, key StrataKey, compute func() (value any, bytes int64, err error)) (any, error) {
+	v, _, err := s.strataLookup(id, key, compute)
+	return v, err
+}
+
+// StrataCtx is Strata with request context: when ctx carries a trace
+// (internal/trace), the lookup is recorded as a span annotated hit or miss,
+// so the cost of a cold stratification is visible on the request that paid
+// it.
+func (s *Store) StrataCtx(ctx context.Context, id string, key StrataKey, compute func() (value any, bytes int64, err error)) (any, error) {
+	tr := trace.FromContext(ctx)
+	sp := tr.Start("pool", "pool.strata")
+	v, hit, err := s.strataLookup(id, key, compute)
+	if tr != nil {
+		if hit {
+			sp.Attr("cache", "hit")
+		} else {
+			sp.Attr("cache", "miss")
+		}
+	}
+	sp.End()
+	return v, err
+}
+
+// strataLookup implements Strata, reporting whether the value came from the
+// cache.
+func (s *Store) strataLookup(id string, key StrataKey, compute func() (value any, bytes int64, err error)) (_ any, hit bool, err error) {
 	s.mu.Lock()
 	e, ok := s.pools[id]
 	if ok && e.pool != nil {
-		if v, hit := e.strata[key]; hit {
+		if v, cached := e.strata[key]; cached {
 			s.strataHits++
 			e.lastUsed = s.now()
 			s.mu.Unlock()
-			return v, nil
+			return v, true, nil
 		}
 	}
 	s.mu.Unlock()
 	if !ok {
-		return nil, ErrNotFound
+		return nil, false, ErrNotFound
 	}
 
 	e.strataMu.Lock()
@@ -53,31 +85,31 @@ func (s *Store) Strata(id string, key StrataKey, compute func() (value any, byte
 		// Removed meanwhile — the caller's reference should have prevented
 		// this, but fail cleanly rather than cache onto a dead entry.
 		s.mu.Unlock()
-		return nil, ErrNotFound
+		return nil, false, ErrNotFound
 	}
-	if v, hit := e.strata[key]; hit {
+	if v, cached := e.strata[key]; cached {
 		s.strataHits++
 		e.lastUsed = s.now()
 		s.mu.Unlock()
-		return v, nil
+		return v, true, nil
 	}
 	s.mu.Unlock()
 
 	v, cost, err := compute() // slow: O(N log N) — no store-wide lock held
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cur, curOK := s.pools[id]; !curOK || cur != e {
-		return v, nil // entry replaced under us: hand back the value uncached
+		return v, false, nil // entry replaced under us: hand back the value uncached
 	}
 	if e.pool == nil {
 		// Columns were evicted mid-compute (refs hit zero on another path):
 		// the value is still correct — it was computed from the immutable
 		// columns — but caching it would leak past the eviction, so don't.
-		return v, nil
+		return v, false, nil
 	}
 	if e.strata == nil {
 		e.strata = make(map[StrataKey]any)
@@ -87,5 +119,5 @@ func (s *Store) Strata(id string, key StrataKey, compute func() (value any, byte
 	e.lastUsed = s.now()
 	s.strataMisses++
 	s.enforceBudgetLocked()
-	return v, nil
+	return v, false, nil
 }

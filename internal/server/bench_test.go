@@ -19,6 +19,7 @@ import (
 	"oasis/internal/obs"
 	"oasis/internal/rng"
 	"oasis/internal/session"
+	"oasis/internal/trace"
 	"oasis/internal/wal"
 )
 
@@ -44,19 +45,24 @@ func benchPool(n int, seed uint64) (scores []float64, preds, truth []bool) {
 // on one lane; at shards=8 the lanes sync concurrently. The metrics
 // variant wires the full observability stack (registry, session + WAL
 // instruments, /metrics routes) to keep its hot-path overhead honest —
-// the PR6 acceptance gate holds it within 5% of metrics-off. Tracked in
-// BENCH_core.json via `make bench-json` alongside the single-worker
-// BenchmarkServerPropose baseline.
+// the PR6 acceptance gate holds it within 5% of metrics-off, and the
+// traced variant (tracing at the default head-sample rate) is held to the
+// same budget against shards=8 — an unsampled request must cost nothing
+// but an atomic increment and two compares. Tracked in BENCH_core.json
+// via `make bench-json` alongside the single-worker BenchmarkServerPropose
+// baseline.
 func BenchmarkServerProposeParallel(b *testing.B) {
 	scores, preds, truth := benchPool(50_000, 5)
 	for _, bc := range []struct {
 		name    string
 		shards  int
 		metrics bool
+		traced  bool
 	}{
-		{"shards=1", 1, false},
-		{"shards=8", 8, false},
-		{"shards=8-metrics", 8, true},
+		{"shards=1", 1, false, false},
+		{"shards=8", 8, false, false},
+		{"shards=8-metrics", 8, true, false},
+		{"shards=8-traced", 8, false, true},
 	} {
 		shards := bc.shards
 		b.Run(bc.name, func(b *testing.B) {
@@ -76,6 +82,9 @@ func BenchmarkServerProposeParallel(b *testing.B) {
 			defer j.Close()
 			srv := New(mgr)
 			srv.SetJournal(j)
+			if bc.traced {
+				srv.EnableTracing(trace.NewCollector(trace.Options{}))
+			}
 			if bc.metrics {
 				srv.EnableMetrics(reg)
 			}

@@ -1,17 +1,18 @@
 package server
 
 import (
-	"crypto/rand"
-	"encoding/hex"
+	"context"
 	"fmt"
 	"log"
 	"net/http"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
 
 	"oasis/internal/obs"
+	"oasis/internal/trace"
 )
 
 // serverMetrics is the HTTP layer's instrumentation: one in-flight gauge
@@ -29,6 +30,7 @@ type serverMetrics struct {
 
 type routeMetrics struct {
 	seconds *obs.Histogram
+	slow    *obs.Counter
 	classes [5]*obs.Counter // index (status/100)-1: 1xx..5xx
 }
 
@@ -41,6 +43,7 @@ func (m *serverMetrics) route(pattern string) *routeMetrics {
 	rl := obs.Label{Name: "route", Value: pattern}
 	rm := &routeMetrics{
 		seconds: m.reg.Histogram("oasis_http_request_seconds", "HTTP request latency by route.", nil, rl),
+		slow:    m.reg.Counter("oasis_http_slow_requests_total", "HTTP requests at or above the slow-request threshold, by route.", rl),
 	}
 	for i := range rm.classes {
 		rm.classes[i] = m.reg.Counter("oasis_http_requests_total", "HTTP requests by route and status class.",
@@ -72,15 +75,11 @@ func (s *Server) SetVersion(v string) { s.version = v }
 // SetAccessLog enables structured access logging: one line per request
 // with a request ID (also returned in the X-Request-ID header), the
 // matched route, status, byte count and duration. Requests at or above
-// slow get a slow=true marker. Call before Handler().
+// slow get a slow=true marker, and sampled requests carry their trace ID
+// as trace=<id>. Call before Handler().
 func (s *Server) SetAccessLog(l *log.Logger, slow time.Duration) {
 	s.accessLog = l
-	s.slowReq = slow
-	var b [4]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic(err) // crypto/rand never fails on supported platforms
-	}
-	s.bootID = hex.EncodeToString(b[:])
+	s.SetSlowRequest(slow)
 }
 
 // statusWriter captures the status code and body size a handler produced.
@@ -113,11 +112,14 @@ func (w *statusWriter) status() int {
 	return w.code
 }
 
-// instrument wraps one route's handler with request metrics and access
-// logging. With neither enabled it returns the handler untouched — the
-// hot path stays exactly as before.
+// instrument wraps one route's handler with request metrics, access
+// logging and tracing. With none of the three enabled it returns the
+// handler untouched — the hot path stays exactly as before. For an
+// unsampled request under tracing, the only additions are one atomic
+// sequence increment, one header compare, and a threshold compare — no
+// allocations (the trace pointer stays nil end to end).
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
-	if s.met == nil && s.accessLog == nil {
+	if s.met == nil && s.accessLog == nil && s.trc == nil {
 		return h
 	}
 	var rm *routeMetrics
@@ -131,26 +133,58 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 		}
 		sw := &statusWriter{ResponseWriter: w}
 		var reqID string
-		if s.accessLog != nil {
-			reqID = fmt.Sprintf("%s-%06d", s.bootID, s.reqSeq.Add(1))
+		var seq uint64
+		if s.accessLog != nil || s.trc != nil {
+			seq = s.reqSeq.Add(1)
+			if reqID = clientRequestID(r); reqID == "" {
+				reqID = fmt.Sprintf("%s-%06d", s.bootID, seq)
+			}
 			sw.Header().Set("X-Request-ID", reqID)
 		}
-		h(sw, r)
+		tr := s.startTrace(r, seq)
+		req := r
+		if tr != nil {
+			sw.Header().Set("Traceparent", trace.Traceparent(tr.ID(), tr.RootSpanID(), trace.FlagSampled))
+			req = r.WithContext(trace.NewContext(r.Context(), tr))
+		}
+		hsp := tr.Start("server", "http.handle")
+		if s.profLabels {
+			pprof.Do(req.Context(), pprof.Labels("route", pattern), func(ctx context.Context) {
+				h(sw, req.WithContext(ctx))
+			})
+		} else {
+			h(sw, req)
+		}
+		hsp.End()
 		d := time.Since(start)
+		slow := s.slowReq > 0 && d >= s.slowReq
 		if s.met != nil {
 			s.met.inflight.Add(-1)
 			rm.seconds.Observe(d.Seconds())
 			if cls := sw.status()/100 - 1; cls >= 0 && cls < len(rm.classes) {
 				rm.classes[cls].Inc()
 			}
+			if slow {
+				rm.slow.Inc()
+			}
+		}
+		if tr != nil {
+			// The trace's root duration runs from its own clock start, not
+			// the middleware's, so span offsets line up with the root span
+			// without a prologue hole.
+			tr.SetRequest(pattern, reqID, sw.status())
+			s.trc.Finish(tr, tr.Elapsed(), sw.status() >= 500)
 		}
 		if s.accessLog != nil {
-			slow := ""
-			if s.slowReq > 0 && d >= s.slowReq {
-				slow = " slow=true"
+			marks := ""
+			if slow {
+				marks = " slow=true"
+			}
+			if tr != nil {
+				marks += " trace=" + tr.ID().String()
 			}
 			s.accessLog.Printf("http id=%s method=%s route=%q path=%q status=%d bytes=%d dur=%s remote=%s%s",
-				reqID, r.Method, pattern, r.URL.Path, sw.status(), sw.bytes, d.Round(time.Microsecond), r.RemoteAddr, slow)
+				reqID, r.Method, pattern, r.URL.Path, sw.status(), sw.bytes, d.Round(time.Microsecond), r.RemoteAddr, marks)
 		}
 	}
 }
@@ -215,6 +249,13 @@ func (s *Server) registerCollectors(reg *obs.Registry) {
 	reg.DeclareCounter("oasis_pool_strata_cache_misses_total", "Sessions that computed (and cached) a stratification.")
 	reg.DeclareGauge("oasis_pool_strata_cached", "Stratifications currently cached across all pools.")
 	reg.DeclareGauge("oasis_pool_store_damaged_files", "Quarantined pool files (unreadable at open).")
+
+	if s.trc != nil {
+		reg.DeclareCounter("oasis_trace_recorded_total", "Requests that recorded a trace (head-sampled or forced by an inbound traceparent).")
+		reg.DeclareCounter("oasis_trace_retained_slow_total", "Recorded traces retained because the request met the slow threshold.")
+		reg.DeclareCounter("oasis_trace_retained_errored_total", "Recorded traces retained because the request returned a 5xx.")
+		reg.DeclareCounter("oasis_trace_span_drops_total", "Spans dropped because a trace hit its fixed span capacity.")
+	}
 
 	reg.AddCollector(s.collect)
 }
@@ -294,6 +335,14 @@ func (s *Server) collect(emit obs.Emit) {
 		emit("oasis_pool_strata_cache_misses_total", float64(st.StrataCacheMisses))
 		emit("oasis_pool_strata_cached", float64(st.StrataCached))
 		emit("oasis_pool_store_damaged_files", float64(st.Damaged))
+	}
+
+	if s.trc != nil {
+		ts := s.trc.Stats()
+		emit("oasis_trace_recorded_total", float64(ts.Recorded))
+		emit("oasis_trace_retained_slow_total", float64(ts.RetainedSlow))
+		emit("oasis_trace_retained_errored_total", float64(ts.RetainedErr))
+		emit("oasis_trace_span_drops_total", float64(ts.SpanDrops))
 	}
 }
 

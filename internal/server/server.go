@@ -16,6 +16,8 @@
 //	DELETE /v1/pools/{id}                drop an unreferenced pool (409 while in use)
 //	GET    /healthz                      liveness for load balancers (503 once the WAL fail-stops)
 //	GET    /v1/stats                     service totals + WAL and pool-store counters for ops
+//	GET    /debug/traces                 retained request traces, newest first (with tracing enabled)
+//	GET    /debug/traces/{id}            one trace's full span timeline, by 32-hex trace ID
 //
 // Pools uploaded through /v1/pools are shared: any number of sessions may be
 // created with {"poolId": ...} instead of inline scores, and they all sample
@@ -32,6 +34,9 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -47,6 +52,7 @@ import (
 
 	"oasis/internal/poolstore"
 	"oasis/internal/session"
+	"oasis/internal/trace"
 	"oasis/internal/wal"
 )
 
@@ -64,23 +70,40 @@ type Server struct {
 	poolDeleteBarrier func() error
 	maxBody           int64
 
-	// Observability wiring (see metrics.go): the metrics registry behind
-	// GET /metrics, the structured access log with its slow-request
-	// threshold, the advertised version string, and the process start time
-	// behind the uptime figures. met, accessLog and version must be set
+	// Observability wiring (see metrics.go and tracing.go): the metrics
+	// registry behind GET /metrics, the structured access log with its
+	// slow-request threshold, the trace collector behind /debug/traces,
+	// the advertised version string, and the process start time behind
+	// the uptime figures. met, accessLog, trc and version must be set
 	// before Handler is called.
-	met       *serverMetrics
-	accessLog *log.Logger
-	slowReq   time.Duration
-	reqSeq    atomic.Uint64
-	bootID    string
-	version   string
-	start     time.Time
+	met        *serverMetrics
+	accessLog  *log.Logger
+	slowReq    time.Duration
+	trc        *trace.Collector
+	profLabels bool
+	reqSeq     atomic.Uint64
+	bootPrefix uint64
+	bootID     string
+	version    string
+	start      time.Time
 }
 
-// New wraps a manager.
+// New wraps a manager. Every server boot draws a random 64-bit prefix:
+// request IDs are "<16-hex-prefix>-<seq>" and generated trace IDs embed
+// the same prefix, so IDs are globally unique across restarts and a trace
+// ID is greppable straight from an access-log line.
 func New(mgr *session.Manager) *Server {
-	return &Server{mgr: mgr, maxBody: DefaultMaxBodyBytes, start: time.Now()}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return &Server{
+		mgr:        mgr,
+		maxBody:    DefaultMaxBodyBytes,
+		start:      time.Now(),
+		bootPrefix: binary.BigEndian.Uint64(b[:]),
+		bootID:     hex.EncodeToString(b[:]),
+	}
 }
 
 // SetJournal wires the write-ahead log into the ops endpoints: /healthz
@@ -137,6 +160,10 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/stats", s.stats)
 	if s.met != nil {
 		handle("GET /metrics", s.metricsHandler)
+	}
+	if s.trc != nil {
+		handle("GET /debug/traces", s.debugTraces)
+		handle("GET /debug/traces/{id}", s.debugTrace)
 	}
 	return mux
 }
@@ -277,7 +304,7 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 
 // lookup resolves {id} to a session or writes a 404.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session.Session, bool) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
+	sess, err := s.mgr.GetCtx(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
 		return nil, false
@@ -287,10 +314,14 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session.Sessio
 
 func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 	var cfg session.Config
-	if !s.decodeJSON(w, r, &cfg, "config") {
+	tr := trace.FromContext(r.Context())
+	dsp := tr.Start("server", "http.decode")
+	ok := s.decodeJSON(w, r, &cfg, "config")
+	dsp.End()
+	if !ok {
 		return
 	}
-	sess, err := s.mgr.Create(cfg)
+	sess, err := s.mgr.CreateCtx(r.Context(), cfg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -333,7 +364,13 @@ func (s *Server) propose(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	props, err := sess.Propose(n)
+	var (
+		props []session.Proposal
+		err   error
+	)
+	s.withShardLabel(r.Context(), sess.ID(), func(ctx context.Context) {
+		props, err = sess.ProposeCtx(ctx, n)
+	})
 	if errors.Is(err, session.ErrBudgetExhausted) {
 		writeJSON(w, http.StatusOK, ProposeResponse{Proposals: []session.Proposal{}, Exhausted: true})
 		return
@@ -377,7 +414,11 @@ func (s *Server) commitLabels(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req LabelsRequest
-	if !s.decodeJSON(w, r, &req, "labels") {
+	tr := trace.FromContext(r.Context())
+	dsp := tr.Start("server", "http.decode")
+	ok = s.decodeJSON(w, r, &req, "labels")
+	dsp.End()
+	if !ok {
 		return
 	}
 	pairs := make([]int, len(req.Labels))
@@ -389,7 +430,13 @@ func (s *Server) commitLabels(w http.ResponseWriter, r *http.Request) {
 	// The commit is acknowledged only after the session's journal append
 	// succeeded (CommitBatch returns an error otherwise): a 200 here means
 	// the labels are as durable as the configured fsync policy makes them.
-	results, err := sess.CommitBatch(pairs, labels)
+	var (
+		results []session.CommitResult
+		err     error
+	)
+	s.withShardLabel(r.Context(), sess.ID(), func(ctx context.Context) {
+		results, err = sess.CommitBatchCtx(ctx, pairs, labels)
+	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return

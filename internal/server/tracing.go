@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime/pprof"
+	"strconv"
+	"time"
+
+	"oasis/internal/trace"
+)
+
+// This file wires request tracing (internal/trace) into the HTTP layer. The
+// middleware in metrics.go opens the root of each sampled trace; handlers
+// thread the trace down through r.Context() so the session manager, the
+// sampler, the WAL and the pool store each record their stage onto the same
+// timeline. The collector's tail-retention rings are served read-only at
+// GET /debug/traces (recent + retained summaries) and
+// GET /debug/traces/{id} (one trace's full span timeline).
+
+// EnableTracing attaches a trace collector: the middleware head-samples
+// requests (or honors an inbound W3C traceparent header), every layer below
+// records spans into the sampled request's trace, and Handler() serves the
+// retained traces at GET /debug/traces and GET /debug/traces/{id}. Call it
+// before EnableMetrics — the trace counter families are declared only when
+// a collector is already attached — and before Handler().
+func (s *Server) EnableTracing(c *trace.Collector) { s.trc = c }
+
+// SetSlowRequest sets the slow-request threshold behind the slow=true
+// access-log marker and the oasis_http_slow_requests_total counter. It
+// should match the collector's Options.Slow so the requests the log flags
+// are the ones the trace rings retain. Zero disables the marker. Call
+// before Handler().
+func (s *Server) SetSlowRequest(d time.Duration) { s.slowReq = d }
+
+// EnableProfileLabels wraps handlers in pprof goroutine labels — route on
+// every request, manager shard on propose/commit — so CPU and goroutine
+// profiles slice along the same axes traces and metrics use. Off by
+// default: labels cost an allocation per request, so the binary enables
+// them only when a pprof endpoint is actually serving (-pprof).
+func (s *Server) EnableProfileLabels() { s.profLabels = true }
+
+// clientRequestID returns the inbound X-Request-ID when it is safe to
+// echo — 1 to 64 bytes of [A-Za-z0-9._-], so a hostile header cannot
+// inject into log lines or response headers — and "" when the server
+// should assign its own.
+func clientRequestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// startTrace decides whether this request records a trace. An inbound
+// traceparent wins: its sampled flag forces recording (the caller is
+// assembling a distributed timeline and our spans are a hole in it
+// otherwise) and its cleared flag forces not recording; a malformed header
+// is ignored per the W3C spec and the server decides independently by head
+// sampling. seq is the request's boot-local sequence number, which keys
+// both generated trace IDs and root span IDs.
+func (s *Server) startTrace(r *http.Request, seq uint64) *trace.Trace {
+	if s.trc == nil {
+		return nil
+	}
+	root := trace.MakeSpanID(s.bootPrefix, seq)
+	if h := r.Header.Get("traceparent"); h != "" {
+		if tid, parent, flags, err := trace.ParseTraceparent(h); err == nil {
+			if flags&trace.FlagSampled == 0 {
+				return nil
+			}
+			return s.trc.New(tid, root, parent)
+		}
+	}
+	if !s.trc.Sample() {
+		return nil
+	}
+	return s.trc.New(trace.MakeTraceID(s.bootPrefix, seq), root, trace.SpanID{})
+}
+
+// withShardLabel runs f under a pprof "shard" goroutine label when profile
+// labels are enabled, so sampler CPU time attributes to manager shards.
+func (s *Server) withShardLabel(ctx context.Context, id string, f func(context.Context)) {
+	if !s.profLabels {
+		f(ctx)
+		return
+	}
+	pprof.Do(ctx, pprof.Labels("shard", strconv.Itoa(s.mgr.ShardFor(id))), f)
+}
+
+// TracesResponse is the body of GET /debug/traces: collector totals plus
+// one summary line per retained trace, newest first. Fetch a summary's ID
+// from /debug/traces/{id} for the full span timeline.
+type TracesResponse struct {
+	Stats         trace.CollectorStats `json:"stats"`
+	SlowThreshold string               `json:"slowThreshold,omitempty"`
+	Traces        []trace.Summary      `json:"traces"`
+}
+
+func (s *Server) debugTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.trc.Snapshot()
+	resp := TracesResponse{
+		Stats:  s.trc.Stats(),
+		Traces: make([]trace.Summary, 0, len(traces)),
+	}
+	if d := s.trc.Slow(); d > 0 {
+		resp.SlowThreshold = d.String()
+	}
+	for _, t := range traces {
+		resp.Traces = append(resp.Traces, t.Summarize())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) debugTrace(w http.ResponseWriter, r *http.Request) {
+	tid, err := trace.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad trace id %q: want 32 lowercase hex digits", r.PathValue("id"))
+		return
+	}
+	t := s.trc.Lookup(tid)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no retained trace %s (evicted from the ring, or never sampled)", tid)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Export())
+}

@@ -1,0 +1,369 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"oasis"
+	"oasis/internal/obs"
+	"oasis/internal/session"
+	"oasis/internal/trace"
+)
+
+// newTracingTestServer boots an in-process server with tracing always on
+// and the access log captured, over an in-memory manager with one small
+// pool's worth of sessions available.
+func newTracingTestServer(t *testing.T, opts trace.Options) (*httptest.Server, *Server, *trace.Collector, *bytes.Buffer) {
+	t.Helper()
+	mgr := session.NewManager(session.ManagerOptions{DefaultLeaseTTL: time.Minute})
+	srv := New(mgr)
+	col := trace.NewCollector(opts)
+	srv.EnableTracing(col)
+	var logBuf bytes.Buffer
+	srv.SetAccessLog(log.New(&logBuf, "", 0), opts.Slow)
+	reg := obs.NewRegistry()
+	srv.EnableMetrics(reg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv, col, &logBuf
+}
+
+func createTracedSession(t *testing.T, c *client, id string) {
+	t.Helper()
+	scores := []float64{0.9, 0.8, 0.7, 0.6, 0.4, 0.3, 0.2, 0.1}
+	preds := []bool{true, true, true, true, false, false, false, false}
+	if code := c.do("POST", "/v1/sessions", session.Config{
+		ID: id, Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 2, Seed: 7},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+}
+
+var requestIDRe = regexp.MustCompile(`^[0-9a-f]{16}-\d{6}$`)
+
+// TestTracingMiddlewareRoundTrip drives one traced propose through the
+// full server and checks the whole contract at once: the response carries
+// X-Request-ID and a parseable traceparent, the trace is retrievable by
+// that ID from /debug/traces/{id} with server- and session-layer spans,
+// the listing includes it, and the access-log line carries trace=<id>.
+func TestTracingMiddlewareRoundTrip(t *testing.T) {
+	ts, _, _, logBuf := newTracingTestServer(t, trace.Options{SampleRate: 1})
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	createTracedSession(t, c, "traced")
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/sessions/traced/propose?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("propose: status %d", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-ID")
+	if !requestIDRe.MatchString(reqID) {
+		t.Fatalf("X-Request-ID %q does not match <16-hex-boot>-<seq>", reqID)
+	}
+	tp := resp.Header.Get("Traceparent")
+	tid, _, flags, err := trace.ParseTraceparent(tp)
+	if err != nil {
+		t.Fatalf("response traceparent %q: %v", tp, err)
+	}
+	if flags&trace.FlagSampled == 0 {
+		t.Fatalf("response traceparent %q not flagged sampled", tp)
+	}
+
+	var tj trace.TraceJSON
+	if code := c.do("GET", "/debug/traces/"+tid.String(), nil, &tj); code != http.StatusOK {
+		t.Fatalf("GET /debug/traces/%s: status %d", tid, code)
+	}
+	if tj.Route != "GET /v1/sessions/{id}/propose" || tj.RequestID != reqID || tj.Status != http.StatusOK {
+		t.Fatalf("trace header wrong: %+v", tj)
+	}
+	layers := map[string]bool{}
+	for _, sp := range tj.Spans {
+		layers[sp.Layer] = true
+	}
+	for _, want := range []string{"server", "session", "sampler"} {
+		if !layers[want] {
+			t.Errorf("trace missing %q-layer span; got layers %v", want, layers)
+		}
+	}
+
+	var list TracesResponse
+	if code := c.do("GET", "/debug/traces", nil, &list); code != http.StatusOK {
+		t.Fatalf("GET /debug/traces: status %d", code)
+	}
+	found := false
+	for _, s := range list.Traces {
+		if s.ID == tid.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace %s missing from /debug/traces listing (%d rows)", tid, len(list.Traces))
+	}
+	if list.Stats.Recorded == 0 {
+		t.Errorf("collector stats report zero recorded traces: %+v", list.Stats)
+	}
+
+	if !strings.Contains(logBuf.String(), "trace="+tid.String()) {
+		t.Errorf("access log missing trace=%s:\n%s", tid, logBuf.String())
+	}
+	if !strings.Contains(logBuf.String(), "id="+reqID) {
+		t.Errorf("access log missing id=%s:\n%s", reqID, logBuf.String())
+	}
+}
+
+// TestTracingInboundTraceparent covers the three inbound cases: a sampled
+// header forces recording under the caller's trace ID (with the caller's
+// span as parent), an explicitly-unsampled header suppresses recording
+// even at sample rate 1, and a malformed header is ignored (the server
+// decides independently and mints its own ID).
+func TestTracingInboundTraceparent(t *testing.T) {
+	ts, _, _, _ := newTracingTestServer(t, trace.Options{SampleRate: 1})
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	createTracedSession(t, c, "inbound")
+
+	get := func(traceparent string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("GET", ts.URL+"/v1/sessions/inbound", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		return resp
+	}
+
+	// Sampled inbound header: recorded under the caller's IDs.
+	inTID := "4bf92f3577b34da6a3ce929d0e0e4736"
+	inSID := "00f067aa0ba902b7"
+	resp := get("00-" + inTID + "-" + inSID + "-01")
+	outTID, _, _, err := trace.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if err != nil {
+		t.Fatalf("response traceparent: %v", err)
+	}
+	if outTID.String() != inTID {
+		t.Fatalf("trace ID not propagated: got %s, want %s", outTID, inTID)
+	}
+	var tj trace.TraceJSON
+	if code := c.do("GET", "/debug/traces/"+inTID, nil, &tj); code != http.StatusOK {
+		t.Fatalf("forced trace not retained: status %d", code)
+	}
+	if tj.ParentSpanID != inSID {
+		t.Fatalf("parent span: got %q, want %q", tj.ParentSpanID, inSID)
+	}
+
+	// Explicitly-unsampled inbound header: not recorded, no traceparent out.
+	offTID := "aaaabbbbccccddddeeeeffff00001111"
+	resp = get("00-" + offTID + "-00f067aa0ba902b7-00")
+	if got := resp.Header.Get("Traceparent"); got != "" {
+		t.Fatalf("unsampled request returned traceparent %q", got)
+	}
+	if code := c.do("GET", "/debug/traces/"+offTID, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unsampled trace retained: status %d", code)
+	}
+
+	// Malformed header: ignored; at rate 1 the server samples with its own ID.
+	badTID := "ffffeeeeddddccccbbbbaaaa99998888"
+	resp = get("00-" + badTID + "-00f067aa0ba902b7-zz")
+	outTID, _, _, err = trace.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if err != nil {
+		t.Fatalf("malformed-inbound response traceparent: %v", err)
+	}
+	if outTID.String() == badTID {
+		t.Fatalf("malformed inbound trace ID %s was trusted", badTID)
+	}
+}
+
+// TestTracingRequestIDHeader checks the inbound X-Request-ID contract: a
+// clean client ID is honored end to end (header echo, access log, trace),
+// an unsafe one is replaced with a server-assigned ID.
+func TestTracingRequestIDHeader(t *testing.T) {
+	ts, _, _, _ := newTracingTestServer(t, trace.Options{SampleRate: 1})
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	createTracedSession(t, c, "reqid")
+
+	send := func(clientID string) string {
+		t.Helper()
+		req, err := http.NewRequest("GET", ts.URL+"/v1/sessions/reqid", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clientID != "" {
+			req.Header.Set("X-Request-ID", clientID)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.Header.Get("X-Request-ID")
+	}
+
+	if got := send("worker-7.retry_2"); got != "worker-7.retry_2" {
+		t.Errorf("clean client request ID not honored: got %q", got)
+	}
+	if got := send("bad id=log injection"); !requestIDRe.MatchString(got) {
+		t.Errorf("unsafe client ID not replaced: got %q", got)
+	}
+	if got := send(strings.Repeat("x", 65)); !requestIDRe.MatchString(got) {
+		t.Errorf("oversized client ID not replaced: got %q", got)
+	}
+}
+
+// TestTracingSlowRetention checks tail retention and the slow-request
+// counter: with a zero-latency threshold every request is slow, so traces
+// survive ring churn and oasis_http_slow_requests_total counts by route.
+func TestTracingSlowRetention(t *testing.T) {
+	ts, _, col, logBuf := newTracingTestServer(t, trace.Options{SampleRate: 1, Slow: time.Nanosecond})
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	createTracedSession(t, c, "slow")
+
+	for i := 0; i < 3; i++ {
+		if code := c.do("GET", "/v1/sessions/slow", nil, nil); code != http.StatusOK {
+			t.Fatalf("lookup: status %d", code)
+		}
+	}
+	st := col.Stats()
+	if st.RetainedSlow < 3 {
+		t.Fatalf("retained slow = %d, want >= 3 (stats %+v)", st.RetainedSlow, st)
+	}
+	if !strings.Contains(logBuf.String(), "slow=true") {
+		t.Errorf("access log missing slow=true marker:\n%s", logBuf.String())
+	}
+
+	body := scrape(t, ts)
+	if !strings.Contains(body, "oasis_http_slow_requests_total") {
+		t.Fatalf("metrics missing oasis_http_slow_requests_total:\n%s", body)
+	}
+	fams := parseExposition(t, body)
+	if got := sumFamily(fams["oasis_http_slow_requests_total"]); got < 3 {
+		t.Errorf("oasis_http_slow_requests_total = %v, want >= 3", got)
+	}
+	if got := sumFamily(fams["oasis_trace_recorded_total"]); got < 3 {
+		t.Errorf("oasis_trace_recorded_total = %v, want >= 3", got)
+	}
+}
+
+// TestTracingConcurrentDebugReads is the server-level companion to the
+// trace package's ring stress test (run it under -race): worker goroutines
+// hammer propose/commit while readers drain /debug/traces and re-fetch
+// every listed trace, so exports race against ring publication.
+func TestTracingConcurrentDebugReads(t *testing.T) {
+	ts, _, _, _ := newTracingTestServer(t, trace.Options{SampleRate: 1, Recent: 16, Retained: 32})
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	createTracedSession(t, c, "stress")
+
+	const (
+		workers  = 4
+		requests = 40
+	)
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			wc := &client{t: t, base: ts.URL, http: ts.Client()}
+			for i := 0; i < requests; i++ {
+				var pr ProposeResponse
+				if code := wc.do("GET", "/v1/sessions/stress/propose?n=1", nil, &pr); code != http.StatusOK {
+					t.Errorf("propose: status %d", code)
+					return
+				}
+				if len(pr.Proposals) == 0 {
+					continue
+				}
+				lr := LabelsRequest{Labels: []Label{{Pair: pr.Proposals[0].Pair, Label: true}}}
+				if code := wc.do("POST", "/v1/sessions/stress/labels", lr, nil); code != http.StatusOK {
+					t.Errorf("labels: status %d", code)
+					return
+				}
+			}
+		}()
+	}
+	for rdr := 0; rdr < 2; rdr++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			rc := &client{t: t, base: ts.URL, http: ts.Client()}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var list TracesResponse
+				if code := rc.do("GET", "/debug/traces", nil, &list); code != http.StatusOK {
+					t.Errorf("debug/traces: status %d", code)
+					return
+				}
+				for _, s := range list.Traces {
+					var tj trace.TraceJSON
+					if code := rc.do("GET", "/debug/traces/"+s.ID, nil, &tj); code != http.StatusOK && code != http.StatusNotFound {
+						t.Errorf("debug/traces/%s: status %d", s.ID, code)
+						return
+					}
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+// TestTracingDisabledUntouched pins the no-tracing fast path: without a
+// collector there is no /debug/traces route and no traceparent header.
+func TestTracingDisabledUntouched(t *testing.T) {
+	mgr := session.NewManager(session.ManagerOptions{DefaultLeaseTTL: time.Minute})
+	ts := httptest.NewServer(New(mgr).Handler())
+	defer ts.Close()
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	createTracedSession(t, c, "plain")
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/sessions/plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("Traceparent"); got != "" {
+		t.Errorf("traceparent %q on an untraced server", got)
+	}
+	if code := c.do("GET", "/debug/traces", nil, nil); code != http.StatusNotFound {
+		t.Errorf("/debug/traces registered without tracing: status %d", code)
+	}
+}
+
+// TestTracingBadTraceIDRequests pins the /debug/traces/{id} error paths.
+func TestTracingBadTraceIDRequests(t *testing.T) {
+	ts, _, _, _ := newTracingTestServer(t, trace.Options{SampleRate: -1})
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	for _, id := range []string{"zz", strings.Repeat("0", 32), strings.Repeat("a", 31)} {
+		if code := c.do("GET", "/debug/traces/"+id, nil, nil); code != http.StatusBadRequest {
+			t.Errorf("id %q: status %d, want 400", id, code)
+		}
+	}
+	if code := c.do("GET", "/debug/traces/"+fmt.Sprintf("%032x", 12345), nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown id: want 404")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"oasis"
+	"oasis/internal/trace"
 )
 
 // This file defines the durable journal contract between the session layer
@@ -65,6 +66,12 @@ type Event struct {
 	N       int            `json:"n,omitempty"`       // EventPropose: requested (clamped) batch size
 	Pairs   []int          `json:"pairs,omitempty"`   // EventPropose results / EventRelease pairs
 	Commits []CommitRecord `json:"commits,omitempty"` // EventCommit
+
+	// Trace is the request trace the event belongs to, when the request is
+	// sampled (nil otherwise, and always nil on replay). It never reaches
+	// the log — the WAL reads it to record append/fsync spans and nothing
+	// else — so the durable record format is unchanged.
+	Trace *trace.Trace `json:"-"`
 }
 
 // Journal is the durable sink the Manager appends every state-changing event

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -14,6 +15,7 @@ import (
 
 	"oasis"
 	"oasis/internal/poolstore"
+	"oasis/internal/trace"
 )
 
 // DefaultLeaseTTL is the proposal lease used when neither the manager nor
@@ -186,6 +188,14 @@ func newID() string {
 // produce; the pool itself is durable before that append, so a create
 // record can never name a pool a crash could lose.
 func (m *Manager) Create(cfg Config) (*Session, error) {
+	return m.CreateCtx(context.Background(), cfg)
+}
+
+// CreateCtx is Create with request context: when ctx carries a trace
+// (internal/trace), the create records the pool resolution, its shard-lock
+// waits vs. holds, the create-barrier wait and the journal append as spans.
+func (m *Manager) CreateCtx(ctx context.Context, cfg Config) (*Session, error) {
+	tr := trace.FromContext(ctx)
 	var start time.Time
 	if m.opts.Metrics != nil {
 		start = time.Now()
@@ -208,7 +218,9 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 		cfg.PoolID = id
 		cfg.Scores, cfg.Preds = nil, nil
 	}
-	s, err := newSession(cfg, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools)
+	bs := tr.Start("session", "session.build")
+	s, err := newSession(ctx, cfg, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools)
+	bs.End()
 	if err != nil {
 		return nil, err
 	}
@@ -221,25 +233,36 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	// fsync must not stall the shard's other sessions behind the shard lock),
 	// then register. The session becomes reachable only after the append, so
 	// the log still orders the create ahead of all its events.
+	lw := tr.Start("session", "shard.lock_wait").AttrInt("shard", int64(shardIdx))
 	sh.mu.Lock()
+	lw.End()
+	lh := tr.Start("session", "shard.lock_hold")
 	if sh.sessions[cfg.ID] != nil || sh.reserved[cfg.ID] {
 		sh.mu.Unlock()
+		lh.End()
 		s.releasePool()
 		return nil, fmt.Errorf("session: id %q already exists", cfg.ID)
 	}
 	sh.reserved[cfg.ID] = true
 	sh.mu.Unlock()
+	lh.End()
 	// Hold the shard's create barrier across append+register so a concurrent
 	// compaction of this shard's lane cannot snapshot between the two: see
 	// shard.createMu.
+	bw := tr.Start("session", "create.barrier_wait")
 	sh.createMu.RLock()
+	bw.End()
 	defer sh.createMu.RUnlock()
 	var lsn uint64
 	var jerr error
 	if j := m.jrn.get(); j != nil {
-		lsn, jerr = j.Append(&Event{Type: EventCreate, Session: cfg.ID, Config: &cfg})
+		lsn, jerr = j.Append(&Event{Type: EventCreate, Session: cfg.ID, Config: &cfg, Trace: tr})
 	}
+	lw2 := tr.Start("session", "shard.lock_wait").AttrInt("shard", int64(shardIdx))
 	sh.mu.Lock()
+	lw2.End()
+	lh2 := tr.Start("session", "shard.lock_hold")
+	defer lh2.End()
 	defer sh.mu.Unlock()
 	delete(sh.reserved, cfg.ID)
 	if jerr != nil {
@@ -281,8 +304,21 @@ func (m *Manager) CreateBarrier() {
 
 // Get returns the named session or ErrNotFound.
 func (m *Manager) Get(id string) (*Session, error) {
-	sh := m.shardFor(id)
+	return m.GetCtx(context.Background(), id)
+}
+
+// GetCtx is Get with request context: when ctx carries a trace, the shard
+// read-lock wait (contention against same-shard creates/deletes) and hold
+// are recorded as spans.
+func (m *Manager) GetCtx(ctx context.Context, id string) (*Session, error) {
+	tr := trace.FromContext(ctx)
+	shardIdx := m.ShardFor(id)
+	sh := m.shards[shardIdx]
+	lw := tr.Start("session", "shard.lock_wait").AttrInt("shard", int64(shardIdx))
 	sh.mu.RLock()
+	lw.End()
+	lh := tr.Start("session", "shard.lock_hold")
+	defer lh.End()
 	defer sh.mu.RUnlock()
 	s, ok := sh.sessions[id]
 	if !ok {
@@ -521,7 +557,7 @@ func (m *Manager) restore(data []byte, parkUnavailable bool) (err error) {
 		}
 	}
 	for _, snap := range file.Sessions {
-		s, err := newSession(snap.Config, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools)
+		s, err := newSession(context.Background(), snap.Config, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools)
 		if parkUnavailable && errors.Is(err, ErrPoolUnavailable) {
 			// Park instead of aborting: tail replay may delete this session,
 			// absolving the missing pool; wal.Open checks for leftovers.
@@ -637,7 +673,7 @@ func (m *Manager) ReplayEvent(ev *Event) (bool, error) {
 		}
 		cfg := *ev.Config
 		cfg.ID = ev.Session
-		s, err := newSession(cfg, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools)
+		s, err := newSession(context.Background(), cfg, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools)
 		if errors.Is(err, ErrPoolUnavailable) {
 			// The pool may have been legitimately removed after this session
 			// was deleted — with the delete record still in the un-compacted

@@ -18,6 +18,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -27,6 +28,7 @@ import (
 	"oasis"
 	"oasis/internal/pool"
 	"oasis/internal/poolstore"
+	"oasis/internal/trace"
 )
 
 // MethodKind selects the evaluation method backing a session.
@@ -170,14 +172,14 @@ type Session struct {
 // either from the content-addressed store (Config.PoolID — the session takes
 // one reference on the shared pool, returned by releasePool) or from the
 // inline columns.
-func newSession(cfg Config, defaultTTL time.Duration, now func() time.Time, pools *poolstore.Store) (_ *Session, err error) {
+func newSession(ctx context.Context, cfg Config, defaultTTL time.Duration, now func() time.Time, pools *poolstore.Store) (_ *Session, err error) {
 	if cfg.Method == "" {
 		cfg.Method = MethodOASIS
 	}
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = defaultTTL
 	}
-	p, poolSize, release, err := resolvePool(cfg, pools)
+	p, poolSize, release, err := resolvePool(ctx, cfg, pools)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +202,7 @@ func newSession(cfg Config, defaultTTL time.Duration, now func() time.Time, pool
 	var prop proposer
 	switch cfg.Method {
 	case MethodOASIS:
-		s, err := newOASISSampler(p, cfg, pools)
+		s, err := newOASISSampler(ctx, p, cfg, pools)
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +235,7 @@ func newSession(cfg Config, defaultTTL time.Duration, now func() time.Time, pool
 // stratifier rule and its K/bins (post-clamp — the caller already clamped
 // them to the pool size), and the probability mapping (calibration kind and
 // threshold) that shapes the per-stratum mean probability-scores.
-func newOASISSampler(p *oasis.Pool, cfg Config, pools *poolstore.Store) (*oasis.Sampler, error) {
+func newOASISSampler(ctx context.Context, p *oasis.Pool, cfg Config, pools *poolstore.Store) (*oasis.Sampler, error) {
 	if cfg.PoolID == "" || pools == nil {
 		return oasis.NewSampler(p, cfg.Options)
 	}
@@ -245,7 +247,7 @@ func newOASISSampler(p *oasis.Pool, cfg Config, pools *poolstore.Store) (*oasis.
 		Calibrated: cfg.Calibrated,
 		Threshold:  cfg.Threshold,
 	}
-	v, err := pools.Strata(cfg.PoolID, key, func() (any, int64, error) {
+	v, err := pools.StrataCtx(ctx, cfg.PoolID, key, func() (any, int64, error) {
 		st, err := oasis.Stratify(p, opts)
 		if err != nil {
 			return nil, 0, err
@@ -262,7 +264,7 @@ func newOASISSampler(p *oasis.Pool, cfg Config, pools *poolstore.Store) (*oasis.
 // through the store to the shared, zero-copy columns (plus a release to
 // return the reference); inline columns build a private copying pool exactly
 // as before.
-func resolvePool(cfg Config, pools *poolstore.Store) (p *oasis.Pool, poolSize int, release func(), err error) {
+func resolvePool(ctx context.Context, cfg Config, pools *poolstore.Store) (p *oasis.Pool, poolSize int, release func(), err error) {
 	kind := oasis.UncalibratedScores
 	if cfg.Calibrated {
 		kind = oasis.CalibratedScores
@@ -274,7 +276,7 @@ func resolvePool(cfg Config, pools *poolstore.Store) (p *oasis.Pool, poolSize in
 		if pools == nil {
 			return nil, 0, nil, fmt.Errorf("session: config references pool %q but no pool store is attached", cfg.PoolID)
 		}
-		shared, err := pools.Acquire(cfg.PoolID)
+		shared, err := pools.AcquireCtx(ctx, cfg.PoolID)
 		if err != nil {
 			return nil, 0, nil, fmt.Errorf("%w: %v", ErrPoolUnavailable, err)
 		}
@@ -361,16 +363,61 @@ func (s *Session) remainingLocked() int {
 // budget fully committed, or the whole pool labelled — so pollers can
 // terminate.
 func (s *Session) Propose(n int) ([]Proposal, error) {
+	return s.ProposeCtx(context.Background(), n)
+}
+
+// rebuildStatser is implemented by proposers whose dirty-flag caches report
+// rebuild work (oasis.Sampler). The session layer reads deltas around each
+// sampler call and records them as sampler.rebuild spans when tracing.
+type rebuildStatser interface {
+	RebuildStats() (count uint64, nanos int64)
+}
+
+// samplerSpan wraps one sampler call in a span (when ctx carries a trace)
+// and attaches the dirty-flag cache rebuilds the call triggered as a
+// retroactive child span. The returned func must be called when the sampler
+// work is done; it is a no-op for unsampled requests.
+func (s *Session) samplerSpan(tr *trace.Trace, name string) func() {
+	if tr == nil {
+		return func() {}
+	}
+	sp := tr.Start("sampler", name)
+	rs, ok := s.prop.(rebuildStatser)
+	var count0 uint64
+	var nanos0 int64
+	if ok {
+		count0, nanos0 = rs.RebuildStats()
+	}
+	return func() {
+		if ok {
+			if count, nanos := rs.RebuildStats(); count > count0 {
+				tr.AddSpan("sampler", "sampler.rebuild", time.Duration(nanos-nanos0)).
+					AttrInt("rebuilds", int64(count-count0))
+			}
+		}
+		sp.End()
+	}
+}
+
+// ProposeCtx is Propose with request context: when ctx carries a trace
+// (internal/trace), the session records its lock wait, the sampler's draw
+// and any dirty-flag cache rebuild as spans.
+func (s *Session) ProposeCtx(ctx context.Context, n int) ([]Proposal, error) {
 	if n <= 0 {
 		return nil, errors.New("session: batch size must be positive")
 	}
+	tr := trace.FromContext(ctx)
 	// Latency is measured on the real clock, not the injected test clock:
 	// the injected one is for lease arithmetic, not durations.
 	var start time.Time
 	if s.met != nil {
 		start = time.Now()
 	}
+	sp := tr.Start("session", "session.propose").AttrInt("n", int64(n))
+	defer sp.End()
+	lw := tr.Start("session", "lock.wait")
 	s.mu.Lock()
+	lw.End()
 	defer s.mu.Unlock()
 	if err := s.journalSick(); err != nil {
 		return nil, err
@@ -392,7 +439,9 @@ func (s *Session) Propose(n int) ([]Proposal, error) {
 			return []Proposal{}, nil
 		}
 	}
+	endSampler := s.samplerSpan(tr, "sampler.propose")
 	pairs, err := s.prop.ProposeBatch(n)
+	endSampler()
 	switch {
 	case errors.Is(err, oasis.ErrExhausted):
 		// The proposable supply ran out mid-batch: lease whatever was drawn.
@@ -410,7 +459,7 @@ func (s *Session) Propose(n int) ([]Proposal, error) {
 	if len(pairs) > 0 {
 		// Journal the draws before leasing them out: the batch size and the
 		// resulting pairs let recovery re-execute this exact ProposeBatch.
-		if jerr := s.journalLocked(&Event{Type: EventPropose, N: n, Pairs: pairs}); jerr != nil {
+		if jerr := s.journalLocked(&Event{Type: EventPropose, N: n, Pairs: pairs, Trace: tr}); jerr != nil {
 			// Unacknowledged draws return to the proposable set; the sticky
 			// journal failure fail-stops the session from here on.
 			for _, pair := range pairs {
@@ -467,12 +516,24 @@ const (
 // appended as one durable event before CommitBatch returns; an append
 // failure withholds the acknowledgement (non-nil error, nil results).
 func (s *Session) CommitBatch(pairs []int, labels []bool) ([]CommitResult, error) {
+	return s.CommitBatchCtx(context.Background(), pairs, labels)
+}
+
+// CommitBatchCtx is CommitBatch with request context: when ctx carries a
+// trace, the session records its lock wait, the sampler's posterior folds
+// (plus any cache rebuild they trigger) and the durable journal append as
+// spans.
+func (s *Session) CommitBatchCtx(ctx context.Context, pairs []int, labels []bool) ([]CommitResult, error) {
+	tr := trace.FromContext(ctx)
 	var start time.Time
 	if s.met != nil {
 		start = time.Now()
 	}
-	results := make([]CommitResult, len(pairs))
+	sp := tr.Start("session", "session.commit").AttrInt("labels", int64(len(pairs)))
+	defer sp.End()
+	lw := tr.Start("session", "lock.wait")
 	s.mu.Lock()
+	lw.End()
 	defer s.mu.Unlock()
 	if err := s.journalSick(); err != nil {
 		return nil, err
@@ -480,12 +541,15 @@ func (s *Session) CommitBatch(pairs []int, labels []bool) ([]CommitResult, error
 	s.expireLocked(s.now())
 	var fresh []CommitRecord
 	journaling := s.journaling()
+	results := make([]CommitResult, len(pairs))
+	endSampler := s.samplerSpan(tr, "sampler.commit")
 	for i, pair := range pairs {
 		terms, err := s.prop.CommitLabelTerms(pair, labels[i])
 		switch {
 		case errors.Is(err, oasis.ErrNotProposed):
 			results[i] = Expired
 		case err != nil:
+			endSampler()
 			return nil, err
 		case terms == nil:
 			results[i] = Duplicate
@@ -497,8 +561,9 @@ func (s *Session) CommitBatch(pairs []int, labels []bool) ([]CommitResult, error
 			}
 		}
 	}
+	endSampler()
 	if len(fresh) > 0 {
-		if err := s.journalLocked(&Event{Type: EventCommit, Commits: fresh}); err != nil {
+		if err := s.journalLocked(&Event{Type: EventCommit, Commits: fresh, Trace: tr}); err != nil {
 			return nil, err
 		}
 	}

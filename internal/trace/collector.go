@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultSampleRate = 0.01
+	DefaultRecent     = 64
+	DefaultRetained   = 256
+	DefaultMaxSpans   = 64
+)
+
+// Options configures a Collector.
+type Options struct {
+	// SampleRate is the head-sampling probability for requests that do
+	// not arrive with a sampled traceparent; negative means 0 (only
+	// explicitly sampled requests record), values >= 1 record everything.
+	SampleRate float64
+	// Slow is the tail-retention threshold: every trace at least this
+	// slow is kept regardless of ring churn (0 disables slow retention).
+	Slow time.Duration
+	// Recent / Retained are the ring capacities for, respectively, the
+	// most recent sampled traces and the slow-or-errored keepers.
+	Recent   int
+	Retained int
+	// MaxSpans is the per-trace span capacity.
+	MaxSpans int
+}
+
+// CollectorStats are the collector's lifetime counters, exported through
+// /metrics.
+type CollectorStats struct {
+	Recorded     uint64 `json:"recorded"`
+	RetainedSlow uint64 `json:"retainedSlow"`
+	RetainedErr  uint64 `json:"retainedErrored"`
+	SpanDrops    uint64 `json:"spanDrops"`
+}
+
+// ring is a lock-free overwrite-oldest buffer of published traces.
+// Writers claim a slot with one atomic add and publish with one atomic
+// pointer store; readers load pointers and only ever see fully built
+// traces, because a trace is stored strictly after its last span ended.
+type ring struct {
+	slots []atomic.Pointer[Trace]
+	next  atomic.Uint64
+}
+
+func newRing(n int) *ring {
+	return &ring{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+func (r *ring) add(t *Trace) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+func (r *ring) snapshot(out []*Trace) []*Trace {
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Collector owns the head-sampling decision and the tail-based
+// retention rings. All methods are safe for concurrent use.
+type Collector struct {
+	threshold uint64 // sample iff rand < threshold
+	slow      time.Duration
+	maxSpans  int
+
+	recent   *ring
+	retained *ring
+
+	recorded     atomic.Uint64
+	retainedSlow atomic.Uint64
+	retainedErr  atomic.Uint64
+	spanDrops    atomic.Uint64
+}
+
+// NewCollector builds a collector; zero Options fields take the
+// package defaults (except SampleRate, where only an exact zero means
+// "default" — pass a negative rate to disable head sampling).
+func NewCollector(o Options) *Collector {
+	if o.SampleRate == 0 {
+		o.SampleRate = DefaultSampleRate
+	}
+	if o.Recent <= 0 {
+		o.Recent = DefaultRecent
+	}
+	if o.Retained <= 0 {
+		o.Retained = DefaultRetained
+	}
+	if o.MaxSpans <= 0 {
+		o.MaxSpans = DefaultMaxSpans
+	}
+	c := &Collector{
+		slow:     o.Slow,
+		maxSpans: o.MaxSpans,
+		recent:   newRing(o.Recent),
+		retained: newRing(o.Retained),
+	}
+	switch {
+	case o.SampleRate >= 1:
+		c.threshold = math.MaxUint64
+	case o.SampleRate < 0:
+		c.threshold = 0
+	default:
+		c.threshold = uint64(o.SampleRate * float64(math.MaxUint64))
+	}
+	return c
+}
+
+// Slow returns the tail-retention threshold.
+func (c *Collector) Slow() time.Duration { return c.slow }
+
+// Sample is the head-sampling decision for a request with no inbound
+// sampled traceparent: one PRNG draw and a compare.
+func (c *Collector) Sample() bool {
+	if c.threshold == 0 {
+		return false
+	}
+	if c.threshold == math.MaxUint64 {
+		return true
+	}
+	return rand.Uint64() < c.threshold
+}
+
+// New builds an empty trace at the collector's span capacity.
+func (c *Collector) New(id TraceID, root, remote SpanID) *Trace {
+	return NewTrace(id, root, remote, c.maxSpans)
+}
+
+// Finish classifies and publishes a completed trace: every finished
+// trace enters the recent ring; slow (>= the -slow-request threshold)
+// or errored (5xx) traces also enter the retained ring, which only
+// other keepers can evict. The trace must not be mutated afterwards.
+func (c *Collector) Finish(t *Trace, dur time.Duration, errored bool) {
+	if c == nil || t == nil {
+		return
+	}
+	t.dur = dur
+	t.slow = c.slow > 0 && dur >= c.slow
+	t.errored = errored
+	c.recorded.Add(1)
+	if t.dropped > 0 {
+		c.spanDrops.Add(uint64(t.dropped))
+	}
+	c.recent.add(t)
+	if t.slow || t.errored {
+		if t.slow {
+			c.retainedSlow.Add(1)
+		} else {
+			c.retainedErr.Add(1)
+		}
+		c.retained.add(t)
+	}
+}
+
+// Snapshot returns the currently held traces (both rings, deduplicated —
+// a slow trace sits in both), newest first. The result is a fresh slice;
+// the traces themselves are immutable.
+func (c *Collector) Snapshot() []*Trace {
+	if c == nil {
+		return nil
+	}
+	out := make([]*Trace, 0, len(c.recent.slots)+len(c.retained.slots))
+	out = c.recent.snapshot(out)
+	out = c.retained.snapshot(out)
+	seen := make(map[*Trace]struct{}, len(out))
+	uniq := out[:0]
+	for _, t := range out {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		uniq = append(uniq, t)
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].wall.After(uniq[j].wall) })
+	return uniq
+}
+
+// Lookup finds a held trace by ID; nil when it has been evicted (or was
+// never sampled).
+func (c *Collector) Lookup(id TraceID) *Trace {
+	if c == nil {
+		return nil
+	}
+	for _, r := range [2]*ring{c.retained, c.recent} {
+		for i := range r.slots {
+			if t := r.slots[i].Load(); t != nil && t.id == id {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the lifetime counters.
+func (c *Collector) Stats() CollectorStats {
+	if c == nil {
+		return CollectorStats{}
+	}
+	return CollectorStats{
+		Recorded:     c.recorded.Load(),
+		RetainedSlow: c.retainedSlow.Load(),
+		RetainedErr:  c.retainedErr.Load(),
+		SpanDrops:    c.spanDrops.Load(),
+	}
+}

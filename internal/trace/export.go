@@ -1,0 +1,106 @@
+package trace
+
+import "time"
+
+// SpanJSON is one span in the /debug/traces wire form. Parent is the
+// index of the parent span within the same trace (-1 for the root), so
+// clients can rebuild the tree without span IDs.
+type SpanJSON struct {
+	Index   int               `json:"index"`
+	Parent  int               `json:"parent"`
+	Layer   string            `json:"layer"`
+	Name    string            `json:"name"`
+	StartUs float64           `json:"startUs"`
+	DurUs   float64           `json:"durUs"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceJSON is the /debug/traces/{id} wire form of a completed trace.
+type TraceJSON struct {
+	ID           string     `json:"id"`
+	RootSpanID   string     `json:"rootSpanId"`
+	ParentSpanID string     `json:"parentSpanId,omitempty"`
+	RequestID    string     `json:"requestId,omitempty"`
+	Route        string     `json:"route"`
+	Status       int        `json:"status"`
+	Start        time.Time  `json:"start"`
+	DurationUs   float64    `json:"durationUs"`
+	Slow         bool       `json:"slow,omitempty"`
+	Errored      bool       `json:"errored,omitempty"`
+	DroppedSpans int        `json:"droppedSpans,omitempty"`
+	Spans        []SpanJSON `json:"spans"`
+}
+
+// Summary is one row of the /debug/traces listing.
+type Summary struct {
+	ID         string    `json:"id"`
+	RequestID  string    `json:"requestId,omitempty"`
+	Route      string    `json:"route"`
+	Status     int       `json:"status"`
+	Start      time.Time `json:"start"`
+	DurationUs float64   `json:"durationUs"`
+	Slow       bool      `json:"slow,omitempty"`
+	Errored    bool      `json:"errored,omitempty"`
+	Spans      int       `json:"spans"`
+}
+
+// Export renders a completed (published) trace for JSON encoding. Must
+// not be called while the owning request is still recording spans.
+func (t *Trace) Export() TraceJSON {
+	if t == nil {
+		return TraceJSON{}
+	}
+	out := TraceJSON{
+		ID:           t.id.String(),
+		RootSpanID:   t.root.String(),
+		RequestID:    t.reqID,
+		Route:        t.route,
+		Status:       t.status,
+		Start:        t.wall,
+		DurationUs:   float64(t.dur) / float64(time.Microsecond),
+		Slow:         t.slow,
+		Errored:      t.errored,
+		DroppedSpans: int(t.dropped),
+		Spans:        make([]SpanJSON, int(t.n)),
+	}
+	if !t.remote.IsZero() {
+		out.ParentSpanID = t.remote.String()
+	}
+	for i := 0; i < int(t.n); i++ {
+		sp := &t.spans[i]
+		sj := SpanJSON{
+			Index:   i,
+			Parent:  int(sp.parent),
+			Layer:   sp.layer,
+			Name:    sp.name,
+			StartUs: float64(sp.start) / float64(time.Microsecond),
+			DurUs:   float64(sp.dur) / float64(time.Microsecond),
+		}
+		if sp.nattrs > 0 {
+			sj.Attrs = make(map[string]string, sp.nattrs)
+			for a := 0; a < int(sp.nattrs); a++ {
+				sj.Attrs[sp.attrs[a].Key] = sp.attrs[a].Value
+			}
+		}
+		out.Spans[i] = sj
+	}
+	return out
+}
+
+// Summarize renders the listing row for a completed trace.
+func (t *Trace) Summarize() Summary {
+	if t == nil {
+		return Summary{}
+	}
+	return Summary{
+		ID:         t.id.String(),
+		RequestID:  t.reqID,
+		Route:      t.route,
+		Status:     t.status,
+		Start:      t.wall,
+		DurationUs: float64(t.dur) / float64(time.Microsecond),
+		Slow:       t.slow,
+		Errored:    t.errored,
+		Spans:      int(t.n),
+	}
+}

@@ -1,0 +1,38 @@
+package trace
+
+import "testing"
+
+// FuzzParseTraceparent hammers the header parser: any input must either
+// be rejected or round-trip through Traceparent back to an equal header
+// prefix, and the parser must never panic or accept all-zero IDs.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add(validTP)
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00")
+	f.Add("01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-tail")
+	f.Add("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-00000000000000000000000000000000-b7ad6b7169203331-01")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01")
+	f.Add("")
+	f.Add("00-short")
+	f.Add("00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01")
+	f.Add(validTP + "-trailer")
+	f.Fuzz(func(t *testing.T, h string) {
+		tid, sid, flags, err := ParseTraceparent(h)
+		if err != nil {
+			if tid != (TraceID{}) || sid != (SpanID{}) {
+				t.Errorf("ParseTraceparent(%q) errored but returned non-zero IDs", h)
+			}
+			return
+		}
+		if tid.IsZero() || sid.IsZero() {
+			t.Errorf("ParseTraceparent(%q) accepted an all-zero ID", h)
+		}
+		// A version-00 render of the parsed fields must re-parse to the
+		// same values (the canonical round trip).
+		h2 := Traceparent(tid, sid, flags)
+		tid2, sid2, flags2, err := ParseTraceparent(h2)
+		if err != nil || tid2 != tid || sid2 != sid || flags2 != flags {
+			t.Errorf("re-render of %q did not round trip: %q err=%v", h, h2, err)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingConcurrentStress is the satellite -race gate for the trace
+// ring: writer goroutines publish traces (a deterministic subset slow)
+// while reader goroutines continuously drain Snapshot and Lookup, the
+// way GET /debug/traces does under live propose/commit traffic. It
+// asserts (a) no span loss — every slow trace is retrievable afterwards
+// with its full span set, since slow traces never exceed the retained
+// ring's capacity here — and (b) bounded memory for sampled-out fast
+// traces: a snapshot can never exceed the two ring capacities combined.
+func TestRingConcurrentStress(t *testing.T) {
+	const (
+		writers        = 8
+		tracesPerW     = 400
+		slowEvery      = 100 // 8*400/100 = 32 slow traces << retained cap
+		recentCap      = 16
+		retainedCap    = 64
+		spansPerTrace  = 6
+		maxSnapshotLen = recentCap + retainedCap
+	)
+	c := NewCollector(Options{SampleRate: 1, Slow: time.Millisecond, Recent: recentCap, Retained: retainedCap})
+
+	var writersWG, readersWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: drain continuously, checking the memory bound.
+	for r := 0; r < 4; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := c.Snapshot()
+				if len(snap) > maxSnapshotLen {
+					t.Errorf("Snapshot holds %d traces, cap is %d", len(snap), maxSnapshotLen)
+					return
+				}
+				for _, tr := range snap {
+					// Exporting a published trace while writers publish
+					// more must be race-free and self-consistent.
+					out := tr.Export()
+					if len(out.Spans) == 0 {
+						t.Error("published trace exported zero spans")
+						return
+					}
+					if out.Spans[0].Parent != -1 {
+						t.Errorf("trace %s root parent = %d", out.ID, out.Spans[0].Parent)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var slowMu sync.Mutex
+	slowIDs := make(map[TraceID]struct{})
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			boot := uint64(w + 1)
+			for i := 0; i < tracesPerW; i++ {
+				seq := uint64(i + 1)
+				tr := c.New(MakeTraceID(boot, seq), MakeSpanID(boot, seq), SpanID{})
+				root := tr.Start("server", "POST /v1/sessions/{id}/labels")
+				for s := 1; s < spansPerTrace; s++ {
+					sp := tr.Start("session", "stage").AttrInt("i", int64(s))
+					sp.End()
+				}
+				root.End()
+				tr.SetRequest("POST /v1/sessions/{id}/labels", "req", 200)
+				dur := time.Microsecond
+				if i%slowEvery == 0 {
+					dur = 2 * time.Millisecond
+					slowMu.Lock()
+					slowIDs[tr.ID()] = struct{}{}
+					slowMu.Unlock()
+				}
+				c.Finish(tr, dur, false)
+			}
+		}(w)
+	}
+
+	// Let writers finish, then stop the readers.
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+
+	// Every slow trace must still be there, spans intact.
+	for id := range slowIDs {
+		tr := c.Lookup(id)
+		if tr == nil {
+			t.Fatalf("slow trace %s lost from the retained ring", id)
+		}
+		out := tr.Export()
+		if len(out.Spans) != spansPerTrace {
+			t.Fatalf("slow trace %s has %d spans, want %d", id, len(out.Spans), spansPerTrace)
+		}
+		if !out.Slow {
+			t.Fatalf("slow trace %s not marked slow", id)
+		}
+	}
+	st := c.Stats()
+	if want := uint64(writers * tracesPerW); st.Recorded != want {
+		t.Errorf("recorded %d traces, want %d", st.Recorded, want)
+	}
+	if want := uint64(len(slowIDs)); st.RetainedSlow != want {
+		t.Errorf("retained %d slow traces, want %d", st.RetainedSlow, want)
+	}
+	if len(c.Snapshot()) > maxSnapshotLen {
+		t.Errorf("final snapshot exceeds ring capacities")
+	}
+}

@@ -46,12 +46,14 @@
 package wal
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -922,6 +924,12 @@ func (j *Journal) appendLane(ln *lane, ev *session.Event) (uint64, error) {
 	if j.met != nil {
 		start = time.Now()
 	}
+	// Traced requests carry their trace on the event (never journaled): the
+	// append span covers marshal+write+fsync, with the fsync — the
+	// durability tax — as a nested child so timelines show which of the two
+	// dominated. Unsampled requests carry nil and both Starts are free.
+	asp := ev.Trace.Start("wal", "wal.append").AttrInt("lane", int64(ln.idx))
+	defer asp.End()
 	if err := j.errNow(); err != nil {
 		return 0, err
 	}
@@ -975,7 +983,10 @@ func (j *Journal) appendLane(ln *lane, ev *session.Event) (uint64, error) {
 		if j.met != nil {
 			syncStart = time.Now()
 		}
-		if err := ln.f.Sync(); err != nil {
+		fsp := ev.Trace.Start("wal", "wal.fsync").AttrInt("lane", int64(ln.idx))
+		err := ln.f.Sync()
+		fsp.End()
+		if err != nil {
 			j.fail(err)
 			return 0, j.errNow()
 		}
@@ -1051,19 +1062,25 @@ func (j *Journal) syncLane(ln *lane) error {
 	return nil
 }
 
-// syncLoop is the background flusher of the interval fsync policy.
+// syncLoop is the background flusher of the interval fsync policy. It runs
+// under a pprof goroutine label so CPU profiles attribute the flush fsyncs
+// to the WAL rather than to an anonymous goroutine (per-lane attribution
+// for request-path fsyncs comes from the shard labels the HTTP layer sets;
+// this loop syncs every lane in turn).
 func (j *Journal) syncLoop() {
-	t := time.NewTicker(j.interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-j.stop:
-			close(j.done)
-			return
-		case <-t.C:
-			j.Sync()
+	pprof.Do(context.Background(), pprof.Labels("goroutine", "wal-sync"), func(context.Context) {
+		t := time.NewTicker(j.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-j.stop:
+				close(j.done)
+				return
+			case <-t.C:
+				j.Sync()
+			}
 		}
-	}
+	})
 }
 
 // CompactShard folds everything before one lane's active segment into an

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"oasis/internal/core"
 	"oasis/internal/oracle"
@@ -207,6 +208,12 @@ type Sampler struct {
 	maskBuf   []float64
 	maskEpoch uint64
 	maskDirty bool
+
+	// Mask-rebuild accounting for tracing, mirroring the core sampler's
+	// (see core.Sampler.RebuildStats): count and nanoseconds of actual
+	// availability-mask rebuilds. The fresh-path check stays free.
+	maskRebuilds     uint64
+	maskRebuildNanos int64
 }
 
 // pendingEntry is one outstanding proposal: the pair, its stratum, and the
@@ -621,6 +628,8 @@ func (s *Sampler) refreshMask() {
 	if !s.maskDirty && s.maskEpoch == s.inner.Epoch() && s.maskCum != nil {
 		return
 	}
+	start := time.Now()
+	_, innerBefore := s.inner.RebuildStats()
 	v := s.inner.InstrumentalCached()
 	if s.maskBuf == nil {
 		s.maskBuf = make([]float64, len(v))
@@ -642,6 +651,22 @@ func (s *Sampler) refreshMask() {
 	}
 	s.maskEpoch = s.inner.Epoch()
 	s.maskDirty = false
+	s.maskRebuilds++
+	// A mask rebuild may itself trigger the inner v(t) rebuild through
+	// InstrumentalCached; subtract that delta so RebuildStats' sum never
+	// double-counts it.
+	_, innerAfter := s.inner.RebuildStats()
+	s.maskRebuildNanos += time.Since(start).Nanoseconds() - (innerAfter - innerBefore)
+}
+
+// RebuildStats reports the sampler's dirty-flag cache rebuilds — the core
+// instrumental distribution v(t) plus the availability mask over it — as a
+// cumulative count and total nanoseconds. The session layer reads deltas
+// across one propose/commit call and records them as a sampler.rebuild
+// span. Callers serialise as with every other sampler method.
+func (s *Sampler) RebuildStats() (count uint64, nanos int64) {
+	c, n := s.inner.RebuildStats()
+	return c + s.maskRebuilds, n + s.maskRebuildNanos
 }
 
 // pickAvailable returns the slot position of a uniform draw from the
