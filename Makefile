@@ -71,11 +71,14 @@ trace-smoke:
 	$(GO) test -race ./internal/server -run '^TestTracing' -count=1
 	$(GO) test -race ./internal/trace -count=1
 
-# Short fuzz of the WAL replay path (CI runs the same). Minimization is
-# capped: replay coverage is mildly nondeterministic (temp paths, map
-# iteration), and the default 60s minimize budget stalls short smoke runs.
+# Short fuzz of the WAL replay path and the binary wire-protocol decoders
+# (CI runs the same; -fuzz is single-package, hence two invocations).
+# Minimization is capped: replay coverage is mildly nondeterministic (temp
+# paths, map iteration), and the default 60s minimize budget stalls short
+# smoke runs.
 fuzz-smoke:
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime 30s -fuzzminimizetime 10x
+	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzBinaryProtocol$$' -fuzztime 20s -fuzzminimizetime 10x
 
 # Run the evaluation service with restart-safe session snapshots.
 serve:

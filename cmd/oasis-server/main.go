@@ -7,6 +7,9 @@
 // Usage:
 //
 //	oasis-server [-addr :8080] [-lease 1m] [-shards N] [-max-body bytes]
+//	             [-max-propose N] [-rate-limit N] [-rate-burst N]
+//	             [-session-rate-limit N] [-session-rate-burst N]
+//	             [-max-inflight N] [-max-queue N] [-queue-timeout 250ms]
 //	             [-pools-dir dir] [-pool-gc 10m] [-pool-mem-budget bytes]
 //	             [-wal dir] [-fsync always|off|100ms] [-compact-every 10m]
 //	             [-snapshot state.json] [-snapshot-interval 1m]
@@ -52,6 +55,19 @@
 //     exists) and writes all sessions back on graceful shutdown
 //     (SIGINT/SIGTERM). -snapshot-interval additionally saves atomically on
 //     an interval, so a crash loses at most one interval of labels.
+//
+// The hot propose/labels/estimate round trip also speaks a compact binary
+// protocol negotiated per request (Accept / Content-Type:
+// application/x-oasis-bin; see the README's "Wire protocol & overload
+// behavior" section); plain JSON clients are unaffected. -max-propose caps
+// a single propose batch (400 beyond it). The -rate-limit /
+// -session-rate-limit token buckets answer excess hot-path requests with
+// 429 + Retry-After, and -max-inflight bounds concurrently served hot
+// requests — excess requests queue (up to -max-queue, for at most
+// -queue-timeout) and are then shed with 503, so goroutine count and
+// queueing delay stay bounded at any offered load. Ops routes (healthz,
+// metrics, stats, traces) are never shed. Rejections are counted in
+// oasis_http_rejected_total{reason}.
 //
 // With -pprof, a net/http/pprof debug server listens on the given address
 // (e.g. localhost:6060) for live CPU/heap profiling of the serving hot path:
@@ -133,6 +149,14 @@ func main() {
 		poolGC       = flag.Duration("pool-gc", 0, "evict the in-memory copy of pools unreferenced for this long, checked on the same interval (0 = never)")
 		poolMemBud   = flag.Int64("pool-mem-budget", 0, "resident pool memory budget in bytes: evict least-recently-used unreferenced pools (columns, mappings, cached strata) when over it (0 = unlimited)")
 		maxBody      = flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum HTTP request body size in bytes (413 beyond it)")
+		maxPropose   = flag.Int("max-propose", server.DefaultMaxPropose, "maximum ?n= batch size a single propose may request (400 beyond it)")
+		rateLimit    = flag.Float64("rate-limit", 0, "global hot-path request rate limit in requests/second; beyond it 429 with Retry-After (0 = unlimited)")
+		rateBurst    = flag.Int("rate-burst", 0, "global rate-limit burst depth (0 = derive from -rate-limit)")
+		sessRate     = flag.Float64("session-rate-limit", 0, "per-session hot-path rate limit in requests/second, so one degenerate session cannot starve the rest (0 = unlimited)")
+		sessBurst    = flag.Int("session-rate-burst", 0, "per-session rate-limit burst depth (0 = derive from -session-rate-limit)")
+		maxInFlight  = flag.Int("max-inflight", 0, "maximum hot-path requests served at once; excess requests queue up to -max-queue then 503 (0 = unbounded)")
+		maxQueue     = flag.Int("max-queue", 0, "with -max-inflight: how many requests may wait for a slot before immediate 503 (0 = no queue)")
+		queueTimeout = flag.Duration("queue-timeout", server.DefaultQueueTimeout, "with -max-inflight: longest a queued request waits for a slot before 503")
 		pprofAddr    = flag.String("pprof", "", "listen address for the net/http/pprof debug server (empty = disabled)")
 		accessLog    = flag.Bool("access-log", false, "log one line per HTTP request, with request ID, route, status, and latency")
 		slowReq      = flag.Duration("slow-request", time.Second, "latency at or above which a request counts as slow: tagged slow=true in the access log, counted per route in metrics, and its trace always retained (0 = never)")
@@ -318,6 +342,20 @@ func main() {
 	}
 	srv.SetPools(pools)
 	srv.SetMaxBodyBytes(*maxBody)
+	srv.SetMaxPropose(*maxPropose)
+	if *rateLimit > 0 || *sessRate > 0 || *maxInFlight > 0 {
+		srv.SetAdmission(server.AdmissionConfig{
+			RatePerSec:        *rateLimit,
+			Burst:             *rateBurst,
+			SessionRatePerSec: *sessRate,
+			SessionBurst:      *sessBurst,
+			MaxInFlight:       *maxInFlight,
+			MaxQueue:          *maxQueue,
+			QueueTimeout:      *queueTimeout,
+		})
+		log.Printf("admission control: rate-limit=%v/s session-rate-limit=%v/s max-inflight=%d max-queue=%d queue-timeout=%s",
+			*rateLimit, *sessRate, *maxInFlight, *maxQueue, *queueTimeout)
+	}
 	srv.SetVersion(buildVersion())
 	// Tracing is always on (unsampled requests cost nothing on the hot
 	// path) and must be enabled before the metrics registry so the trace

@@ -170,6 +170,21 @@
 // and -pprof adds matching goroutine labels (route, shard, lane) so CPU
 // profiles attribute along the same dimensions as the spans.
 //
+// The propose/labels/estimate hot path also speaks a compact binary wire
+// protocol (OBP1 — magic, type, length-prefixed payload, CRC-32C trailer,
+// the pool codec's framing idiom), negotiated per request via
+// Accept / Content-Type: application/x-oasis-bin with JSON as the default
+// and the fallback; the server encodes and decodes through pooled buffers
+// with zero hot-path allocations, and BenchmarkServerProposeParallel's
+// shards=8-bin variant tracks the saving over JSON. The same routes sit
+// behind admission control — a global and a per-session token bucket
+// (429 + Retry-After) over a bounded in-flight gate with a timed queue
+// (503 + X-Shed-Reason) — so overload sheds load in O(1) instead of
+// collapsing into unbounded queueing; rejections are counted by reason in
+// oasis_http_rejected_total and ops routes are never shed. The README's
+// "Wire protocol & overload behavior" section has the frame layout and
+// tuning flags.
+//
 // Every randomised component is seeded explicitly; identical seeds give
 // bit-identical runs.
 package oasis

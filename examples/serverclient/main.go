@@ -5,8 +5,12 @@
 // batched propose/commit protocol from several concurrent "crowd worker"
 // goroutines — each pulling leased batches of record pairs over HTTP,
 // labelling them against ground truth, and posting the answers back. The
-// final service-side estimate is compared with the single-threaded
-// library Run at the same seed and budget, and with the pool's true F.
+// workers speak the compact binary hot-path protocol (OBP1, negotiated per
+// request via Accept / Content-Type: application/x-oasis-bin) and fall
+// back to JSON when the server answers it — the fallback a client needs
+// against older servers. The final service-side estimate is compared with
+// the single-threaded library Run at the same seed and budget, and with
+// the pool's true F.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"sync"
@@ -92,9 +97,13 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Per-worker reusable binary client state: frame buffer and
+			// decoded structs are recycled across round trips, the point of
+			// the binary protocol.
+			var frame []byte
 			for {
 				var pr server.ProposeResponse
-				get(fmt.Sprintf("%s/v1/sessions/demo/propose?n=%d", base, batch), &pr)
+				binGet(fmt.Sprintf("%s/v1/sessions/demo/propose?n=%d", base, batch), &pr)
 				if pr.Exhausted {
 					return
 				}
@@ -105,8 +114,9 @@ func main() {
 				for _, p := range pr.Proposals {
 					req.Labels = append(req.Labels, server.Label{Pair: p.Pair, Label: truth(p.Pair)})
 				}
+				frame = server.AppendLabelsRequest(frame[:0], &req)
 				var lr server.LabelsResponse
-				post(base+"/v1/sessions/demo/labels", req, &lr)
+				binPost(base+"/v1/sessions/demo/labels", frame, req, &lr)
 				labelled[w] += lr.Committed
 			}
 		}(w)
@@ -125,6 +135,73 @@ func main() {
 
 	stop()
 	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}
+
+// binGet fetches a binary propose response, falling back to JSON when the
+// server does not answer the negotiated media type (an older server ignores
+// the Accept header and replies JSON — the response Content-Type says which
+// was spoken).
+func binGet(url string, pr *server.ProposeResponse) {
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Accept", server.ContentTypeBinary)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.Header.Get("Content-Type") != server.ContentTypeBinary {
+		decode(resp, pr) // JSON fallback
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	frame, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := server.DecodeProposeResponse(frame, pr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// binPost commits one binary labels frame, falling back to re-posting the
+// JSON form when the server does not speak binary.
+func binPost(url string, frame []byte, jsonReq server.LabelsRequest, lr *server.LabelsResponse) {
+	req, err := http.NewRequest("POST", url, bytes.NewReader(frame))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", server.ContentTypeBinary)
+	req.Header.Set("Accept", server.ContentTypeBinary)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusUnsupportedMediaType {
+		// Older server: it refused the binary body, so speak JSON.
+		resp.Body.Close()
+		post(url, jsonReq, lr)
+		return
+	}
+	if resp.Header.Get("Content-Type") != server.ContentTypeBinary {
+		decode(resp, lr) // binary accepted but JSON answered
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: HTTP %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := server.DecodeLabelsResponse(body, lr); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,350 @@
+package server
+
+// Admission control for the hot session routes (propose/labels/estimate).
+// Under overload an unprotected server degrades by collapsing: every excess
+// request parks a goroutine on a shard lock or a WAL fsync queue, latency
+// grows without bound, and clients time out and retry, making it worse. The
+// layer here sheds instead: token-bucket rate limits (global and
+// per-session) answer 429 Too Many Requests with a Retry-After hint, and a
+// bounded in-flight gate with a short queue answers 503 with a shed reason
+// once the server is saturated — so goroutine count and queueing delay stay
+// bounded at any offered load.
+//
+// Per-session limits exist because degenerate sessions misbehave
+// distinctly: a session whose SIS weights have degenerated (the Bezáková
+// et al. negative examples) drives its clients into tight re-propose
+// loops. A global bucket alone would let one such session starve the
+// healthy ones; the per-session buckets ride the session manager's shard
+// fan so their state never contends on one lock.
+//
+// Every rejection is counted in oasis_http_rejected_total{reason} and, on
+// sampled requests, recorded as an admission.reject span attribute, so the
+// shed rate is visible to the same scrape that watches latency.
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oasis/internal/obs"
+	"oasis/internal/session"
+	"oasis/internal/trace"
+)
+
+// DefaultQueueTimeout bounds how long an admitted-but-queued request waits
+// for an in-flight slot before the server sheds it with a 503.
+const DefaultQueueTimeout = 250 * time.Millisecond
+
+// sessionLimiterShardCap bounds each limiter shard's map so unknown-session
+// request floods cannot grow it without bound; at the cap an arbitrary
+// bucket is evicted (a re-created bucket starts with a full burst, which
+// only ever errs in the client's favor).
+const sessionLimiterShardCap = 4096
+
+// AdmissionConfig configures SetAdmission. Zero values disable the
+// corresponding control.
+type AdmissionConfig struct {
+	// RatePerSec is the global hot-path request rate limit; requests beyond
+	// it get 429 with Retry-After. 0 = unlimited.
+	RatePerSec float64
+	// Burst is the global bucket depth; 0 derives max(1, RatePerSec).
+	Burst int
+	// SessionRatePerSec rate-limits each session's hot-path requests
+	// independently. 0 = unlimited.
+	SessionRatePerSec float64
+	// SessionBurst is each session bucket's depth; 0 derives
+	// max(1, SessionRatePerSec).
+	SessionBurst int
+	// MaxInFlight bounds hot-path requests being served at once; excess
+	// requests queue (up to MaxQueue, for up to QueueTimeout) and are then
+	// shed with 503. 0 = unbounded.
+	MaxInFlight int
+	// MaxQueue bounds how many requests may wait for an in-flight slot;
+	// beyond it the server sheds immediately. 0 = no queue: over-limit
+	// requests shed at once.
+	MaxQueue int
+	// QueueTimeout is the longest a queued request waits for a slot;
+	// 0 = DefaultQueueTimeout.
+	QueueTimeout time.Duration
+}
+
+// tokenBucket is a mutex-guarded token bucket: take consumes one token when
+// available, else reports how long until one accrues. A plain mutex (not
+// atomics) is deliberate: the critical section is a handful of float ops,
+// and correctness under concurrent refill arithmetic is worth more than the
+// nanoseconds.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now time.Time) *tokenBucket {
+	b := float64(burst)
+	if b <= 0 {
+		b = math.Max(1, rate)
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: now}
+}
+
+// take consumes one token, or reports the wait until one accrues.
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	// A negative now (clock skew between callers) must not mint tokens:
+	// last only advances.
+	if now.After(b.last) {
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// sessionLimiters is the per-session bucket table, sharded like the session
+// manager so concurrent requests for different sessions rarely contend.
+type sessionLimiters struct {
+	rate   float64
+	burst  int
+	shards []sessionLimiterShard
+}
+
+type sessionLimiterShard struct {
+	mu sync.Mutex
+	m  map[string]*tokenBucket
+}
+
+func newSessionLimiters(rate float64, burst, shards int) *sessionLimiters {
+	return &sessionLimiters{rate: rate, burst: burst, shards: make([]sessionLimiterShard, shards)}
+}
+
+// shard maps a session ID to its bucket shard with the same hash the
+// session manager uses, so a session's limiter lives on the same fan-out
+// index as its shard lock.
+func (l *sessionLimiters) shard(id string) *sessionLimiterShard {
+	return &l.shards[session.ShardOf(id, len(l.shards))]
+}
+
+func (l *sessionLimiters) take(id string, now time.Time) (ok bool, retryAfter time.Duration) {
+	sh := l.shard(id)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string]*tokenBucket)
+	}
+	b := sh.m[id]
+	if b == nil {
+		if len(sh.m) >= sessionLimiterShardCap {
+			for k := range sh.m {
+				delete(sh.m, k)
+				break
+			}
+		}
+		b = newTokenBucket(l.rate, l.burst, now)
+		sh.m[id] = b
+	}
+	sh.mu.Unlock()
+	return b.take(now)
+}
+
+// forget drops a session's bucket (called when the session is deleted).
+func (l *sessionLimiters) forget(id string) {
+	sh := l.shard(id)
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
+}
+
+// admission is the installed control state.
+type admission struct {
+	global       *tokenBucket
+	perSession   *sessionLimiters
+	slots        chan struct{}
+	maxQueue     int64
+	queueTimeout time.Duration
+	waiting      atomic.Int64
+
+	// rejected counts sheds by reason; nil until metrics are enabled.
+	rejected atomic.Pointer[admissionMetrics]
+}
+
+// Shed reasons, the label values of oasis_http_rejected_total.
+const (
+	shedGlobalRate   = "global_rate"
+	shedSessionRate  = "session_rate"
+	shedQueueFull    = "queue_full"
+	shedQueueTimeout = "queue_timeout"
+)
+
+type admissionMetrics struct {
+	globalRate, sessionRate, queueFull, queueTimeout *obs.Counter
+}
+
+func newAdmissionMetrics(reg *obs.Registry) *admissionMetrics {
+	c := func(reason string) *obs.Counter {
+		return reg.Counter("oasis_http_rejected_total",
+			"Hot-path requests rejected by admission control, by shed reason.",
+			obs.Label{Name: "reason", Value: reason})
+	}
+	return &admissionMetrics{
+		globalRate:   c(shedGlobalRate),
+		sessionRate:  c(shedSessionRate),
+		queueFull:    c(shedQueueFull),
+		queueTimeout: c(shedQueueTimeout),
+	}
+}
+
+func (a *admission) count(reason string) {
+	m := a.rejected.Load()
+	if m == nil {
+		return
+	}
+	switch reason {
+	case shedGlobalRate:
+		m.globalRate.Inc()
+	case shedSessionRate:
+		m.sessionRate.Inc()
+	case shedQueueFull:
+		m.queueFull.Inc()
+	case shedQueueTimeout:
+		m.queueTimeout.Inc()
+	}
+}
+
+// SetAdmission installs admission control on the hot session routes
+// (propose, labels, estimate/status). Call before Handler(). Ops routes
+// (healthz, metrics, stats, traces) are never rate-limited or shed — the
+// probes that diagnose an overload must keep answering through one.
+func (s *Server) SetAdmission(cfg AdmissionConfig) {
+	a := &admission{queueTimeout: cfg.QueueTimeout}
+	if a.queueTimeout <= 0 {
+		a.queueTimeout = DefaultQueueTimeout
+	}
+	now := time.Now()
+	if cfg.RatePerSec > 0 {
+		a.global = newTokenBucket(cfg.RatePerSec, cfg.Burst, now)
+	}
+	if cfg.SessionRatePerSec > 0 {
+		// Shard the bucket table as wide as the session manager: sessions
+		// spread across it uniformly, so the hot-path lock fan matches.
+		a.perSession = newSessionLimiters(cfg.SessionRatePerSec, cfg.SessionBurst, s.mgr.Shards())
+	}
+	if cfg.MaxInFlight > 0 {
+		a.slots = make(chan struct{}, cfg.MaxInFlight)
+		a.maxQueue = int64(cfg.MaxQueue)
+	}
+	s.adm.Store(a)
+	s.wireAdmissionMetrics()
+}
+
+// wireAdmissionMetrics creates the rejected counters once both the
+// admission layer and the metrics registry exist, whichever is installed
+// second.
+func (s *Server) wireAdmissionMetrics() {
+	a := s.adm.Load()
+	if a == nil || s.met == nil || a.rejected.Load() != nil {
+		return
+	}
+	if s.admMet == nil {
+		s.admMet = newAdmissionMetrics(s.met.reg)
+	}
+	a.rejected.Store(s.admMet)
+}
+
+// admit wraps a hot-path handler with the admission checks. The wrapper
+// runs inside the instrument middleware, so rejections are still counted,
+// logged and traced like any other response.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		a := s.adm.Load()
+		if a == nil {
+			h(w, r)
+			return
+		}
+		now := time.Now()
+		if a.global != nil {
+			if ok, retry := a.global.take(now); !ok {
+				s.shed(w, r, a, http.StatusTooManyRequests, shedGlobalRate, retry)
+				return
+			}
+		}
+		if a.perSession != nil {
+			if id := r.PathValue("id"); id != "" {
+				if ok, retry := a.perSession.take(id, now); !ok {
+					s.shed(w, r, a, http.StatusTooManyRequests, shedSessionRate, retry)
+					return
+				}
+			}
+		}
+		if a.slots != nil {
+			select {
+			case a.slots <- struct{}{}:
+			default:
+				// Saturated: queue if there is room, else shed now. The
+				// waiting counter bounds queued goroutines; the timer bounds
+				// their wait, so queueing delay can never grow unboundedly.
+				if a.waiting.Add(1) > a.maxQueue {
+					a.waiting.Add(-1)
+					s.shed(w, r, a, http.StatusServiceUnavailable, shedQueueFull, a.queueTimeout)
+					return
+				}
+				t := time.NewTimer(a.queueTimeout)
+				select {
+				case a.slots <- struct{}{}:
+					a.waiting.Add(-1)
+					t.Stop()
+				case <-t.C:
+					a.waiting.Add(-1)
+					s.shed(w, r, a, http.StatusServiceUnavailable, shedQueueTimeout, a.queueTimeout)
+					return
+				case <-r.Context().Done():
+					a.waiting.Add(-1)
+					t.Stop()
+					writeError(w, StatusClientClosedRequest, "client disconnected while queued for admission")
+					return
+				}
+			}
+			defer func() { <-a.slots }()
+		}
+		h(w, r)
+	}
+}
+
+// shed writes one rejection: Retry-After (whole seconds, rounded up, at
+// least 1) on both 429 and 503, an X-Shed-Reason header plus the reason in
+// the body, the rejected counter, and an admission.reject span on sampled
+// requests.
+func (s *Server) shed(w http.ResponseWriter, r *http.Request, a *admission, code int, reason string, retry time.Duration) {
+	a.count(reason)
+	if tr := trace.FromContext(r.Context()); tr != nil {
+		tr.AddSpan("server", "admission.reject", 0).Attr("reason", reason)
+	}
+	secs := int64(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set("X-Shed-Reason", reason)
+	switch code {
+	case http.StatusTooManyRequests:
+		writeError(w, code, "rate limit exceeded (%s); retry after %ds", reason, secs)
+	default:
+		writeError(w, code, "server overloaded (%s); retry after %ds", reason, secs)
+	}
+}
+
+// forgetSessionLimiter drops the per-session bucket of a deleted session.
+func (s *Server) forgetSessionLimiter(id string) {
+	if a := s.adm.Load(); a != nil && a.perSession != nil {
+		a.perSession.forget(id)
+	}
+}

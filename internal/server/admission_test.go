@@ -1,0 +1,324 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"oasis"
+	"oasis/internal/obs"
+	"oasis/internal/session"
+)
+
+// TestTokenBucket pins the bucket arithmetic with a synthetic clock: burst
+// drains, tokens refill at the configured rate, retryAfter predicts the
+// next token, and a backwards clock never mints tokens.
+func TestTokenBucket(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newTokenBucket(2, 4, t0) // 2 tokens/s, burst 4
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := b.take(t0); !ok {
+			t.Fatalf("take %d within burst refused", i)
+		}
+	}
+	ok, retry := b.take(t0)
+	if ok {
+		t.Fatal("take beyond burst allowed")
+	}
+	// Empty bucket at 2 tokens/s: the next token is 500ms away.
+	if retry != 500*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want 500ms", retry)
+	}
+
+	// 1s later two tokens have accrued.
+	t1 := t0.Add(time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(t1); !ok {
+			t.Fatalf("take %d after refill refused", i)
+		}
+	}
+	if ok, _ := b.take(t1); ok {
+		t.Fatal("third take after 1s allowed; refill exceeded rate")
+	}
+
+	// A clock that runs backwards must not mint tokens.
+	if ok, _ := b.take(t1.Add(-time.Hour)); ok {
+		t.Fatal("backwards clock minted a token")
+	}
+
+	// Refill caps at burst no matter how long the idle gap.
+	t2 := t1.Add(time.Hour)
+	for i := 0; i < 4; i++ {
+		if ok, _ := b.take(t2); !ok {
+			t.Fatalf("take %d after long idle refused", i)
+		}
+	}
+	if ok, _ := b.take(t2); ok {
+		t.Fatal("burst cap not enforced after long idle")
+	}
+
+	// Zero burst derives max(1, rate).
+	b2 := newTokenBucket(0.5, 0, t0)
+	if b2.burst != 1 {
+		t.Fatalf("derived burst = %v, want 1", b2.burst)
+	}
+}
+
+// TestSessionLimiters pins the per-session table: buckets are independent,
+// forget drops state, and the shard map cannot grow past its cap.
+func TestSessionLimiters(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newSessionLimiters(1, 1, 4)
+
+	if ok, _ := l.take("a", now); !ok {
+		t.Fatal("first take for a refused")
+	}
+	if ok, _ := l.take("a", now); ok {
+		t.Fatal("second take for a allowed past burst")
+	}
+	// Session b has its own bucket.
+	if ok, _ := l.take("b", now); !ok {
+		t.Fatal("b starved by a's bucket")
+	}
+
+	// forget resets: a re-created bucket starts with a full burst.
+	l.forget("a")
+	if ok, _ := l.take("a", now); !ok {
+		t.Fatal("take after forget refused")
+	}
+
+	// Flooding unknown IDs cannot grow a shard past the cap.
+	for i := 0; i < 3*sessionLimiterShardCap; i++ {
+		l.take("flood-"+strconv.Itoa(i), now)
+	}
+	for i := range l.shards {
+		if n := len(l.shards[i].m); n > sessionLimiterShardCap {
+			t.Fatalf("shard %d grew to %d buckets, cap is %d", i, n, sessionLimiterShardCap)
+		}
+	}
+}
+
+// newAdmissionTestServer builds a server with one session and the given
+// admission config, plus metrics so rejected counters can be asserted.
+func newAdmissionTestServer(t *testing.T, cfg AdmissionConfig, ids ...string) (*httptest.Server, *Server) {
+	t.Helper()
+	scores := []float64{0.9, 0.8, 0.2, 0.1, 0.7, 0.3}
+	preds := []bool{true, true, false, false, true, false}
+	mgr := session.NewManager(session.ManagerOptions{})
+	srv := New(mgr)
+	srv.EnableMetrics(obs.NewRegistry())
+	srv.SetAdmission(cfg)
+	for _, id := range ids {
+		if _, err := mgr.Create(session.Config{
+			ID: id, Scores: scores, Preds: preds, Calibrated: true,
+			Options: oasis.Options{Strata: 2, Seed: 5},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// TestGlobalRateLimit pins the 429 path: requests beyond the global bucket
+// get 429 with a positive integer Retry-After and a shed-reason header, and
+// the rejection is counted by reason.
+func TestGlobalRateLimit(t *testing.T) {
+	ts, _ := newAdmissionTestServer(t, AdmissionConfig{RatePerSec: 0.001, Burst: 2}, "s1")
+
+	var ok200, ok429 int
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + "/v1/sessions/s1/estimate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			ok429++
+			ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if err != nil || ra < 1 {
+				t.Fatalf("Retry-After %q, want integer >= 1", resp.Header.Get("Retry-After"))
+			}
+			if got := resp.Header.Get("X-Shed-Reason"); got != shedGlobalRate {
+				t.Fatalf("X-Shed-Reason %q, want %q", got, shedGlobalRate)
+			}
+		default:
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if ok200 != 2 || ok429 != 3 {
+		t.Fatalf("got %d 200s and %d 429s, want 2 and 3", ok200, ok429)
+	}
+
+	fams := parseExposition(t, scrape(t, ts))
+	if got := sumFamily(fams["oasis_http_rejected_total"], `reason="global_rate"`); got != 3 {
+		t.Fatalf("rejected{global_rate} = %v, want 3", got)
+	}
+
+	// Ops routes are never shed: the probes that diagnose an overload keep
+	// answering through one.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz sheddable: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestSessionRateLimit pins per-session isolation: a hammered session hits
+// its bucket while a well-behaved one is untouched.
+func TestSessionRateLimit(t *testing.T) {
+	ts, _ := newAdmissionTestServer(t,
+		AdmissionConfig{SessionRatePerSec: 0.001, SessionBurst: 1}, "noisy", "quiet")
+
+	get := func(id string) int {
+		resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/estimate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := get("noisy"); code != http.StatusOK {
+		t.Fatalf("noisy #1: %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		if code := get("noisy"); code != http.StatusTooManyRequests {
+			t.Fatalf("noisy over budget: %d, want 429", code)
+		}
+	}
+	// The quiet session's bucket is untouched by noisy's storm.
+	if code := get("quiet"); code != http.StatusOK {
+		t.Fatalf("quiet starved: %d", code)
+	}
+
+	fams := parseExposition(t, scrape(t, ts))
+	if got := sumFamily(fams["oasis_http_rejected_total"], `reason="session_rate"`); got != 3 {
+		t.Fatalf("rejected{session_rate} = %v, want 3", got)
+	}
+}
+
+// TestBoundedQueue pins the saturation path by driving the admit wrapper
+// directly: with one in-flight slot held and no queue, the next request
+// sheds 503 queue_full at once; with a queue, it waits up to the timeout
+// and sheds 503 queue_timeout.
+func TestBoundedQueue(t *testing.T) {
+	mgr := session.NewManager(session.ManagerOptions{})
+	srv := New(mgr)
+	srv.SetAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 0})
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocking := srv.admit(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		blocking.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sessions/x/estimate", nil))
+	}()
+	<-started
+
+	// The slot is held and there is no queue: immediate 503 queue_full.
+	rec := httptest.NewRecorder()
+	blocking.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sessions/x/estimate", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("queue_full: status %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("X-Shed-Reason"); got != shedQueueFull {
+		t.Fatalf("X-Shed-Reason %q, want %q", got, shedQueueFull)
+	}
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After %q on 503", rec.Header().Get("Retry-After"))
+	}
+
+	close(release)
+	wg.Wait()
+
+	// Now with a one-deep queue and a short timeout: the queued request
+	// waits, times out, and sheds queue_timeout.
+	srv.SetAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1, QueueTimeout: 20 * time.Millisecond})
+	release = make(chan struct{})
+	started = make(chan struct{})
+	blocking = srv.admit(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		blocking.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sessions/x/estimate", nil))
+	}()
+	<-started
+
+	t0 := time.Now()
+	rec = httptest.NewRecorder()
+	blocking.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sessions/x/estimate", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("queue_timeout: status %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("X-Shed-Reason"); got != shedQueueTimeout {
+		t.Fatalf("X-Shed-Reason %q, want %q", got, shedQueueTimeout)
+	}
+	if waited := time.Since(t0); waited < 20*time.Millisecond {
+		t.Fatalf("shed after %v, before the queue timeout", waited)
+	}
+	close(release)
+	wg.Wait()
+
+	// With the slot free again, requests pass untouched.
+	plain := srv.admit(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	rec = httptest.NewRecorder()
+	plain.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sessions/x/estimate", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("after release: status %d, want 200", rec.Code)
+	}
+}
+
+// TestDeleteForgetsSessionLimiter pins that deleting a session drops its
+// rate-limit bucket: a recreated session with the same ID starts with a
+// fresh burst instead of inheriting the old session's debt.
+func TestDeleteForgetsSessionLimiter(t *testing.T) {
+	ts, srv := newAdmissionTestServer(t,
+		AdmissionConfig{SessionRatePerSec: 0.001, SessionBurst: 1}, "reborn")
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+
+	if code := c.do("GET", "/v1/sessions/reborn/estimate", nil, nil); code != http.StatusOK {
+		t.Fatalf("first: %d", code)
+	}
+	if code := c.do("GET", "/v1/sessions/reborn/estimate", nil, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("second: %d, want 429", code)
+	}
+	if code := c.do("DELETE", "/v1/sessions/reborn", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	if _, err := srv.mgr.Create(session.Config{
+		ID: "reborn", Scores: []float64{0.9, 0.1}, Preds: []bool{true, false}, Calibrated: true,
+		Options: oasis.Options{Strata: 1, Seed: 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if code := c.do("GET", "/v1/sessions/reborn/estimate", nil, nil); code != http.StatusOK {
+		t.Fatalf("recreated session inherited the old limiter debt: %d", code)
+	}
+}

@@ -1,0 +1,441 @@
+package server
+
+// Binary hot-path protocol ("OBP1"). The propose/labels/estimate round trip
+// is the service's hot path, and its JSON form pays marshal/unmarshal CPU
+// and per-request allocations on every call. This codec replaces it with
+// compact fixed-layout frames, reusing the little-endian + CRC-32C
+// (Castagnoli) framing idiom the pool codec established (internal/poolstore,
+// "OASISPL2"): every frame is length-prefixed, carries a trailing CRC over
+// the whole frame, and every count is validated against the exact byte
+// length before any allocation is sized from it.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "OBP1"
+//	4       1     message type (see binMsg* constants)
+//	5       3     zero padding
+//	8       4     payload length L
+//	12      L     payload (per-type layout below)
+//	12+L    4     CRC-32C of bytes [0, 12+L)
+//
+// Payload layouts:
+//
+//	proposeResponse (0x01): flags u8 (bit0 = exhausted), count u32,
+//	                        count × (pair u32, expires i64 unix-nanos)
+//	labelsRequest   (0x02): count u32, count × (pair u32, label u8)
+//	labelsResponse  (0x03): committed u32, count u32,
+//	                        count × (pair u32, status u8: 0 ok, 1 duplicate,
+//	                        2 expired)
+//	estimateResponse(0x04): flags u8 (bit0 = estimate present, bit1 =
+//	                        initial estimate present), estimate f64,
+//	                        initialEstimate f64, poolSize u64,
+//	                        labelsCommitted u64, pendingProposals u64,
+//	                        budget i64, remaining i64
+//
+// Negotiation is per request: a client asking for a binary response sends
+// Accept: application/x-oasis-bin, a client sending a binary body sends
+// Content-Type: application/x-oasis-bin. The server answers JSON unless the
+// Accept header asks for binary, so plain curl keeps working. Error
+// responses are always JSON — errors are off the hot path, and a JSON body
+// explains itself. The binary estimate frame carries only the numeric hot
+// fields of session.Status; clients that need the session/pool ID strings
+// use the JSON form.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"oasis/internal/session"
+)
+
+// ContentTypeBinary is the negotiated media type of the binary hot-path
+// protocol: send it as Accept to get binary responses and as Content-Type
+// on binary request bodies.
+const ContentTypeBinary = "application/x-oasis-bin"
+
+const (
+	binMagic         = "OBP1"
+	binHeaderSize    = 12 // magic + type + padding + payload length
+	binTrailerSize   = 4  // CRC-32C
+	binFrameOverhead = binHeaderSize + binTrailerSize
+)
+
+// Message types.
+const (
+	binMsgProposeResponse  = 0x01
+	binMsgLabelsRequest    = 0x02
+	binMsgLabelsResponse   = 0x03
+	binMsgEstimateResponse = 0x04
+)
+
+// Per-entry sizes of the variable sections.
+const (
+	binProposalSize = 4 + 8 // pair u32 + expires i64
+	binLabelSize    = 4 + 1 // pair u32 + label u8
+	binResultSize   = 4 + 1 // pair u32 + status u8
+)
+
+var binCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Commit-result status codes on the wire, indexed by session.CommitResult.
+var binStatusNames = [3]string{"ok", "duplicate", "expired"}
+
+// binFrameStart appends a frame header for one message type; the payload
+// length field is patched by binFrameFinish. Frames are always appended at
+// the end of dst, so callers can stack frames in one buffer if they wish;
+// start is len(dst) before the call.
+func binFrameStart(dst []byte, typ byte) []byte {
+	dst = append(dst, binMagic...)
+	dst = append(dst, typ, 0, 0, 0)
+	return append(dst, 0, 0, 0, 0)
+}
+
+// binFrameFinish patches the payload length of the frame begun at start and
+// appends the trailing CRC.
+func binFrameFinish(dst []byte, start int) []byte {
+	binary.LittleEndian.PutUint32(dst[start+8:], uint32(len(dst)-start-binHeaderSize))
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst[start:], binCRC))
+}
+
+// binFrame verifies one complete frame of the wanted type and returns its
+// payload. Trailing bytes after the frame are rejected — a frame is the
+// whole request or response body.
+func binFrame(data []byte, typ byte) ([]byte, error) {
+	if len(data) < binFrameOverhead {
+		return nil, fmt.Errorf("binproto: frame is %d bytes, shorter than the %d-byte envelope", len(data), binFrameOverhead)
+	}
+	if string(data[:4]) != binMagic {
+		return nil, fmt.Errorf("binproto: bad magic %q", data[:4])
+	}
+	if data[5] != 0 || data[6] != 0 || data[7] != 0 {
+		return nil, fmt.Errorf("binproto: non-zero header padding")
+	}
+	if n := binary.LittleEndian.Uint32(data[8:12]); uint64(n) != uint64(len(data)-binFrameOverhead) {
+		return nil, fmt.Errorf("binproto: frame declares a %d-byte payload, body carries %d", n, len(data)-binFrameOverhead)
+	}
+	body := data[:len(data)-binTrailerSize]
+	if got, want := crc32.Checksum(body, binCRC), binary.LittleEndian.Uint32(data[len(data)-binTrailerSize:]); got != want {
+		return nil, fmt.Errorf("binproto: frame CRC mismatch")
+	}
+	if data[4] != typ {
+		return nil, fmt.Errorf("binproto: message type 0x%02x, want 0x%02x", data[4], typ)
+	}
+	return data[binHeaderSize : len(data)-binTrailerSize], nil
+}
+
+// AppendProposeResponse appends pr as one binary frame and returns the
+// extended buffer.
+func AppendProposeResponse(dst []byte, pr *ProposeResponse) []byte {
+	start := len(dst)
+	dst = binFrameStart(dst, binMsgProposeResponse)
+	var flags byte
+	if pr.Exhausted {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pr.Proposals)))
+	for _, p := range pr.Proposals {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Pair))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Expires.UnixNano()))
+	}
+	return binFrameFinish(dst, start)
+}
+
+// DecodeProposeResponse parses one binary propose-response frame into pr,
+// reusing pr.Proposals' backing array when it has the capacity.
+func DecodeProposeResponse(data []byte, pr *ProposeResponse) error {
+	payload, err := binFrame(data, binMsgProposeResponse)
+	if err != nil {
+		return err
+	}
+	if len(payload) < 5 {
+		return fmt.Errorf("binproto: propose payload is %d bytes, want at least 5", len(payload))
+	}
+	flags := payload[0]
+	if flags&^byte(1) != 0 {
+		return fmt.Errorf("binproto: unknown propose flags 0x%02x", flags)
+	}
+	count := binary.LittleEndian.Uint32(payload[1:5])
+	if uint64(len(payload)-5) != uint64(count)*binProposalSize {
+		return fmt.Errorf("binproto: propose frame declares %d proposals, payload carries %d bytes", count, len(payload)-5)
+	}
+	pr.Exhausted = flags&1 != 0
+	pr.Proposals = pr.Proposals[:0]
+	raw := payload[5:]
+	for i := 0; i < int(count); i++ {
+		e := raw[i*binProposalSize:]
+		pr.Proposals = append(pr.Proposals, session.Proposal{
+			Pair:    int(binary.LittleEndian.Uint32(e)),
+			Expires: time.Unix(0, int64(binary.LittleEndian.Uint64(e[4:]))),
+		})
+	}
+	return nil
+}
+
+// AppendLabelsRequest appends req as one binary frame and returns the
+// extended buffer.
+func AppendLabelsRequest(dst []byte, req *LabelsRequest) []byte {
+	start := len(dst)
+	dst = binFrameStart(dst, binMsgLabelsRequest)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Labels)))
+	for _, l := range req.Labels {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(l.Pair))
+		var b byte
+		if l.Label {
+			b = 1
+		}
+		dst = append(dst, b)
+	}
+	return binFrameFinish(dst, start)
+}
+
+// DecodeLabelsRequest parses one binary labels-request frame into req,
+// reusing req.Labels' backing array when it has the capacity.
+func DecodeLabelsRequest(data []byte, req *LabelsRequest) error {
+	payload, err := binFrame(data, binMsgLabelsRequest)
+	if err != nil {
+		return err
+	}
+	if len(payload) < 4 {
+		return fmt.Errorf("binproto: labels payload is %d bytes, want at least 4", len(payload))
+	}
+	count := binary.LittleEndian.Uint32(payload[:4])
+	if uint64(len(payload)-4) != uint64(count)*binLabelSize {
+		return fmt.Errorf("binproto: labels frame declares %d labels, payload carries %d bytes", count, len(payload)-4)
+	}
+	req.Labels = req.Labels[:0]
+	raw := payload[4:]
+	for i := 0; i < int(count); i++ {
+		e := raw[i*binLabelSize:]
+		if e[4] > 1 {
+			return fmt.Errorf("binproto: label byte 0x%02x, want 0 or 1", e[4])
+		}
+		req.Labels = append(req.Labels, Label{
+			Pair:  int(binary.LittleEndian.Uint32(e)),
+			Label: e[4] == 1,
+		})
+	}
+	return nil
+}
+
+// AppendLabelsResponse appends resp as one binary frame and returns the
+// extended buffer.
+func AppendLabelsResponse(dst []byte, resp *LabelsResponse) []byte {
+	start := len(dst)
+	dst = binFrameStart(dst, binMsgLabelsResponse)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(resp.Committed))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Results)))
+	for _, res := range resp.Results {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(res.Pair))
+		var code byte
+		switch res.Status {
+		case "duplicate":
+			code = 1
+		case "expired":
+			code = 2
+		}
+		dst = append(dst, code)
+	}
+	return binFrameFinish(dst, start)
+}
+
+// appendLabelsResults is the server's allocation-free form of
+// AppendLabelsResponse: it encodes straight from the commit results,
+// skipping the intermediate LabelsResponse struct the JSON path builds.
+func appendLabelsResults(dst []byte, pairs []int, results []session.CommitResult) []byte {
+	start := len(dst)
+	dst = binFrameStart(dst, binMsgLabelsResponse)
+	committed := 0
+	for _, r := range results {
+		if r == session.Committed {
+			committed++
+		}
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(committed))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(results)))
+	for i, r := range results {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(pairs[i]))
+		dst = append(dst, byte(r))
+	}
+	return binFrameFinish(dst, start)
+}
+
+// DecodeLabelsResponse parses one binary labels-response frame into resp,
+// reusing resp.Results' backing array when it has the capacity.
+func DecodeLabelsResponse(data []byte, resp *LabelsResponse) error {
+	payload, err := binFrame(data, binMsgLabelsResponse)
+	if err != nil {
+		return err
+	}
+	if len(payload) < 8 {
+		return fmt.Errorf("binproto: labels-response payload is %d bytes, want at least 8", len(payload))
+	}
+	committed := binary.LittleEndian.Uint32(payload[:4])
+	count := binary.LittleEndian.Uint32(payload[4:8])
+	if uint64(len(payload)-8) != uint64(count)*binResultSize {
+		return fmt.Errorf("binproto: labels-response frame declares %d results, payload carries %d bytes", count, len(payload)-8)
+	}
+	if committed > count {
+		return fmt.Errorf("binproto: %d committed labels out of %d results", committed, count)
+	}
+	resp.Committed = int(committed)
+	resp.Results = resp.Results[:0]
+	raw := payload[8:]
+	for i := 0; i < int(count); i++ {
+		e := raw[i*binResultSize:]
+		if int(e[4]) >= len(binStatusNames) {
+			return fmt.Errorf("binproto: unknown commit status 0x%02x", e[4])
+		}
+		resp.Results = append(resp.Results, LabelResult{
+			Pair:   int(binary.LittleEndian.Uint32(e)),
+			Status: binStatusNames[e[4]],
+		})
+	}
+	return nil
+}
+
+// AppendEstimateResponse appends the numeric hot fields of st as one binary
+// frame and returns the extended buffer. The session/pool ID strings and
+// method are deliberately not carried — a hot polling loop already knows
+// which session it is asking about.
+func AppendEstimateResponse(dst []byte, st *session.Status) []byte {
+	start := len(dst)
+	dst = binFrameStart(dst, binMsgEstimateResponse)
+	var flags byte
+	var est, initial float64
+	if st.Estimate != nil {
+		flags |= 1
+		est = *st.Estimate
+	}
+	if st.InitialEstimate != nil {
+		flags |= 2
+		initial = *st.InitialEstimate
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(est))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(initial))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.PoolSize))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.LabelsCommitted))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.PendingProposals))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.Budget))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.Remaining))
+	return binFrameFinish(dst, start)
+}
+
+// DecodeEstimateResponse parses one binary estimate frame into st. Fields
+// the frame does not carry (ID, Method, PoolID) are zeroed.
+func DecodeEstimateResponse(data []byte, st *session.Status) error {
+	payload, err := binFrame(data, binMsgEstimateResponse)
+	if err != nil {
+		return err
+	}
+	const want = 1 + 7*8
+	if len(payload) != want {
+		return fmt.Errorf("binproto: estimate payload is %d bytes, want %d", len(payload), want)
+	}
+	flags := payload[0]
+	if flags&^byte(3) != 0 {
+		return fmt.Errorf("binproto: unknown estimate flags 0x%02x", flags)
+	}
+	*st = session.Status{}
+	if flags&1 != 0 {
+		f := math.Float64frombits(binary.LittleEndian.Uint64(payload[1:]))
+		st.Estimate = &f
+	}
+	if flags&2 != 0 {
+		f := math.Float64frombits(binary.LittleEndian.Uint64(payload[9:]))
+		st.InitialEstimate = &f
+	}
+	st.PoolSize = int(binary.LittleEndian.Uint64(payload[17:]))
+	st.LabelsCommitted = int(binary.LittleEndian.Uint64(payload[25:]))
+	st.PendingProposals = int(binary.LittleEndian.Uint64(payload[33:]))
+	st.Budget = int(binary.LittleEndian.Uint64(payload[41:]))
+	st.Remaining = int(int64(binary.LittleEndian.Uint64(payload[49:])))
+	return nil
+}
+
+// binBuf is one request's reusable encode/decode state: the frame buffer
+// plus the decoded-request and column scratch slices the labels handler
+// needs. Pooled so the binary hot path allocates nothing per request once
+// warm.
+type binBuf struct {
+	buf    []byte
+	req    LabelsRequest
+	pairs  []int
+	labels []bool
+	pr     ProposeResponse
+}
+
+var binBufPool = sync.Pool{New: func() any { return new(binBuf) }}
+
+func getBinBuf() *binBuf  { return binBufPool.Get().(*binBuf) }
+func putBinBuf(b *binBuf) { binBufPool.Put(b) }
+
+// wantsBinary reports whether the request negotiated a binary response via
+// its Accept header. Exact match (with optional parameters) only: the hot
+// clients set the header verbatim, and anything else falls back to JSON.
+func wantsBinary(r *http.Request) bool {
+	return mediaTypeIs(r.Header.Get("Accept"), ContentTypeBinary)
+}
+
+// isBinaryBody reports whether the request body is a binary frame.
+func isBinaryBody(r *http.Request) bool {
+	return mediaTypeIs(r.Header.Get("Content-Type"), ContentTypeBinary)
+}
+
+// mediaTypeIs reports whether header names the media type want, ignoring
+// any ;-separated parameters and surrounding space. A hand-rolled compare
+// instead of mime.ParseMediaType keeps the hot path allocation-free.
+func mediaTypeIs(header, want string) bool {
+	if i := strings.IndexByte(header, ';'); i >= 0 {
+		header = header[:i]
+	}
+	header = strings.TrimSpace(header)
+	return strings.EqualFold(header, want)
+}
+
+// writeBinary sends one encoded frame with an exact Content-Length, so the
+// response avoids chunked transfer encoding.
+func writeBinary(w http.ResponseWriter, frame []byte) {
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(frame)
+}
+
+// readBinBody reads the bounded request body into bb.buf (grown once,
+// reused across requests). It writes the error response itself when it
+// reports false.
+func (s *Server) readBinBody(w http.ResponseWriter, r *http.Request, bb *binBuf) bool {
+	s.limitBody(w, r)
+	buf := bb.buf[:0]
+	if n := r.ContentLength; n > 0 && n <= s.maxBody && int64(cap(buf)) < n {
+		buf = make([]byte, 0, n)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			bb.buf = buf
+			writeBodyError(w, err, "frame")
+			return false
+		}
+	}
+	bb.buf = buf
+	return true
+}

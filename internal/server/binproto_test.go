@@ -1,0 +1,461 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"oasis"
+	"oasis/internal/session"
+)
+
+func f64ptr(f float64) *float64 { return &f }
+
+// TestBinProtoRoundTrip pins every message type through encode → decode.
+func TestBinProtoRoundTrip(t *testing.T) {
+	exp := time.Unix(0, 1722000000123456789)
+	prs := []ProposeResponse{
+		{Proposals: []session.Proposal{}},
+		{Proposals: []session.Proposal{{Pair: 0, Expires: exp}}, Exhausted: false},
+		{Proposals: []session.Proposal{{Pair: 7, Expires: exp}, {Pair: math.MaxUint32, Expires: exp.Add(time.Hour)}}},
+		{Proposals: []session.Proposal{}, Exhausted: true},
+	}
+	for i, pr := range prs {
+		frame := AppendProposeResponse(nil, &pr)
+		var got ProposeResponse
+		if err := DecodeProposeResponse(frame, &got); err != nil {
+			t.Fatalf("propose %d: %v", i, err)
+		}
+		if got.Exhausted != pr.Exhausted || len(got.Proposals) != len(pr.Proposals) {
+			t.Fatalf("propose %d: got %+v, want %+v", i, got, pr)
+		}
+		for j := range pr.Proposals {
+			if got.Proposals[j].Pair != pr.Proposals[j].Pair || !got.Proposals[j].Expires.Equal(pr.Proposals[j].Expires) {
+				t.Fatalf("propose %d[%d]: got %+v, want %+v", i, j, got.Proposals[j], pr.Proposals[j])
+			}
+		}
+	}
+
+	lreq := LabelsRequest{Labels: []Label{{Pair: 3, Label: true}, {Pair: 0, Label: false}, {Pair: 9999999, Label: true}}}
+	frame := AppendLabelsRequest(nil, &lreq)
+	var gotReq LabelsRequest
+	if err := DecodeLabelsRequest(frame, &gotReq); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotReq.Labels) != 3 || gotReq.Labels[0] != lreq.Labels[0] || gotReq.Labels[2] != lreq.Labels[2] {
+		t.Fatalf("labels request: got %+v, want %+v", gotReq, lreq)
+	}
+
+	lresp := LabelsResponse{Committed: 1, Results: []LabelResult{
+		{Pair: 3, Status: "ok"}, {Pair: 4, Status: "duplicate"}, {Pair: 5, Status: "expired"},
+	}}
+	frame = AppendLabelsResponse(nil, &lresp)
+	var gotResp LabelsResponse
+	if err := DecodeLabelsResponse(frame, &gotResp); err != nil {
+		t.Fatal(err)
+	}
+	if gotResp.Committed != 1 || len(gotResp.Results) != 3 {
+		t.Fatalf("labels response: got %+v", gotResp)
+	}
+	for i := range lresp.Results {
+		if gotResp.Results[i] != lresp.Results[i] {
+			t.Fatalf("result %d: got %+v, want %+v", i, gotResp.Results[i], lresp.Results[i])
+		}
+	}
+
+	// appendLabelsResults (the server's direct form) must agree with the
+	// struct-based encoder bit for bit.
+	pairs := []int{3, 4, 5}
+	results := []session.CommitResult{session.Committed, session.Duplicate, session.Expired}
+	if direct := appendLabelsResults(nil, pairs, results); !bytes.Equal(direct, frame) {
+		t.Fatalf("appendLabelsResults disagrees with AppendLabelsResponse:\n%x\n%x", direct, frame)
+	}
+
+	for i, st := range []session.Status{
+		{PoolSize: 100, LabelsCommitted: 5, PendingProposals: 2, Budget: 50, Remaining: 43},
+		{Estimate: f64ptr(0.75), InitialEstimate: f64ptr(0.6), PoolSize: 1, Remaining: -1},
+		{Estimate: f64ptr(math.Inf(1))},
+	} {
+		frame := AppendEstimateResponse(nil, &st)
+		var got session.Status
+		if err := DecodeEstimateResponse(frame, &got); err != nil {
+			t.Fatalf("estimate %d: %v", i, err)
+		}
+		if (got.Estimate == nil) != (st.Estimate == nil) || (got.InitialEstimate == nil) != (st.InitialEstimate == nil) {
+			t.Fatalf("estimate %d: presence flags wrong: %+v vs %+v", i, got, st)
+		}
+		if st.Estimate != nil && *got.Estimate != *st.Estimate {
+			t.Fatalf("estimate %d: %v != %v", i, *got.Estimate, *st.Estimate)
+		}
+		if got.PoolSize != st.PoolSize || got.LabelsCommitted != st.LabelsCommitted ||
+			got.PendingProposals != st.PendingProposals || got.Budget != st.Budget || got.Remaining != st.Remaining {
+			t.Fatalf("estimate %d: got %+v, want %+v", i, got, st)
+		}
+	}
+}
+
+// TestBinProtoRejectsCorruptFrames drives the decoders through the ways a
+// frame can be malformed; every case must error, never panic, and never
+// size an allocation from an unvalidated count.
+func TestBinProtoRejectsCorruptFrames(t *testing.T) {
+	valid := AppendProposeResponse(nil, &ProposeResponse{Proposals: []session.Proposal{{Pair: 1, Expires: time.Unix(3, 0)}}})
+	var pr ProposeResponse
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     valid[:binFrameOverhead-1],
+		"bad magic": append([]byte("XXXX"), valid[4:]...),
+		"truncated": valid[:len(valid)-5],
+		"trailing":  append(append([]byte{}, valid...), 0xde, 0xad),
+	}
+	// Flip one byte of the payload: CRC must catch it.
+	flipped := append([]byte{}, valid...)
+	flipped[binHeaderSize] ^= 0xff
+	cases["payload flip"] = flipped
+	// Non-zero padding.
+	padded := append([]byte{}, valid...)
+	padded[6] = 1
+	cases["padding"] = padded
+	// Wrong message type (a labels frame fed to the propose decoder).
+	cases["wrong type"] = AppendLabelsRequest(nil, &LabelsRequest{})
+	// Declared count beyond the payload, CRC fixed up to match.
+	lying := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint32(lying[binHeaderSize+1:], 1<<30)
+	refreshCRC(lying)
+	cases["lying count"] = lying
+
+	for name, data := range cases {
+		if err := DecodeProposeResponse(data, &pr); err == nil {
+			t.Errorf("%s: decode accepted a corrupt frame", name)
+		}
+	}
+
+	var lr LabelsRequest
+	badLabel := AppendLabelsRequest(nil, &LabelsRequest{Labels: []Label{{Pair: 1}}})
+	badLabel[binHeaderSize+4+4] = 2 // label byte must be 0 or 1
+	refreshCRC(badLabel)
+	if err := DecodeLabelsRequest(badLabel, &lr); err == nil {
+		t.Error("label byte 2 accepted")
+	}
+
+	var resp LabelsResponse
+	badStatus := AppendLabelsResponse(nil, &LabelsResponse{Results: []LabelResult{{Pair: 1, Status: "ok"}}})
+	badStatus[binHeaderSize+8+4] = 9
+	refreshCRC(badStatus)
+	if err := DecodeLabelsResponse(badStatus, &resp); err == nil {
+		t.Error("status byte 9 accepted")
+	}
+}
+
+// refreshCRC recomputes a frame's trailing CRC after a test mutated its
+// bytes, so the decoder's structural checks — not the checksum — reject it.
+func refreshCRC(frame []byte) {
+	body := frame[:len(frame)-binTrailerSize]
+	binary.LittleEndian.PutUint32(frame[len(frame)-binTrailerSize:], crc32.Checksum(body, binCRC))
+}
+
+// newBinTestServer builds a small in-process service with one session.
+func newBinTestServer(t *testing.T, id string, budget int) (*httptest.Server, *Server) {
+	t.Helper()
+	scores := []float64{0.9, 0.8, 0.2, 0.1, 0.7, 0.3, 0.6, 0.4}
+	preds := []bool{true, true, false, false, true, false, true, false}
+	mgr := session.NewManager(session.ManagerOptions{DefaultLeaseTTL: time.Minute})
+	srv := New(mgr)
+	if _, err := mgr.Create(session.Config{
+		ID: id, Scores: scores, Preds: preds, Calibrated: true, Budget: budget,
+		Options: oasis.Options{Strata: 3, Seed: 42},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// binGet performs a GET with Accept: application/x-oasis-bin and returns
+// the status, content type and body.
+func binGet(t *testing.T, url string) (int, string, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", ContentTypeBinary)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+// TestBinaryHotPathHTTP drives propose → labels → estimate over the binary
+// protocol end to end and cross-checks each response against the JSON form.
+func TestBinaryHotPathHTTP(t *testing.T) {
+	ts, _ := newBinTestServer(t, "bin", 0)
+	base := ts.URL + "/v1/sessions/bin"
+
+	code, ct, body := binGet(t, base+"/propose?n=3")
+	if code != http.StatusOK || ct != ContentTypeBinary {
+		t.Fatalf("binary propose: status %d, content type %q", code, ct)
+	}
+	var pr ProposeResponse
+	if err := DecodeProposeResponse(body, &pr); err != nil {
+		t.Fatalf("decode propose: %v\n% x", err, body)
+	}
+	if len(pr.Proposals) != 3 || pr.Exhausted {
+		t.Fatalf("unexpected propose response: %+v", pr)
+	}
+
+	// Commit the three labels with a binary request body, asking for a
+	// binary response.
+	lreq := LabelsRequest{}
+	for _, p := range pr.Proposals {
+		lreq.Labels = append(lreq.Labels, Label{Pair: p.Pair, Label: p.Pair%2 == 0})
+	}
+	frame := AppendLabelsRequest(nil, &lreq)
+	req, err := http.NewRequest("POST", base+"/labels", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ContentTypeBinary)
+	req.Header.Set("Accept", ContentTypeBinary)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != ContentTypeBinary {
+		t.Fatalf("binary labels: status %d, content type %q: %s", resp.StatusCode, resp.Header.Get("Content-Type"), body)
+	}
+	var lresp LabelsResponse
+	if err := DecodeLabelsResponse(body, &lresp); err != nil {
+		t.Fatal(err)
+	}
+	if lresp.Committed != 3 {
+		t.Fatalf("committed %d of 3: %+v", lresp.Committed, lresp)
+	}
+	for i, res := range lresp.Results {
+		if res.Pair != lreq.Labels[i].Pair || res.Status != "ok" {
+			t.Fatalf("result %d: %+v", i, res)
+		}
+	}
+
+	// Binary estimate agrees with the JSON estimate.
+	code, ct, body = binGet(t, base+"/estimate")
+	if code != http.StatusOK || ct != ContentTypeBinary {
+		t.Fatalf("binary estimate: status %d, content type %q", code, ct)
+	}
+	var binSt session.Status
+	if err := DecodeEstimateResponse(body, &binSt); err != nil {
+		t.Fatal(err)
+	}
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	var jsonSt session.Status
+	if code := c.do("GET", "/v1/sessions/bin/estimate", nil, &jsonSt); code != http.StatusOK {
+		t.Fatalf("json estimate: status %d", code)
+	}
+	if binSt.LabelsCommitted != jsonSt.LabelsCommitted || binSt.PoolSize != jsonSt.PoolSize ||
+		binSt.PendingProposals != jsonSt.PendingProposals || binSt.Budget != jsonSt.Budget || binSt.Remaining != jsonSt.Remaining {
+		t.Fatalf("binary estimate %+v disagrees with JSON %+v", binSt, jsonSt)
+	}
+	if (binSt.Estimate == nil) != (jsonSt.Estimate == nil) {
+		t.Fatalf("estimate presence: binary %+v vs JSON %+v", binSt, jsonSt)
+	}
+	if binSt.Estimate != nil && *binSt.Estimate != *jsonSt.Estimate {
+		t.Fatalf("estimate: binary %v vs JSON %v", *binSt.Estimate, *jsonSt.Estimate)
+	}
+
+	// A plain request (no Accept header) still gets JSON: curl keeps working.
+	plain, err := http.Get(base + "/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Body.Close()
+	if got := plain.Header.Get("Content-Type"); got != "application/json" {
+		t.Fatalf("no-Accept response content type %q, want application/json", got)
+	}
+}
+
+// TestBinaryExhaustedFlag pins the terminal signal through the binary path:
+// once the budget is fully committed, a binary propose returns an empty
+// frame with the exhausted flag set, exactly as the JSON path sets
+// "exhausted": true.
+func TestBinaryExhaustedFlag(t *testing.T) {
+	ts, _ := newBinTestServer(t, "exh", 2)
+	base := ts.URL + "/v1/sessions/exh"
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+
+	var pr ProposeResponse
+	if code := c.do("GET", "/v1/sessions/exh/propose?n=2", nil, &pr); code != http.StatusOK {
+		t.Fatalf("propose: %d", code)
+	}
+	lreq := LabelsRequest{}
+	for _, p := range pr.Proposals {
+		lreq.Labels = append(lreq.Labels, Label{Pair: p.Pair, Label: true})
+	}
+	var lresp LabelsResponse
+	if code := c.do("POST", "/v1/sessions/exh/labels", lreq, &lresp); code != http.StatusOK || lresp.Committed != 2 {
+		t.Fatalf("labels: %d, %+v", code, lresp)
+	}
+
+	code, _, body := binGet(t, base+"/propose?n=1")
+	if code != http.StatusOK {
+		t.Fatalf("exhausted propose: status %d", code)
+	}
+	var got ProposeResponse
+	if err := DecodeProposeResponse(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Exhausted || len(got.Proposals) != 0 {
+		t.Fatalf("want exhausted empty batch, got %+v", got)
+	}
+}
+
+// TestJSONBinaryEquivalence is the protocol-equivalence gate: two sessions
+// with identical configs and the golden-sequence seed, one driven over
+// JSON, one over the binary protocol, must produce bit-for-bit the same
+// proposal sequence and the same estimate. The protocol is transport only —
+// it must never perturb the sampler.
+func TestJSONBinaryEquivalence(t *testing.T) {
+	scores := make([]float64, 500)
+	preds := make([]bool, 500)
+	for i := range scores {
+		scores[i] = float64(i%97) / 97
+		preds[i] = scores[i] >= 0.5
+	}
+	mgr := session.NewManager(session.ManagerOptions{})
+	srv := New(mgr)
+	for _, id := range []string{"json", "bin"} {
+		if _, err := mgr.Create(session.Config{
+			ID: id, Scores: scores, Preds: preds, Calibrated: true,
+			Options: oasis.Options{Strata: 10, Seed: 7},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+
+	const rounds, batch = 20, 8
+	var jsonSeq, binSeq []int
+	for round := 0; round < rounds; round++ {
+		// JSON session.
+		var pr ProposeResponse
+		if code := c.do("GET", fmt.Sprintf("/v1/sessions/json/propose?n=%d", batch), nil, &pr); code != http.StatusOK {
+			t.Fatalf("json propose: %d", code)
+		}
+		lreq := LabelsRequest{}
+		for _, p := range pr.Proposals {
+			jsonSeq = append(jsonSeq, p.Pair)
+			lreq.Labels = append(lreq.Labels, Label{Pair: p.Pair, Label: p.Pair%3 == 0})
+		}
+		if code := c.do("POST", "/v1/sessions/json/labels", lreq, nil); code != http.StatusOK {
+			t.Fatalf("json labels: %d", code)
+		}
+
+		// Binary session, same truth function.
+		code, _, body := binGet(t, ts.URL+fmt.Sprintf("/v1/sessions/bin/propose?n=%d", batch))
+		if code != http.StatusOK {
+			t.Fatalf("bin propose: %d", code)
+		}
+		var bpr ProposeResponse
+		if err := DecodeProposeResponse(body, &bpr); err != nil {
+			t.Fatal(err)
+		}
+		breq := LabelsRequest{}
+		for _, p := range bpr.Proposals {
+			binSeq = append(binSeq, p.Pair)
+			breq.Labels = append(breq.Labels, Label{Pair: p.Pair, Label: p.Pair%3 == 0})
+		}
+		frame := AppendLabelsRequest(nil, &breq)
+		req, err := http.NewRequest("POST", ts.URL+"/v1/sessions/bin/labels", bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", ContentTypeBinary)
+		req.Header.Set("Accept", ContentTypeBinary)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("bin labels: %d", resp.StatusCode)
+		}
+	}
+	if len(jsonSeq) != len(binSeq) {
+		t.Fatalf("sequence lengths differ: json %d, bin %d", len(jsonSeq), len(binSeq))
+	}
+	for i := range jsonSeq {
+		if jsonSeq[i] != binSeq[i] {
+			t.Fatalf("proposal sequences diverge at %d: json %d, bin %d", i, jsonSeq[i], binSeq[i])
+		}
+	}
+	var jsonSt, binSt session.Status
+	if code := c.do("GET", "/v1/sessions/json/estimate", nil, &jsonSt); code != http.StatusOK {
+		t.Fatalf("json estimate: %d", code)
+	}
+	if code := c.do("GET", "/v1/sessions/bin/estimate", nil, &binSt); code != http.StatusOK {
+		t.Fatalf("bin estimate: %d", code)
+	}
+	if (jsonSt.Estimate == nil) != (binSt.Estimate == nil) {
+		t.Fatalf("estimate presence diverges: json %+v, bin %+v", jsonSt, binSt)
+	}
+	if jsonSt.Estimate != nil && *jsonSt.Estimate != *binSt.Estimate {
+		t.Fatalf("estimates diverge: json %v, bin %v", *jsonSt.Estimate, *binSt.Estimate)
+	}
+}
+
+// FuzzBinaryProtocol fuzzes every frame decoder with arbitrary bytes: no
+// input may panic, and any input a decoder accepts must re-encode to the
+// exact same bytes (the encoding is canonical).
+func FuzzBinaryProtocol(f *testing.F) {
+	exp := time.Unix(0, 1722000000123456789)
+	f.Add(AppendProposeResponse(nil, &ProposeResponse{Proposals: []session.Proposal{{Pair: 5, Expires: exp}}, Exhausted: false}))
+	f.Add(AppendProposeResponse(nil, &ProposeResponse{Exhausted: true, Proposals: []session.Proposal{}}))
+	f.Add(AppendLabelsRequest(nil, &LabelsRequest{Labels: []Label{{Pair: 1, Label: true}, {Pair: 2}}}))
+	f.Add(AppendLabelsResponse(nil, &LabelsResponse{Committed: 1, Results: []LabelResult{{Pair: 1, Status: "ok"}}}))
+	f.Add(AppendEstimateResponse(nil, &session.Status{Estimate: f64ptr(0.5), PoolSize: 10, Remaining: -1}))
+	f.Add([]byte(binMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var pr ProposeResponse
+		if err := DecodeProposeResponse(data, &pr); err == nil {
+			if again := AppendProposeResponse(nil, &pr); !bytes.Equal(again, data) {
+				t.Fatalf("propose round trip not canonical:\nin  % x\nout % x", data, again)
+			}
+		}
+		var lreq LabelsRequest
+		if err := DecodeLabelsRequest(data, &lreq); err == nil {
+			if again := AppendLabelsRequest(nil, &lreq); !bytes.Equal(again, data) {
+				t.Fatalf("labels request round trip not canonical:\nin  % x\nout % x", data, again)
+			}
+		}
+		var lresp LabelsResponse
+		if err := DecodeLabelsResponse(data, &lresp); err == nil {
+			if again := AppendLabelsResponse(nil, &lresp); !bytes.Equal(again, data) {
+				t.Fatalf("labels response round trip not canonical:\nin  % x\nout % x", data, again)
+			}
+		}
+		var st session.Status
+		if err := DecodeEstimateResponse(data, &st); err == nil {
+			if again := AppendEstimateResponse(nil, &st); !bytes.Equal(again, data) {
+				t.Fatalf("estimate round trip not canonical:\nin  % x\nout % x", data, again)
+			}
+		}
+	})
+}

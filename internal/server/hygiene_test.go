@@ -1,0 +1,159 @@
+package server
+
+// Regression tests for the request-handling bug sweep: the propose batch-size
+// cap, strict JSON body decoding (trailing garbage, mismatched Content-Type),
+// and the client-disconnect disposition.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"oasis"
+	"oasis/internal/obs"
+	"oasis/internal/session"
+)
+
+// TestMaxProposeCap pins the ?n= bound: a batch over the cap is a 400, not
+// an attempt to lease a billion pairs, and the cap is adjustable.
+func TestMaxProposeCap(t *testing.T) {
+	ts, srv := newBinTestServer(t, "cap", 0)
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+
+	if code := c.do("GET", "/v1/sessions/cap/propose?n=1000000000", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("n=1e9: status %d, want 400", code)
+	}
+	if code := c.do("GET", fmt.Sprintf("/v1/sessions/cap/propose?n=%d", DefaultMaxPropose+1), nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("n=cap+1: status %d, want 400", code)
+	}
+	var pr ProposeResponse
+	if code := c.do("GET", "/v1/sessions/cap/propose?n=4", nil, &pr); code != http.StatusOK || len(pr.Proposals) != 4 {
+		t.Fatalf("n=4: status %d, %d proposals", code, len(pr.Proposals))
+	}
+
+	srv.SetMaxPropose(2)
+	if code := c.do("GET", "/v1/sessions/cap/propose?n=3", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("n=3 with cap 2: status %d, want 400", code)
+	}
+	if code := c.do("GET", "/v1/sessions/cap/propose?n=2", nil, &pr); code != http.StatusOK {
+		t.Fatalf("n=2 with cap 2: status %d", code)
+	}
+}
+
+// TestStrictJSONBody pins decodeJSON's hygiene: trailing garbage after the
+// JSON value is a 400 (previously silently ignored, letting a client
+// concatenate bodies undetected), and a body declared as anything other
+// than JSON or the binary protocol is a 415.
+func TestStrictJSONBody(t *testing.T) {
+	ts, _ := newBinTestServer(t, "strict", 0)
+
+	post := func(body, contentType string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("POST", ts.URL+"/v1/sessions/strict/labels", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := post(`{"labels":[]}{"evil":1}`, "application/json"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("trailing garbage: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"labels":[]} extra`, "application/json"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("trailing text: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"labels":[]}`, "text/xml"); resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("xml content type: status %d, want 415", resp.StatusCode)
+	}
+	// JSON with parameters, and an absent Content-Type, both stay accepted —
+	// the second keeps plain curl and the existing test client working.
+	if resp := post(`{"labels":[]}`, "application/json; charset=utf-8"); resp.StatusCode != http.StatusOK {
+		t.Errorf("json with charset: status %d, want 200", resp.StatusCode)
+	}
+	if resp := post(`{"labels":[]}`, ""); resp.StatusCode != http.StatusOK {
+		t.Errorf("no content type: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestClientDisconnectDisposition pins the 499 path: a request whose context
+// is already canceled (the client hung up) must answer with
+// StatusClientClosedRequest and be counted under code="disconnect" — not in
+// the 4xx class, so a hang-up storm cannot masquerade as a client-error
+// spike.
+func TestClientDisconnectDisposition(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	preds := []bool{true, true, false, false}
+	mgr := session.NewManager(session.ManagerOptions{})
+	srv := New(mgr)
+	reg := obs.NewRegistry()
+	srv.EnableMetrics(reg)
+	if _, err := mgr.Create(session.Config{
+		ID: "gone", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 2, Seed: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	counter := func(code string) float64 {
+		fams := parseExposition(t, scrape(t, ts))
+		return sumFamily(fams["oasis_http_requests_total"],
+			`route="GET /v1/sessions/{id}/propose"`, `code="`+code+`"`)
+	}
+	fourxx, disc := counter("4xx"), counter("disconnect")
+
+	req := httptest.NewRequest("GET", "/v1/sessions/gone/propose?n=2", nil)
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req.WithContext(ctx))
+
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("canceled propose: status %d, want %d: %s", rec.Code, StatusClientClosedRequest, rec.Body)
+	}
+	if got := counter("4xx"); got != fourxx {
+		t.Errorf("4xx counter moved %v -> %v on a disconnect", fourxx, got)
+	}
+	if got := counter("disconnect"); got != disc+1 {
+		t.Errorf("disconnect counter %v -> %v, want +1", disc, got)
+	}
+
+	// Same for a canceled commit.
+	body := strings.NewReader(`{"labels":[{"pair":0,"label":true}]}`)
+	req = httptest.NewRequest("POST", "/v1/sessions/gone/labels", body)
+	ctx, cancel = context.WithCancel(req.Context())
+	cancel()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req.WithContext(ctx))
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("canceled commit: status %d, want %d: %s", rec.Code, StatusClientClosedRequest, rec.Body)
+	}
+
+	// A live request on the same routes still works: the ctx check sits
+	// before any state change, so nothing leaked from the canceled calls.
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	var pr ProposeResponse
+	if code := c.do("GET", "/v1/sessions/gone/propose?n=2", nil, &pr); code != http.StatusOK || len(pr.Proposals) != 2 {
+		t.Fatalf("live propose after disconnects: status %d, %d proposals", code, len(pr.Proposals))
+	}
+	var st session.Status
+	if code := c.do("GET", "/v1/sessions/gone", nil, &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if st.PendingProposals != 2 {
+		t.Fatalf("pending proposals %d, want 2 (canceled propose must not leak leases)", st.PendingProposals)
+	}
+}

@@ -32,6 +32,9 @@ type routeMetrics struct {
 	seconds *obs.Histogram
 	slow    *obs.Counter
 	classes [5]*obs.Counter // index (status/100)-1: 1xx..5xx
+	// disconnects counts client-disconnect dispositions (499) separately
+	// from the 4xx class, so a hang-up storm does not read as client errors.
+	disconnects *obs.Counter
 }
 
 func (m *serverMetrics) route(pattern string) *routeMetrics {
@@ -49,6 +52,8 @@ func (m *serverMetrics) route(pattern string) *routeMetrics {
 		rm.classes[i] = m.reg.Counter("oasis_http_requests_total", "HTTP requests by route and status class.",
 			rl, obs.Label{Name: "code", Value: strconv.Itoa(i+1) + "xx"})
 	}
+	rm.disconnects = m.reg.Counter("oasis_http_requests_total", "HTTP requests by route and status class.",
+		rl, obs.Label{Name: "code", Value: "disconnect"})
 	m.routes[pattern] = rm
 	return rm
 }
@@ -66,6 +71,7 @@ func (s *Server) EnableMetrics(reg *obs.Registry) {
 		routes:   make(map[string]*routeMetrics),
 	}
 	s.registerCollectors(reg)
+	s.wireAdmissionMetrics()
 }
 
 // SetVersion sets the version string advertised by /v1/stats and the
@@ -161,7 +167,9 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 		if s.met != nil {
 			s.met.inflight.Add(-1)
 			rm.seconds.Observe(d.Seconds())
-			if cls := sw.status()/100 - 1; cls >= 0 && cls < len(rm.classes) {
+			if sw.status() == StatusClientClosedRequest {
+				rm.disconnects.Inc()
+			} else if cls := sw.status()/100 - 1; cls >= 0 && cls < len(rm.classes) {
 				rm.classes[cls].Inc()
 			}
 			if slow {

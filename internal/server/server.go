@@ -62,6 +62,19 @@ import (
 // request cannot OOM the process.
 const DefaultMaxBodyBytes = 256 << 20
 
+// DefaultMaxPropose bounds the ?n= of one propose call when SetMaxPropose
+// is not called. Without a cap, a single request for n=1e9 over a large
+// pool forces a giant batch allocation and a multi-hundred-MB response;
+// above the cap the server answers 400 and the client batches its pulls.
+const DefaultMaxPropose = 8192
+
+// StatusClientClosedRequest is the disposition recorded when the client
+// disconnected mid-request (context cancellation observed by a handler):
+// nginx's non-standard 499. It is counted separately from the 4xx class in
+// oasis_http_requests_total — a hung-up client is not a client error, and
+// admission control keys off the error-rate signals.
+const StatusClientClosedRequest = 499
+
 // Server is the HTTP front-end over a session.Manager.
 type Server struct {
 	mgr               *session.Manager
@@ -86,6 +99,14 @@ type Server struct {
 	bootID     string
 	version    string
 	start      time.Time
+
+	// Admission control (see admission.go) and the propose batch cap. adm
+	// is an atomic pointer so SetAdmission can retune limits on a live
+	// server without racing in-flight admit checks; admMet caches the
+	// rejected counters so the retune does not re-register metric series.
+	adm        atomic.Pointer[admission]
+	admMet     *admissionMetrics
+	maxPropose int
 }
 
 // New wraps a manager. Every server boot draws a random 64-bit prefix:
@@ -100,6 +121,7 @@ func New(mgr *session.Manager) *Server {
 	return &Server{
 		mgr:        mgr,
 		maxBody:    DefaultMaxBodyBytes,
+		maxPropose: DefaultMaxPropose,
 		start:      time.Now(),
 		bootPrefix: binary.BigEndian.Uint64(b[:]),
 		bootID:     hex.EncodeToString(b[:]),
@@ -121,6 +143,14 @@ func (s *Server) SetPools(p *poolstore.Store) { s.pools = p }
 func (s *Server) SetMaxBodyBytes(n int64) {
 	if n > 0 {
 		s.maxBody = n
+	}
+}
+
+// SetMaxPropose bounds the batch size one propose call may request; ?n=
+// above the cap gets 400. Non-positive keeps the default.
+func (s *Server) SetMaxPropose(n int) {
+	if n > 0 {
+		s.maxPropose = n
 	}
 }
 
@@ -147,10 +177,13 @@ func (s *Server) Handler() http.Handler {
 	}
 	handle("POST /v1/sessions", s.createSession)
 	handle("GET /v1/sessions", s.listSessions)
-	handle("GET /v1/sessions/{id}", s.getSession)
-	handle("GET /v1/sessions/{id}/estimate", s.getSession)
-	handle("GET /v1/sessions/{id}/propose", s.propose)
-	handle("POST /v1/sessions/{id}/labels", s.commitLabels)
+	// The hot session routes run behind admission control (a no-op wrapper
+	// until SetAdmission is called); everything else — creates, deletes,
+	// pools, ops probes — is never shed.
+	handle("GET /v1/sessions/{id}", s.admit(s.getSession))
+	handle("GET /v1/sessions/{id}/estimate", s.admit(s.getSession))
+	handle("GET /v1/sessions/{id}/propose", s.admit(s.propose))
+	handle("POST /v1/sessions/{id}/labels", s.admit(s.commitLabels))
 	handle("DELETE /v1/sessions/{id}", s.deleteSession)
 	handle("POST /v1/pools", s.uploadPool)
 	handle("GET /v1/pools", s.listPools)
@@ -176,20 +209,41 @@ func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
 }
 
 // decodeJSON decodes a bounded JSON request body into v, writing the error
-// response (413 for an over-limit body, 400 otherwise) itself when it
-// reports false.
+// response itself when it reports false: 415 for a Content-Type that is not
+// JSON, 413 for an over-limit body, 400 otherwise. The whole body must be
+// exactly one JSON value — trailing tokens after it ({"a":1}{"b":2}) are
+// rejected, so a smuggled second document can never ride a valid first one
+// through proxies that buffer whole bodies.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any, what string) bool {
+	// An absent Content-Type defaults to JSON (curl-friendliness); a present
+	// one must actually say JSON now that the binary protocol makes the
+	// header load-bearing on the shared endpoints.
+	if ct := r.Header.Get("Content-Type"); ct != "" && !mediaTypeIs(ct, "application/json") {
+		writeError(w, http.StatusUnsupportedMediaType, "bad %s: Content-Type %q, want application/json (or %s on binary-capable endpoints)", what, ct, ContentTypeBinary)
+		return false
+	}
 	s.limitBody(w, r)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "bad %s: body exceeds the %d-byte limit", what, tooBig.Limit)
-			return false
-		}
-		writeError(w, http.StatusBadRequest, "bad %s: %v", what, err)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		writeBodyError(w, err, what)
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "bad %s: trailing data after the JSON value", what)
 		return false
 	}
 	return true
+}
+
+// writeBodyError writes the uniform response for a failed body read or
+// decode: 413 when the max-body limit cut it off, 400 otherwise.
+func writeBodyError(w http.ResponseWriter, err error, what string) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge, "bad %s: body exceeds the %d-byte limit", what, tooBig.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad %s: %v", what, err)
 }
 
 // HealthResponse is the body of GET /healthz. Error carries the WAL's
@@ -340,7 +394,24 @@ func (s *Server) getSession(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, sess.Status())
+	st := sess.Status()
+	if wantsBinary(r) {
+		bb := getBinBuf()
+		bb.buf = AppendEstimateResponse(bb.buf[:0], &st)
+		writeBinary(w, bb.buf)
+		putBinBuf(bb)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// clientGone reports whether err is the request context's cancellation —
+// the client hung up (or its deadline passed) while the handler was
+// working. Handlers record it as StatusClientClosedRequest instead of a
+// 4xx/5xx so a disconnect storm cannot pollute the error-rate signals
+// admission control keys off.
+func clientGone(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // ProposeResponse is the body of GET .../propose.
@@ -363,6 +434,10 @@ func (s *Server) propose(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "n must be a positive integer")
 			return
 		}
+		if n > s.maxPropose {
+			writeError(w, http.StatusBadRequest, "n=%d exceeds the server's max propose batch of %d", n, s.maxPropose)
+			return
+		}
 	}
 	var (
 		props []session.Proposal
@@ -371,15 +446,30 @@ func (s *Server) propose(w http.ResponseWriter, r *http.Request) {
 	s.withShardLabel(r.Context(), sess.ID(), func(ctx context.Context) {
 		props, err = sess.ProposeCtx(ctx, n)
 	})
-	if errors.Is(err, session.ErrBudgetExhausted) {
-		writeJSON(w, http.StatusOK, ProposeResponse{Proposals: []session.Proposal{}, Exhausted: true})
+	exhausted := false
+	switch {
+	case errors.Is(err, session.ErrBudgetExhausted):
+		props, exhausted = nil, true
+	case clientGone(err):
+		writeError(w, StatusClientClosedRequest, "client disconnected mid-propose: %v", err)
 		return
-	}
-	if err != nil {
+	case err != nil:
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ProposeResponse{Proposals: props})
+	if wantsBinary(r) {
+		bb := getBinBuf()
+		bb.pr.Proposals, bb.pr.Exhausted = props, exhausted
+		bb.buf = AppendProposeResponse(bb.buf[:0], &bb.pr)
+		writeBinary(w, bb.buf)
+		bb.pr.Proposals = nil
+		putBinBuf(bb)
+		return
+	}
+	if props == nil {
+		props = []session.Proposal{}
+	}
+	writeJSON(w, http.StatusOK, ProposeResponse{Proposals: props, Exhausted: exhausted})
 }
 
 // Label is one crowd answer: the pool pair and its Boolean label.
@@ -413,19 +503,45 @@ func (s *Server) commitLabels(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	var req LabelsRequest
 	tr := trace.FromContext(r.Context())
-	dsp := tr.Start("server", "http.decode")
-	ok = s.decodeJSON(w, r, &req, "labels")
-	dsp.End()
-	if !ok {
-		return
-	}
-	pairs := make([]int, len(req.Labels))
-	labels := make([]bool, len(req.Labels))
-	for i, l := range req.Labels {
-		pairs[i] = l.Pair
-		labels[i] = l.Label
+	binBody := isBinaryBody(r)
+	var bb *binBuf
+	var pairs []int
+	var labels []bool
+	if binBody {
+		bb = getBinBuf()
+		defer putBinBuf(bb)
+		dsp := tr.Start("server", "http.decode")
+		if !s.readBinBody(w, r, bb) {
+			dsp.End()
+			return
+		}
+		if err := DecodeLabelsRequest(bb.buf, &bb.req); err != nil {
+			dsp.End()
+			writeError(w, http.StatusBadRequest, "bad labels: %v", err)
+			return
+		}
+		dsp.End()
+		bb.pairs, bb.labels = bb.pairs[:0], bb.labels[:0]
+		for _, l := range bb.req.Labels {
+			bb.pairs = append(bb.pairs, l.Pair)
+			bb.labels = append(bb.labels, l.Label)
+		}
+		pairs, labels = bb.pairs, bb.labels
+	} else {
+		var req LabelsRequest
+		dsp := tr.Start("server", "http.decode")
+		ok = s.decodeJSON(w, r, &req, "labels")
+		dsp.End()
+		if !ok {
+			return
+		}
+		pairs = make([]int, len(req.Labels))
+		labels = make([]bool, len(req.Labels))
+		for i, l := range req.Labels {
+			pairs[i] = l.Pair
+			labels[i] = l.Label
+		}
 	}
 	// The commit is acknowledged only after the session's journal append
 	// succeeded (CommitBatch returns an error otherwise): a 200 here means
@@ -437,23 +553,29 @@ func (s *Server) commitLabels(w http.ResponseWriter, r *http.Request) {
 	s.withShardLabel(r.Context(), sess.ID(), func(ctx context.Context) {
 		results, err = sess.CommitBatchCtx(ctx, pairs, labels)
 	})
-	if err != nil {
+	switch {
+	case clientGone(err):
+		writeError(w, StatusClientClosedRequest, "client disconnected mid-commit: %v", err)
+		return
+	case err != nil:
 		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if wantsBinary(r) {
+		if bb == nil {
+			bb = getBinBuf()
+			defer putBinBuf(bb)
+		}
+		bb.buf = appendLabelsResults(bb.buf[:0], pairs, results)
+		writeBinary(w, bb.buf)
 		return
 	}
 	resp := LabelsResponse{Results: make([]LabelResult, len(results))}
 	for i, cr := range results {
-		res := LabelResult{Pair: pairs[i]}
-		switch cr {
-		case session.Committed:
-			res.Status = "ok"
+		resp.Results[i] = LabelResult{Pair: pairs[i], Status: binStatusNames[cr]}
+		if cr == session.Committed {
 			resp.Committed++
-		case session.Duplicate:
-			res.Status = "duplicate"
-		case session.Expired:
-			res.Status = "expired"
 		}
-		resp.Results[i] = res
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -463,6 +585,7 @@ func (s *Server) deleteSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	s.forgetSessionLimiter(r.PathValue("id"))
 	w.WriteHeader(http.StatusNoContent)
 }
 

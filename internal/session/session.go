@@ -419,6 +419,14 @@ func (s *Session) ProposeCtx(ctx context.Context, n int) ([]Proposal, error) {
 	s.mu.Lock()
 	lw.End()
 	defer s.mu.Unlock()
+	// A caller that is already gone (client disconnect mid-request, observed
+	// as context cancellation) gets its draws back before any are made:
+	// proposing to nobody would lease pairs that can only expire. Checked
+	// after the lock wait, which is where a disconnected request typically
+	// spends its time under contention.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := s.journalSick(); err != nil {
 		return nil, err
 	}
@@ -535,6 +543,12 @@ func (s *Session) CommitBatchCtx(ctx context.Context, pairs []int, labels []bool
 	s.mu.Lock()
 	lw.End()
 	defer s.mu.Unlock()
+	// Bail out for an already-disconnected caller before folding anything:
+	// past this point the batch commits atomically (labels are never half
+	// acknowledged), so cancellation is only honored at the boundary.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := s.journalSick(); err != nil {
 		return nil, err
 	}
