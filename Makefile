@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test test-stress race bench bench-json bench-smoke fuzz-smoke metrics-smoke trace-smoke serve serve-wal serve-metrics example clean
+.PHONY: build vet fmt-check test test-stress race bench bench-json bench-smoke fuzz-smoke metrics-smoke trace-smoke diag-smoke serve serve-wal serve-metrics example clean
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,17 @@ trace-smoke:
 	$(GO) test ./cmd/oasis-server -run '^TestTraceSmokeEndToEnd$$' -count=1
 	$(GO) test -race ./internal/server -run '^TestTracing' -count=1
 	$(GO) test -race ./internal/trace -count=1
+
+# Convergence-diagnostics smoke (CI runs the same): boot the real binary
+# with a small diagnostics ring, run two sessions past the ring capacity,
+# and fail unless /v1/sessions/{id}/diagnostics shows a monotone labels axis
+# over a non-empty downsampled series and /debug/dashboard renders complete
+# HTML with both sparklines per session; then the raced in-process
+# scrape-while-commit and diag-ring unit tests.
+diag-smoke:
+	$(GO) test ./cmd/oasis-server -run '^TestDiagSmokeEndToEnd$$' -count=1
+	$(GO) test -race ./internal/server -run '^TestDiagnostics|^TestDashboard|^TestSeededDegeneracy' -count=1
+	$(GO) test -race ./internal/diag -count=1
 
 # Short fuzz of the WAL replay path and the binary wire-protocol decoders
 # (CI runs the same; -fuzz is single-package, hence two invocations).

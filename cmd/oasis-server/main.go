@@ -14,7 +14,9 @@
 //	             [-wal dir] [-fsync always|off|100ms] [-compact-every 10m]
 //	             [-snapshot state.json] [-snapshot-interval 1m]
 //	             [-pprof addr] [-access-log] [-slow-request 1s]
-//	             [-trace-sample 0.01] [-version]
+//	             [-trace-sample 0.01] [-diag-series N]
+//	             [-diag-ess-degraded f] [-diag-ess-degenerate f]
+//	             [-diag-min-labels N] [-version]
 //
 // -pools-dir enables the durable content-addressed pool store
 // (internal/poolstore): pools uploaded once via POST /v1/pools are stored as
@@ -81,6 +83,19 @@
 // requests at or above -slow-request are tagged slow=true. -version
 // prints the build version and exits.
 //
+// Convergence diagnostics are always on too: every commit batch appends one
+// point (estimate, asymptotic variance, ESS ratio, labels, wall time) to a
+// fixed-capacity per-session ring that downsamples itself in place, so a
+// million-label session still costs a few kilobytes. GET
+// /v1/sessions/{id}/diagnostics serves the series plus per-stratum health;
+// GET /debug/dashboard renders every live session with inline SVG
+// sparklines, no external assets. Degeneracy alarms walk each session
+// through ok/degraded/degenerate as its ESS ratio crosses the -diag-ess-*
+// thresholds (with hysteresis on recovery), exported per session as
+// oasis_sampler_health_state, logged once per transition, and stamped on
+// the committing request's trace. -diag-series resizes the ring;
+// -diag-min-labels suppresses alarms for young sessions.
+//
 // Request tracing is also always on: a -trace-sample fraction of requests
 // (plus every request carrying a sampled W3C traceparent header) records a
 // span timeline across all five layers — server middleware, session
@@ -112,6 +127,7 @@ import (
 	"syscall"
 	"time"
 
+	"oasis/internal/diag"
 	"oasis/internal/obs"
 	"oasis/internal/poolstore"
 	"oasis/internal/server"
@@ -161,6 +177,10 @@ func main() {
 		accessLog    = flag.Bool("access-log", false, "log one line per HTTP request, with request ID, route, status, and latency")
 		slowReq      = flag.Duration("slow-request", time.Second, "latency at or above which a request counts as slow: tagged slow=true in the access log, counted per route in metrics, and its trace always retained (0 = never)")
 		traceSample  = flag.Float64("trace-sample", trace.DefaultSampleRate, "fraction of requests to record a span timeline for (0 = only requests with a sampled inbound traceparent; 1 = all); see GET /debug/traces")
+		diagSeries   = flag.Int("diag-series", 0, "per-session convergence-diagnostics ring capacity in retained points; older points are downsampled in place, memory stays fixed (0 = default)")
+		diagDegraded = flag.Float64("diag-ess-degraded", 0, "ESS ratio below which a session's sampler health is degraded (0 = default 0.3, negative disables)")
+		diagDegen    = flag.Float64("diag-ess-degenerate", 0, "ESS ratio below which a session's sampler health is degenerate (0 = default 0.05, negative disables)")
+		diagMinLab   = flag.Int("diag-min-labels", 0, "suppress sampler-health alarms until a session holds this many labels (0 = default 50)")
 		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -243,6 +263,14 @@ func main() {
 	mgr := session.NewManager(session.ManagerOptions{
 		DefaultLeaseTTL: *lease, Shards: nShards, Pools: pools,
 		Metrics: session.NewMetrics(reg, nShards),
+		Diag: session.DiagOptions{
+			SeriesCapacity: *diagSeries,
+			Thresholds: diag.Thresholds{
+				ESSDegraded:   *diagDegraded,
+				ESSDegenerate: *diagDegen,
+				MinLabels:     *diagMinLab,
+			},
+		},
 	})
 	log.Printf("session manager sharded %d way(s)", mgr.Shards())
 	var journal *wal.Journal

@@ -677,3 +677,88 @@ func TestTraceSmokeEndToEnd(t *testing.T) {
 		t.Errorf("recorded = %d, want 3", list.Stats.Recorded)
 	}
 }
+
+// TestDiagSmokeEndToEnd boots the real binary with a small diagnostics ring,
+// runs two sessions to a label budget that forces downsampling, and demands
+// /v1/sessions/{id}/diagnostics return a non-empty downsampled series with a
+// monotone labels axis and /debug/dashboard render complete HTML with both
+// sparklines (estimate and ESS) for every live session. This is the check
+// `make diag-smoke` runs in CI.
+func TestDiagSmokeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a real server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "oasis-server")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd, addr := startServer(t, bin, "-addr", "127.0.0.1:0", "-diag-series", "16")
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+	base := "http://" + addr
+
+	scores, preds, truth := e2ePool(800, 21)
+	ids := []string{"diag-a", "diag-b"}
+	for _, id := range ids {
+		cfg := session.Config{
+			ID: id, Scores: scores, Preds: preds, Calibrated: true,
+			Options: oasis.Options{Strata: 8, Seed: 9},
+		}
+		if code := postJSON(t, base+"/v1/sessions", cfg, nil); code != http.StatusCreated {
+			t.Fatalf("create %s: status %d", id, code)
+		}
+		const rounds, batch = 24, 4 // 24 commit batches overflow a 16-ring
+		for i := 0; i < rounds; i++ {
+			driveServerRound(t, base, id, batch, truth)
+		}
+	}
+
+	for _, id := range ids {
+		var d session.Diagnostics
+		if code := getJSON(t, base+"/v1/sessions/"+id+"/diagnostics", &d); code != http.StatusOK {
+			t.Fatalf("diagnostics %s: status %d", id, code)
+		}
+		if len(d.Series) == 0 {
+			t.Fatalf("%s: empty diagnostics series", id)
+		}
+		if d.SeriesSeen != 24 {
+			t.Errorf("%s: seen %d batches, want 24", id, d.SeriesSeen)
+		}
+		if d.SeriesStride < 2 {
+			t.Errorf("%s: 24 batches into a 16-ring should have downsampled; stride %d", id, d.SeriesStride)
+		}
+		for i := 1; i < len(d.Series); i++ {
+			if d.Series[i].Labels < d.Series[i-1].Labels {
+				t.Fatalf("%s: labels axis not monotone at %d", id, i)
+			}
+		}
+		if d.State == "" || len(d.Strata) == 0 {
+			t.Errorf("%s: state %q, %d strata", id, d.State, len(d.Strata))
+		}
+	}
+
+	page := getRaw(t, base+"/debug/dashboard")
+	if !strings.HasPrefix(page, "<!DOCTYPE html>") || !strings.Contains(page, "</html>") {
+		t.Fatal("dashboard is not a complete HTML document")
+	}
+	for _, id := range ids {
+		if !strings.Contains(page, "<code>"+id+"</code>") {
+			t.Errorf("dashboard missing session %q", id)
+		}
+	}
+	if got := strings.Count(page, `class="spark"`); got != 2*len(ids) {
+		t.Errorf("dashboard has %d sparklines, want %d (two per session)", got, 2*len(ids))
+	}
+	if !strings.Contains(page, "<polyline") {
+		t.Error("dashboard sparklines carry no polylines")
+	}
+}

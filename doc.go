@@ -157,6 +157,26 @@
 // weight-degeneracy signal OASIS's stratified refresh exists to prevent.
 // A Sampler exposes the same diagnostics in-process via Health().
 //
+// Convergence is a trajectory, not a gauge, so every session also records a
+// bounded time-series of estimator state (estimate, asymptotic variance,
+// ESS ratio, labels, wall time) on each commit batch into a fixed-capacity
+// ring (internal/diag) that deterministically downsamples itself — drop
+// every other point, double the stride — so any label budget fits in O(1)
+// memory; the series survives snapshots and WAL replay byte-for-byte.
+// GET /v1/sessions/{id}/diagnostics serves it as JSON with per-stratum
+// weight diagnostics (local ESS, Σw/Σw² moments, realised-vs-instrumental
+// allocation skew), GET /debug/dashboard renders every live session as
+// inline SVG sparklines with zero external dependencies, and configurable
+// ESS-ratio/variance-growth alarms walk a session through
+// ok/degraded/degenerate — exported as oasis_sampler_health_state, logged
+// once per transition, and stamped on the committing request's trace. A
+// Sampler exposes the per-stratum half in-process via StratumDiagnostics,
+// and erbench.RunDiagnostics profiles trajectories on the paper datasets.
+// Histogram buckets additionally carry OpenMetrics exemplars (the trace ID
+// of the bucket's most recent sampled request) when scraped with
+// Accept: application/openmetrics-text, linking metric anomalies straight
+// to their traces.
+//
 // Aggregates say that a route is slow; traces say why one request was.
 // internal/trace records, for a sampled fraction of requests (-trace-sample,
 // or any request carrying a sampled W3C traceparent header), a span

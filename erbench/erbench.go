@@ -16,6 +16,7 @@ import (
 	"oasis"
 	"oasis/internal/core"
 	"oasis/internal/dataset"
+	"oasis/internal/diag"
 	"oasis/internal/experiment"
 	"oasis/internal/oracle"
 	"oasis/internal/pipeline"
@@ -431,3 +432,79 @@ var (
 	LabelsToReachError = experiment.LabelsToReachError
 	LabelSaving        = experiment.LabelSaving
 )
+
+// DiagSnapshot is a convergence-diagnostics snapshot of one OASIS
+// trajectory on a paper dataset: the downsampled estimator time-series
+// (internal/diag's fixed-memory ring), the final alarm state under the
+// default thresholds, and per-stratum weight diagnostics. It is the
+// offline counterpart of the service's GET /v1/sessions/{id}/diagnostics.
+type DiagSnapshot struct {
+	// Dataset echoes the pool's profile name.
+	Dataset string
+	// Series is the retained (downsampled) estimator trajectory; Stride
+	// and Seen describe how much it was thinned.
+	Series []diag.Point
+	Stride uint64
+	Seen   uint64
+	// State is the final sampler-health alarm state ("ok", "degraded",
+	// "degenerate") under diag.DefaultThresholds.
+	State string
+	// Strata is the per-stratum health at the end of the run.
+	Strata []diag.StratumHealth
+	// Final is the estimator health at budget exhaustion.
+	Final oasis.Health
+}
+
+// RunDiagnostics runs one OASIS trajectory to cfg.Budget on the pool,
+// folding an estimator-health point into a capacity-point downsampling ring
+// every `every` labels (0 records after every label batch of 1), and
+// returns the snapshot. capacity <= 0 selects the ring default. Unlike
+// RunConvergence it needs no ground truth beyond the oracle — it measures
+// exactly what a live session's diagnostics endpoint would show, so paper
+// datasets can be profiled for threshold tuning.
+func RunDiagnostics(b *BuiltPool, cfg HarnessConfig, every, capacity int) (*DiagSnapshot, error) {
+	cfg = cfg.withDefaults()
+	if every <= 0 {
+		every = 1
+	}
+	s, err := oasis.NewSampler(b.Pool, oasis.Options{
+		Alpha:         cfg.Alpha,
+		Strata:        cfg.Strata,
+		Epsilon:       cfg.Epsilon,
+		PriorStrength: cfg.PriorStrength,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	orc := b.Oracle(cfg.Seed ^ 0xabcdef)
+	tracker := diag.NewTracker(capacity, diag.DefaultThresholds)
+	for consumed := 0; consumed < cfg.Budget; {
+		chunk := every
+		if rest := cfg.Budget - consumed; chunk > rest {
+			chunk = rest
+		}
+		if _, err := s.Run(orc, chunk); err != nil {
+			return nil, err
+		}
+		consumed += chunk
+		h := s.Health()
+		tracker.Record(diag.Point{
+			Labels:   consumed,
+			Estimate: diag.Float(h.Estimate),
+			Variance: diag.Float(h.AsymptoticVariance),
+			ESSRatio: diag.Float(h.ESSRatio),
+			Terms:    h.Terms,
+		})
+	}
+	series := tracker.Series()
+	return &DiagSnapshot{
+		Dataset: b.Name,
+		Series:  append([]diag.Point(nil), series.Points()...),
+		Stride:  series.Stride(),
+		Seen:    series.Seen(),
+		State:   tracker.State().String(),
+		Strata:  s.StratumDiagnostics(),
+		Final:   s.Health(),
+	}, nil
+}

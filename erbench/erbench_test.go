@@ -189,3 +189,39 @@ func TestCalibratedPoolScoresAreProbabilities(t *testing.T) {
 		}
 	}
 }
+
+func TestRunDiagnostics(t *testing.T) {
+	b := buildSmall(t, "restaurant", false)
+	snap, err := RunDiagnostics(b, HarnessConfig{Budget: 120, Strata: 8, Seed: 11}, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Dataset != "restaurant" {
+		t.Errorf("dataset %q", snap.Dataset)
+	}
+	if len(snap.Series) == 0 || snap.Seen != 30 {
+		t.Fatalf("series len=%d seen=%d, want non-empty with 30 recorded", len(snap.Series), snap.Seen)
+	}
+	// 30 points into a 16-ring must have downsampled at least once, and the
+	// retained labels axis stays monotone.
+	if snap.Stride < 2 {
+		t.Errorf("stride %d, want >= 2", snap.Stride)
+	}
+	for i := 1; i < len(snap.Series); i++ {
+		if snap.Series[i].Labels < snap.Series[i-1].Labels {
+			t.Fatalf("labels axis not monotone at %d", i)
+		}
+	}
+	// The newest point may be off the stride grid (discarded by design),
+	// but the retained tail must be within one stride of the budget.
+	if last := snap.Series[len(snap.Series)-1]; last.Labels <= 0 || last.Labels > 120 ||
+		120-last.Labels > int(snap.Stride)*4 {
+		t.Errorf("final retained point at %d labels (stride %d), want near 120", last.Labels, snap.Stride)
+	}
+	if len(snap.Strata) == 0 {
+		t.Error("no per-stratum diagnostics")
+	}
+	if snap.State == "" || snap.Final.Terms <= 0 {
+		t.Errorf("state %q terms %d", snap.State, snap.Final.Terms)
+	}
+}

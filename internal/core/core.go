@@ -94,6 +94,13 @@ type Sampler struct {
 	count0, count1 []float64
 	labelsSeen     []int
 
+	// Per-stratum weight moments over committed labels: Σw and Σw² broken
+	// out by the stratum the draw came from. The estimator keeps only the
+	// pooled moments; these per-stratum views feed the convergence
+	// diagnostics (stratum-local ESS, weight-mass shares, allocation skew)
+	// without touching the draw path — two adds per Commit.
+	stratSumW, stratSumW2 []float64
+
 	// Initial estimates (Algorithm 2).
 	piInit []float64
 	fInit  float64
@@ -203,6 +210,8 @@ func NewWithMembers(p *pool.Pool, s *strata.Strata, cfg Config, r *rng.RNG, fm F
 		count0:     make([]float64, k),
 		count1:     make([]float64, k),
 		labelsSeen: make([]int, k),
+		stratSumW:  make([]float64, k),
+		stratSumW2: make([]float64, k),
 		piInit:     make([]float64, k),
 		est:        estimator.NewWeighted(cfg.Alpha),
 		piBuf:      make([]float64, k),
@@ -526,8 +535,33 @@ func (o *Sampler) Commit(d Draw, label bool) {
 	} else {
 		o.count1[d.Stratum]++
 	}
+	o.stratSumW[d.Stratum] += d.Weight
+	o.stratSumW2[d.Stratum] += d.Weight * d.Weight
 	// Estimate update (line 11).
 	o.est.Add(d.Weight, label, o.pool.Preds[d.Pair])
+}
+
+// StratumStats copies the per-stratum diagnostic accumulators into the
+// given slices (each nil slice allocates; non-nil ones must be length K):
+// labelled-draw counts and the Σw/Σw² weight moments by stratum. Callers
+// serialise against Commit and Restore like every other sampler method.
+func (o *Sampler) StratumStats(draws []int64, sumW, sumW2 []float64) ([]int64, []float64, []float64) {
+	k := o.str.K()
+	if draws == nil {
+		draws = make([]int64, k)
+	}
+	if sumW == nil {
+		sumW = make([]float64, k)
+	}
+	if sumW2 == nil {
+		sumW2 = make([]float64, k)
+	}
+	for j := 0; j < k; j++ {
+		draws[j] = int64(o.labelsSeen[j])
+	}
+	copy(sumW, o.stratSumW)
+	copy(sumW2, o.stratSumW2)
+	return draws, sumW, sumW2
 }
 
 // Step performs one iteration of Algorithm 3: recompute v(t), draw a

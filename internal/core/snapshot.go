@@ -40,6 +40,13 @@ type State struct {
 	Estimator  EstimatorState `json:"estimator"`
 	Iterations int            `json:"iterations"`
 	RNG        rng.State      `json:"rng"`
+
+	// Per-stratum weight moments behind the convergence diagnostics.
+	// Omitempty: snapshots from before these existed restore as zeros, so
+	// the per-stratum ESS reads as unknown until fresh labels arrive while
+	// the estimate and posterior are unaffected.
+	StratSumW  []float64 `json:"strataSumW,omitempty"`
+	StratSumW2 []float64 `json:"strataSumW2,omitempty"`
 }
 
 // ErrBadState is returned by Restore when a snapshot does not match the
@@ -64,6 +71,8 @@ func (o *Sampler) State() *State {
 		},
 		Iterations: o.iterations,
 		RNG:        o.rng.State(),
+		StratSumW:  append([]float64(nil), o.stratSumW...),
+		StratSumW2: append([]float64(nil), o.stratSumW2...),
 	}
 }
 
@@ -75,6 +84,12 @@ func (o *Sampler) Restore(st *State) error {
 	if len(st.Prior0) != k || len(st.Prior1) != k ||
 		len(st.Count0) != k || len(st.Count1) != k ||
 		len(st.LabelsSeen) != k || len(st.PiInit) != k {
+		return ErrBadState
+	}
+	// The per-stratum moments are optional (older snapshots) but must match
+	// the stratification when present.
+	if (st.StratSumW != nil && len(st.StratSumW) != k) ||
+		(st.StratSumW2 != nil && len(st.StratSumW2) != k) {
 		return ErrBadState
 	}
 	// Validate the random stream before mutating anything: a corrupted
@@ -91,6 +106,16 @@ func (o *Sampler) Restore(st *State) error {
 	o.fInit = st.FInit
 	o.est.SetSums(st.Estimator.Num, st.Estimator.Pred, st.Estimator.True, st.Estimator.N)
 	o.est.SetMoments(st.Estimator.SumW, st.Estimator.SumW2, st.Estimator.YY, st.Estimator.YZ, st.Estimator.ZZ)
+	if st.StratSumW != nil {
+		copy(o.stratSumW, st.StratSumW)
+	} else {
+		clear(o.stratSumW)
+	}
+	if st.StratSumW2 != nil {
+		copy(o.stratSumW2, st.StratSumW2)
+	} else {
+		clear(o.stratSumW2)
+	}
 	o.iterations = st.Iterations
 	// The cached instrumental distribution (and any cache derived from it)
 	// belongs to the overwritten state: force a rebuild on the next draw.

@@ -130,11 +130,19 @@ func (e *Weighted) SetMoments(sumW, sumW2, sumYY, sumYZ, sumZZ float64) {
 // (Σw)²/Σw² — n when all weights are equal, collapsing toward 1 as the
 // weights degenerate (the Bezáková-style failure mode for SIS). Zero
 // when no weighted samples have been seen.
-func (e *Weighted) ESS() float64 {
-	if e.sumW2 <= 0 {
+func (e *Weighted) ESS() float64 { return ESSFrom(e.sumW, e.sumW2) }
+
+// ESSFrom computes the effective sample size (Σw)²/Σw² from raw weight
+// moments. It is the shared kernel behind Weighted.ESS and the
+// per-stratum diagnostics: zero when no weight mass exists (Σw² ≤ 0, which
+// covers the zero-labels, empty-stratum and all-zero-weight edge cases —
+// Σw² = 0 forces Σw = 0 for non-negative weights, so 0 is the only
+// consistent answer, never NaN or ±Inf).
+func ESSFrom(sumW, sumW2 float64) float64 {
+	if sumW2 <= 0 {
 		return 0
 	}
-	return e.sumW * e.sumW / e.sumW2
+	return sumW * sumW / sumW2
 }
 
 // ESSRatio returns ESS/n ∈ (0, 1], or NaN before any samples. Values

@@ -92,18 +92,32 @@ func (g *Gauge) Value() int64 {
 // Histogram is a fixed-bucket cumulative histogram. Observe is lock-free
 // and does not allocate: the bucket index is found by binary search over
 // the upper bounds and the running sum is maintained with a CAS loop over
-// the float64 bit pattern.
+// the float64 bit pattern. Each bucket additionally carries one exemplar
+// slot (last traced observation that landed in it), exposed only by the
+// OpenMetrics exposition.
 type Histogram struct {
-	bounds []float64       // sorted upper bounds; bucket i counts v <= bounds[i]
-	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow bucket
-	sum    atomic.Uint64   // math.Float64bits of the running sum
+	bounds    []float64                  // sorted upper bounds; bucket i counts v <= bounds[i]
+	counts    []atomic.Uint64            // len(bounds)+1; last is the +Inf overflow bucket
+	sum       atomic.Uint64              // math.Float64bits of the running sum
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, parallel to counts
 }
 
-// Observe records one value. Safe on a nil receiver.
-func (h *Histogram) Observe(v float64) {
-	if h == nil {
-		return
-	}
+// Exemplar is one concrete observation attached to a histogram bucket —
+// typically the trace ID of a sampled request whose latency landed there,
+// letting a dashboard jump from a histogram spike straight to a trace.
+type Exemplar struct {
+	// Labels identify the exemplar (e.g. {trace_id="4bf9..."}). The
+	// OpenMetrics spec caps the combined label runes at 128; keep them short.
+	Labels []Label
+	// Value is the observed value the exemplar represents.
+	Value float64
+	// TS is the observation's wall clock in Unix seconds (0 omits the
+	// timestamp from the exposition).
+	TS float64
+}
+
+// bucketIdx returns the index of the bucket v falls into.
+func (h *Histogram) bucketIdx(v float64) int {
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -113,7 +127,37 @@ func (h *Histogram) Observe(v float64) {
 			lo = mid + 1
 		}
 	}
-	h.counts[lo].Add(1)
+	return lo
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[h.bucketIdx(v)].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveExemplar records one value and stores ex in the bucket's exemplar
+// slot (overwriting the previous one). The exemplar's Value is forced to v,
+// so the exposed exemplar always lies within its bucket's range as the
+// OpenMetrics spec requires. Safe on a nil receiver; callers pass exemplars
+// only for traced requests, so the extra allocation rides the sampled path.
+func (h *Histogram) ObserveExemplar(v float64, ex Exemplar) {
+	if h == nil {
+		return
+	}
+	i := h.bucketIdx(v)
+	h.counts[i].Add(1)
+	ex.Value = v
+	h.exemplars[i].Store(&ex)
 	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -288,7 +332,11 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	defer r.mu.Unlock()
 	f := r.familyLocked(name, help, kindHistogram)
 	checkSeries(name, f, false, r.declared, labels)
-	h := &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+	h := &Histogram{
+		bounds:    buckets,
+		counts:    make([]atomic.Uint64, len(buckets)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(buckets)+1),
+	}
 	f.children = append(f.children, child{labels: labels, hist: h})
 	return h
 }

@@ -1,0 +1,194 @@
+package obs
+
+// Strict validation of both text expositions. The OpenMetrics checker
+// enforces the parts of the 1.0 spec the writer is responsible for: the
+// # EOF terminator, counter families named without _total (samples with),
+// canonical-float le values, exemplars only on _bucket lines with the
+// exemplar value inside its bucket's range. The 0.0.4 checker proves
+// exemplars never leak into the Prometheus format, where they are invalid.
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func buildExemplarRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	c := r.Counter("demo_requests_total", "Requests.", Label{Name: "code", Value: "2xx"})
+	c.Add(7)
+	g := r.Gauge("demo_in_flight", "In flight.")
+	g.Set(3)
+	h := r.Histogram("demo_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.ObserveExemplar(0.05, Exemplar{
+		Labels: []Label{{Name: "trace_id", Value: "4bf92f3577b34da6a3ce929d0e0e4736"}},
+		TS:     1754650000.25,
+	})
+	h.ObserveExemplar(5, Exemplar{
+		Labels: []Label{{Name: "trace_id", Value: "00f067aa0ba902b700f067aa0ba902b7"}},
+	})
+	r.DeclareGauge("demo_collected", "Collector-fed gauge.")
+	r.AddCollector(func(emit Emit) {
+		emit("demo_collected", 1.5, Label{Name: "k", Value: "v"})
+	})
+	return r
+}
+
+var (
+	omSampleRe = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+]+|\+Inf|-Inf|NaN)( # (\{[^{}]*\}) (-?[0-9.eE+]+|\+Inf) ([0-9.eE+]+))?( # (\{[^{}]*\}) (-?[0-9.eE+]+|\+Inf))?$`)
+	leRe = regexp.MustCompile(`le="([^"]+)"`)
+)
+
+// TestOpenMetricsStrict parses the OpenMetrics output line by line and
+// enforces the format contract.
+func TestOpenMetricsStrict(t *testing.T) {
+	var sb strings.Builder
+	if _, err := buildExemplarRegistry(t).WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("exposition does not end with # EOF:\n%s", text)
+	}
+	if strings.Count(text, "# EOF") != 1 {
+		t.Fatalf("exposition has %d # EOF markers, want 1", strings.Count(text, "# EOF"))
+	}
+
+	types := map[string]string{} // family -> type
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	sawExemplar := false
+	for i, line := range lines {
+		if line == "# EOF" {
+			if i != len(lines)-1 {
+				t.Fatalf("# EOF at line %d is not last", i)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[parts[2]] = parts[3]
+			if parts[3] == "counter" && strings.HasSuffix(parts[2], "_total") {
+				t.Errorf("counter family %q keeps its _total suffix in TYPE", parts[2])
+			}
+			continue
+		}
+		m := omSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		name, hasExemplar := m[1], m[4] != ""
+		if hasExemplar {
+			sawExemplar = true
+			if !strings.HasSuffix(name, "_bucket") {
+				t.Errorf("exemplar on non-bucket sample %q", name)
+			}
+			// The exemplar value must lie within the bucket: v <= le.
+			le := leRe.FindStringSubmatch(m[2])
+			if le == nil {
+				t.Fatalf("bucket line without le: %q", line)
+			}
+			bound := math.Inf(1)
+			if le[1] != "+Inf" {
+				var err error
+				bound, err = strconv.ParseFloat(le[1], 64)
+				if err != nil {
+					t.Fatalf("le %q not a float: %q", le[1], line)
+				}
+				if !strings.ContainsAny(le[1], ".eE") {
+					t.Errorf("le %q not in canonical float form: %q", le[1], line)
+				}
+			}
+			exv, err := strconv.ParseFloat(m[6], 64)
+			if err != nil {
+				t.Fatalf("exemplar value %q not a float: %q", m[6], line)
+			}
+			if exv > bound {
+				t.Errorf("exemplar value %v above bucket bound %v: %q", exv, bound, line)
+			}
+			if !strings.Contains(m[5], "trace_id=") {
+				t.Errorf("exemplar without trace_id label: %q", line)
+			}
+		}
+		// Counter samples must carry _total; their family must be typed.
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count", "_total"} {
+			base = strings.TrimSuffix(base, suf)
+		}
+		if ty, ok := types[base]; ok && ty == "counter" && !strings.HasSuffix(name, "_total") {
+			t.Errorf("counter sample %q lacks _total suffix", name)
+		}
+	}
+	if !sawExemplar {
+		t.Fatal("no exemplar rendered")
+	}
+	if !strings.Contains(text, `demo_requests_total{code="2xx"} 7`) {
+		t.Errorf("counter sample missing _total form:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE demo_requests counter") {
+		t.Errorf("counter TYPE line not stripped of _total:\n%s", text)
+	}
+	if !strings.Contains(text, `demo_collected{k="v"} 1.5`) {
+		t.Errorf("collector sample missing:\n%s", text)
+	}
+	// The timestamped exemplar renders its timestamp, the other omits it.
+	if !strings.Contains(text, `} 0.05 1754650000.25`) {
+		t.Errorf("timestamped exemplar missing:\n%s", text)
+	}
+}
+
+// TestPrometheus004NoExemplars proves exemplars never leak into the 0.0.4
+// exposition, where a trailing "# {...}" is a parse error.
+func TestPrometheus004NoExemplars(t *testing.T) {
+	var sb strings.Builder
+	if _, err := buildExemplarRegistry(t).WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, "#") {
+			t.Fatalf("0.0.4 sample line carries a comment/exemplar: %q", line)
+		}
+	}
+	if strings.Contains(sb.String(), "# EOF") {
+		t.Fatal("0.0.4 exposition carries an OpenMetrics EOF marker")
+	}
+	// The counter keeps its full name in 0.0.4 TYPE lines.
+	if !strings.Contains(sb.String(), "# TYPE demo_requests_total counter") {
+		t.Errorf("0.0.4 TYPE line altered:\n%s", sb.String())
+	}
+}
+
+// TestExemplarOverwriteAndCount checks ObserveExemplar counts like Observe
+// and the slot holds the newest exemplar.
+func TestExemplarOverwriteAndCount(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x_seconds", "x", []float64{1})
+	h.ObserveExemplar(0.5, Exemplar{Labels: []Label{{Name: "trace_id", Value: "aaa"}}})
+	h.ObserveExemplar(0.7, Exemplar{Labels: []Label{{Name: "trace_id", Value: "bbb"}}})
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-1.2) > 1e-12 {
+		t.Fatalf("sum = %v, want 1.2", got)
+	}
+	var sb strings.Builder
+	if _, err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "aaa") || !strings.Contains(sb.String(), "bbb") {
+		t.Fatalf("exemplar slot not overwritten by newest:\n%s", sb.String())
+	}
+}

@@ -14,6 +14,9 @@ import (
 // serving WriteTo output over HTTP.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// ContentTypeOpenMetrics is the Content-Type for WriteOpenMetrics output.
+const ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // WriteTo renders every family in Prometheus text exposition format
 // (version 0.0.4): families sorted by name, each preceded by # HELP and
 // # TYPE lines, histogram series expanded into cumulative _bucket lines
@@ -67,6 +70,120 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 type collectedSample struct {
 	labels []Label
 	value  float64
+}
+
+// WriteOpenMetrics renders every family in OpenMetrics 1.0 text format:
+// counter family names drop their _total suffix in HELP/TYPE (samples keep
+// it), bucket le values use canonical float form, histogram buckets carry
+// their exemplars (`# {trace_id="..."} value ts` after the bucket value),
+// and the exposition ends with the mandatory # EOF terminator. The 0.0.4
+// exposition (WriteTo) never renders exemplars — they are not valid there.
+func (r *Registry) WriteOpenMetrics(w io.Writer) (int64, error) {
+	fams, collectors, declared := r.snapshot()
+
+	collected := make(map[string][]collectedSample)
+	emit := func(name string, value float64, labels ...Label) {
+		if !declared[name] {
+			panic(fmt.Sprintf("obs: collector emitted into undeclared family %q", name))
+		}
+		collected[name] = append(collected[name], collectedSample{labels: labels, value: value})
+	}
+	for _, c := range collectors {
+		c(emit)
+	}
+
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	for _, f := range fams {
+		// OpenMetrics counters: the family is named without the _total
+		// suffix, every sample with it.
+		famName, sampleName := f.name, f.name
+		if f.kind == kindCounter {
+			famName = strings.TrimSuffix(f.name, "_total")
+			sampleName = famName + "_total"
+		}
+		cw.writeString("# HELP ")
+		cw.writeString(famName)
+		cw.writeString(" ")
+		cw.writeString(escapeHelp(f.help))
+		cw.writeString("\n# TYPE ")
+		cw.writeString(famName)
+		cw.writeString(" ")
+		cw.writeString(f.kind.String())
+		cw.writeString("\n")
+		for _, c := range f.children {
+			switch f.kind {
+			case kindCounter:
+				writeSample(cw, sampleName, "", c.labels, formatUint(c.counter.Value()))
+			case kindGauge:
+				writeSample(cw, sampleName, "", c.labels, formatInt(c.gauge.Value()))
+			case kindHistogram:
+				writeOMHistogram(cw, f.name, c.labels, c.hist)
+			}
+		}
+		samples := collected[f.name]
+		sort.SliceStable(samples, func(i, j int) bool {
+			return labelString(samples[i].labels) < labelString(samples[j].labels)
+		})
+		for _, s := range samples {
+			writeSample(cw, sampleName, "", s.labels, formatOMFloat(s.value))
+		}
+	}
+	cw.writeString("# EOF\n")
+	if err := bw.Flush(); cw.err == nil {
+		cw.err = err
+	}
+	return cw.n, cw.err
+}
+
+// writeOMHistogram renders one histogram series in OpenMetrics form:
+// canonical-float le values and per-bucket exemplars.
+func writeOMHistogram(cw *countingWriter, name string, labels []Label, h *Histogram) {
+	var cum uint64
+	withLe := make([]Label, len(labels)+1)
+	copy(withLe, labels)
+	for i := 0; i <= len(h.bounds); i++ {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatOMFloat(h.bounds[i])
+		}
+		withLe[len(labels)] = Label{Name: "le", Value: le}
+		cw.writeString(name)
+		cw.writeString("_bucket")
+		cw.writeString(labelString(withLe))
+		cw.writeString(" ")
+		cw.writeString(formatUint(cum))
+		if ex := h.exemplars[i].Load(); ex != nil {
+			cw.writeString(" # ")
+			cw.writeString(labelString(ex.Labels))
+			if len(ex.Labels) == 0 {
+				cw.writeString("{}")
+			}
+			cw.writeString(" ")
+			cw.writeString(formatOMFloat(ex.Value))
+			if ex.TS > 0 {
+				cw.writeString(" ")
+				// Timestamps render in plain decimal, not exponent form:
+				// some OpenMetrics consumers reject 1.75e+09-style stamps.
+				cw.writeString(strconv.FormatFloat(ex.TS, 'f', -1, 64))
+			}
+		}
+		cw.writeString("\n")
+	}
+	writeSample(cw, name, "_sum", labels, formatOMFloat(h.Sum()))
+	writeSample(cw, name, "_count", labels, formatUint(cum))
+}
+
+// formatOMFloat renders v in OpenMetrics canonical float form: always with
+// a decimal point or exponent ("1.0", not "1"), so le values and exemplar
+// numbers parse as floats under strict parsers.
+func formatOMFloat(v float64) string {
+	s := formatFloat(v)
+	if strings.ContainsAny(s, ".eE") || s == "+Inf" || s == "-Inf" || s == "NaN" {
+		return s
+	}
+	return s + ".0"
 }
 
 type countingWriter struct {

@@ -83,7 +83,7 @@ func BenchmarkServerProposeParallel(b *testing.B) {
 				sessMet = session.NewMetrics(reg, shards)
 				walOpts.Metrics = wal.NewMetrics(reg)
 			}
-			mgr := session.NewManager(session.ManagerOptions{Shards: shards, Metrics: sessMet})
+			mgr := session.NewManager(session.ManagerOptions{Shards: shards, Metrics: sessMet, Diag: quietDiag})
 			j, err := wal.Open(b.TempDir(), mgr, walOpts)
 			if err != nil {
 				b.Fatal(err)
@@ -316,7 +316,7 @@ func BenchmarkServerPropose(b *testing.B) {
 		}
 	}
 
-	ts := httptest.NewServer(New(session.NewManager(session.ManagerOptions{})).Handler())
+	ts := httptest.NewServer(New(session.NewManager(session.ManagerOptions{Diag: quietDiag})).Handler())
 	defer ts.Close()
 	sid := 0
 	newSession(ts, "bench-0")
@@ -362,3 +362,8 @@ func BenchmarkServerPropose(b *testing.B) {
 		committed += lr.Committed
 	}
 }
+
+// quietDiag silences health-transition logging in benchmarks: the default
+// logger writes into the benchmark output stream and corrupts the
+// machine-parsed result lines.
+var quietDiag = session.DiagOptions{Logf: func(string, ...any) {}}

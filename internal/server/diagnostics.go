@@ -1,0 +1,209 @@
+package server
+
+// Convergence-diagnostics surface: GET /v1/sessions/{id}/diagnostics serves
+// one session's full diagnostics payload (downsampled series, per-stratum
+// health, alarm state), and GET /debug/dashboard renders a zero-dependency
+// HTML overview — one row per live session with inline SVG sparklines of
+// the estimate ± CI band and the ESS ratio. Everything is rendered
+// server-side from the same bounded rings the JSON endpoint reads; the page
+// needs no JavaScript, no external assets, and is safe to hit at any rate.
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+
+	"oasis/internal/diag"
+	"oasis/internal/session"
+)
+
+// getDiagnostics serves one session's convergence diagnostics. Like the
+// status endpoints it never mutates session state, so scrapers and
+// dashboards may poll it freely.
+func (s *Server) getDiagnostics(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Diagnostics())
+}
+
+// sparkDims are the fixed sparkline dimensions (CSS pixels).
+const (
+	sparkW = 240
+	sparkH = 48
+	sparkP = 3 // inner padding so strokes are not clipped at the extremes
+)
+
+// sparkXY maps a point index and value into sparkline coordinates.
+func sparkXY(i, n int, v, lo, hi float64) (float64, float64) {
+	x := float64(sparkP)
+	if n > 1 {
+		x += float64(i) / float64(n-1) * (sparkW - 2*sparkP)
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	y := sparkH - sparkP - (v-lo)/span*(sparkH-2*sparkP)
+	return x, y
+}
+
+// sparkPath appends "x,y" pairs for every finite value to a polyline
+// points attribute, skipping NaN gaps.
+func sparkPath(vals []float64, lo, hi float64) string {
+	var b strings.Builder
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		x, y := sparkXY(i, len(vals), v, lo, hi)
+		fmt.Fprintf(&b, "%.1f,%.1f ", x, y)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// estimateSpark renders the estimate sparkline with its CI band: the band
+// polygon walks the upper bound left to right and the lower bound back.
+func estimateSpark(pts []diag.Point) string {
+	est := make([]float64, len(pts))
+	upper := make([]float64, len(pts))
+	lower := make([]float64, len(pts))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, p := range pts {
+		e, v := float64(p.Estimate), float64(p.Variance)
+		est[i] = e
+		upper[i], lower[i] = math.NaN(), math.NaN()
+		if !math.IsNaN(e) {
+			if math.IsNaN(v) || v < 0 || p.Terms <= 0 {
+				upper[i], lower[i] = e, e
+			} else {
+				half := 1.96 * math.Sqrt(v/float64(p.Terms))
+				upper[i], lower[i] = e+half, e-half
+			}
+			lo = math.Min(lo, lower[i])
+			hi = math.Max(hi, upper[i])
+		}
+	}
+	if math.IsInf(lo, 1) { // nothing finite to draw
+		lo, hi = 0, 1
+	}
+	var band strings.Builder
+	for i := range pts {
+		if math.IsNaN(upper[i]) {
+			continue
+		}
+		x, y := sparkXY(i, len(pts), upper[i], lo, hi)
+		fmt.Fprintf(&band, "%.1f,%.1f ", x, y)
+	}
+	for i := len(pts) - 1; i >= 0; i-- {
+		if math.IsNaN(lower[i]) {
+			continue
+		}
+		x, y := sparkXY(i, len(pts), lower[i], lo, hi)
+		fmt.Fprintf(&band, "%.1f,%.1f ", x, y)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg class="spark" width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label="estimate with confidence band">`, sparkW, sparkH, sparkW, sparkH)
+	if band.Len() > 0 {
+		fmt.Fprintf(&b, `<polygon points="%s" fill="#9ecae1" fill-opacity="0.45" stroke="none"/>`, strings.TrimSpace(band.String()))
+	}
+	if path := sparkPath(est, lo, hi); path != "" {
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#1f77b4" stroke-width="1.5"/>`, path)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// essSpark renders the ESS-ratio sparkline on a fixed [0,1] scale with the
+// alarm thresholds drawn as horizontal rules.
+func essSpark(pts []diag.Point, th diag.Thresholds) string {
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = float64(p.ESSRatio)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg class="spark" width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label="ESS ratio">`, sparkW, sparkH, sparkW, sparkH)
+	for _, t := range []struct {
+		v float64
+		c string
+	}{{th.ESSDegraded, "#e6a23c"}, {th.ESSDegenerate, "#d62728"}} {
+		if t.v <= 0 || t.v >= 1 {
+			continue
+		}
+		_, y := sparkXY(0, 1, t.v, 0, 1)
+		fmt.Fprintf(&b, `<line x1="0" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1" stroke-dasharray="3,3"/>`, y, sparkW, y, t.c)
+	}
+	if path := sparkPath(vals, 0, 1); path != "" {
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#2ca02c" stroke-width="1.5"/>`, path)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+var stateColors = map[string]string{
+	"ok":         "#2ca02c",
+	"degraded":   "#e6a23c",
+	"degenerate": "#d62728",
+}
+
+// dashboard renders the convergence overview. It reads every live session's
+// diagnostics (shard by shard, never stopping the world) and emits a static
+// HTML page: no scripts, no external assets, inline SVG only.
+func (s *Server) dashboard(w http.ResponseWriter, r *http.Request) {
+	var all []session.Diagnostics
+	for shard := 0; shard < s.mgr.Shards(); shard++ {
+		for _, sess := range s.mgr.Sessions(shard) {
+			all = append(all, sess.Diagnostics())
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>OASIS convergence dashboard</title>
+<style>
+body{font:14px/1.4 system-ui,sans-serif;margin:2em;color:#222}
+table{border-collapse:collapse}
+th,td{padding:.4em .9em;text-align:left;border-bottom:1px solid #ddd;vertical-align:middle}
+th{font-weight:600;border-bottom:2px solid #999}
+.state{font-weight:600}
+.num{font-variant-numeric:tabular-nums}
+.empty{color:#888;margin-top:2em}
+</style></head><body>
+<h1>OASIS convergence dashboard</h1>
+`)
+	fmt.Fprintf(&b, "<p>%d live session(s). Sparklines show the downsampled per-session series: estimate with 95%% CI band, and ESS ratio on [0,1] with alarm thresholds.</p>\n", len(all))
+	if len(all) == 0 {
+		b.WriteString(`<p class="empty">No live sessions.</p>`)
+	} else {
+		b.WriteString("<table>\n<tr><th>session</th><th>method</th><th>state</th><th>labels</th><th>estimate</th><th>ESS ratio</th><th>estimate &plusmn; CI</th><th>ESS ratio series</th></tr>\n")
+		for _, d := range all {
+			color := stateColors[d.State]
+			if color == "" {
+				color = "#222"
+			}
+			est, essR := "&mdash;", "&mdash;"
+			if f := float64(d.Estimate); !math.IsNaN(f) {
+				est = fmt.Sprintf("%.4f", f)
+			}
+			if f := float64(d.ESSRatio); !math.IsNaN(f) {
+				essR = fmt.Sprintf("%.3f", f)
+			}
+			fmt.Fprintf(&b, `<tr><td><code>%s</code></td><td>%s</td><td class="state" style="color:%s">%s</td><td class="num">%d</td><td class="num">%s</td><td class="num">%s</td><td>%s</td><td>%s</td></tr>`+"\n",
+				html.EscapeString(d.ID), html.EscapeString(string(d.Method)), color, html.EscapeString(d.State),
+				d.LabelsCommitted, est, essR,
+				estimateSpark(d.Series), essSpark(d.Series, d.Thresholds))
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</body></html>\n")
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

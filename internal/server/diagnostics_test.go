@@ -1,0 +1,325 @@
+package server
+
+// Tests of the convergence-diagnostics surface: the per-session JSON
+// endpoint, the HTML dashboard, the degeneracy alarm's end-to-end journey
+// (metrics gauge, log line, span attribute, healthz and stats counts), and
+// the access-log proto=/shed= marks.
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"oasis"
+	"oasis/internal/diag"
+	"oasis/internal/obs"
+	"oasis/internal/session"
+	"oasis/internal/trace"
+)
+
+// newDiagTestServer boots an in-process server over a manager with the
+// given diagnostics options, with metrics, tracing (sample-everything) and
+// a captured access log. The returned buffer holds the manager's
+// diagnostics log lines (health transitions).
+func newDiagTestServer(t *testing.T, dg session.DiagOptions) (*httptest.Server, *Server, *bytes.Buffer, *bytes.Buffer) {
+	t.Helper()
+	var diagBuf bytes.Buffer
+	var diagMu log.Logger
+	diagMu.SetOutput(&diagBuf)
+	dg.Logf = diagMu.Printf
+	mgr := session.NewManager(session.ManagerOptions{DefaultLeaseTTL: time.Minute, Diag: dg})
+	srv := New(mgr)
+	srv.EnableTracing(trace.NewCollector(trace.Options{SampleRate: 1}))
+	var logBuf bytes.Buffer
+	srv.SetAccessLog(log.New(&logBuf, "", 0), 0)
+	srv.EnableMetrics(obs.NewRegistry())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv, &logBuf, &diagBuf
+}
+
+// TestDiagnosticsEndpoint drives a session over HTTP and checks the
+// diagnostics payload: a non-empty downsampled series with a monotone
+// labels axis, per-stratum health, and effective thresholds.
+func TestDiagnosticsEndpoint(t *testing.T) {
+	ts, _, _, _ := newDiagTestServer(t, session.DiagOptions{SeriesCapacity: 16})
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	runWorkload(t, c, "diag", 30, 4)
+
+	var d session.Diagnostics
+	if code := c.do("GET", "/v1/sessions/diag/diagnostics", nil, &d); code != http.StatusOK {
+		t.Fatalf("diagnostics: status %d", code)
+	}
+	if d.ID != "diag" || d.State != "ok" {
+		t.Fatalf("diagnostics header wrong: id=%q state=%q", d.ID, d.State)
+	}
+	if len(d.Series) == 0 || d.SeriesSeen != 30 {
+		t.Fatalf("series empty or miscounted: len=%d seen=%d", len(d.Series), d.SeriesSeen)
+	}
+	if d.SeriesStride < 2 {
+		t.Fatalf("30 batches into a 16-ring should have compacted: stride %d", d.SeriesStride)
+	}
+	for i := 1; i < len(d.Series); i++ {
+		if d.Series[i].Labels < d.Series[i-1].Labels {
+			t.Fatalf("labels axis not monotone at %d: %d after %d", i, d.Series[i].Labels, d.Series[i-1].Labels)
+		}
+	}
+	if len(d.Strata) != 10 {
+		t.Fatalf("diagnostics carry %d strata, want 10", len(d.Strata))
+	}
+	if d.Thresholds.ESSDegraded <= 0 || d.MemBytes <= 0 {
+		t.Fatalf("thresholds/membytes not filled: %+v mem=%d", d.Thresholds, d.MemBytes)
+	}
+
+	if code := c.do("GET", "/v1/sessions/nope/diagnostics", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("diagnostics for unknown session: status %d, want 404", code)
+	}
+}
+
+// TestDashboardRendersSparklines checks /debug/dashboard serves HTML with
+// exactly two sparklines (estimate and ESS) per live session.
+func TestDashboardRendersSparklines(t *testing.T) {
+	ts, _, _, _ := newDiagTestServer(t, session.DiagOptions{})
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	runWorkload(t, c, "alpha", 8, 4)
+	runWorkload(t, c, "beta", 8, 4)
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dashboard: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("dashboard content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(body)
+	if !strings.HasPrefix(page, "<!DOCTYPE html>") || !strings.Contains(page, "</html>") {
+		t.Fatal("dashboard is not a complete HTML document")
+	}
+	for _, id := range []string{"alpha", "beta"} {
+		if !strings.Contains(page, "<code>"+id+"</code>") {
+			t.Errorf("dashboard missing session %q", id)
+		}
+	}
+	if got := strings.Count(page, `class="spark"`); got != 4 {
+		t.Errorf("dashboard has %d sparklines, want 4 (two per session)", got)
+	}
+	if !strings.Contains(page, "<polyline") {
+		t.Error("dashboard sparklines carry no polylines")
+	}
+}
+
+// TestSeededDegeneracyEndToEnd is the acceptance test for the degeneracy
+// alarms: thresholds no real weight sequence can satisfy provably walk a
+// session to degenerate, and the transition is visible everywhere at once —
+// the oasis_sampler_health_state gauge, the transition log line, a span
+// attribute on the committing request's trace, the healthz count and the
+// stats block.
+func TestSeededDegeneracyEndToEnd(t *testing.T) {
+	ts, _, _, diagBuf := newDiagTestServer(t, session.DiagOptions{
+		Thresholds: diag.Thresholds{ESSDegenerate: 0.9999, ESSDegraded: -1, MinLabels: 5},
+	})
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	scores, preds, truth := benchPool(400, 13)
+	if code := c.do("POST", "/v1/sessions", session.Config{
+		ID: "degen", Scores: scores, Preds: preds, Calibrated: true,
+		Options: oasis.Options{Strata: 6, Seed: 17},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	for r := 0; r < 10; r++ {
+		var pr ProposeResponse
+		if code := c.do("GET", "/v1/sessions/degen/propose?n=4", nil, &pr); code != http.StatusOK {
+			t.Fatalf("propose: status %d", code)
+		}
+		req := LabelsRequest{}
+		for _, p := range pr.Proposals {
+			req.Labels = append(req.Labels, Label{Pair: p.Pair, Label: truth[p.Pair]})
+		}
+		if code := c.do("POST", "/v1/sessions/degen/labels", req, nil); code != http.StatusOK {
+			t.Fatalf("labels: status %d", code)
+		}
+	}
+
+	// Metrics: the per-session health gauge reads 2 (degenerate).
+	fams := parseExposition(t, scrape(t, ts))
+	if got := sumFamily(fams["oasis_sampler_health_state"], "degen"); got != 2 {
+		t.Errorf("oasis_sampler_health_state = %v, want 2", got)
+	}
+	if got := sumFamily(fams["oasis_diag_series_mem_bytes"]); got <= 0 {
+		t.Errorf("oasis_diag_series_mem_bytes = %v, want > 0", got)
+	}
+
+	// Log: the transition was logged exactly once.
+	if got := strings.Count(diagBuf.String(), "-> degenerate"); got != 1 {
+		t.Errorf("degenerate transition logged %d times, want 1:\n%s", got, diagBuf.String())
+	}
+
+	// Span: some traced commit carries the health.transition span with the
+	// state attribute.
+	var list TracesResponse
+	if code := c.do("GET", "/debug/traces", nil, &list); code != http.StatusOK {
+		t.Fatalf("GET /debug/traces: status %d", code)
+	}
+	foundSpan := false
+	for _, s := range list.Traces {
+		var tj trace.TraceJSON
+		if code := c.do("GET", "/debug/traces/"+s.ID, nil, &tj); code != http.StatusOK {
+			continue
+		}
+		for _, sp := range tj.Spans {
+			if sp.Name == "health.transition" && sp.Attrs["state"] == "degenerate" {
+				foundSpan = true
+			}
+		}
+	}
+	if !foundSpan {
+		t.Error("no trace carries a health.transition span with state=degenerate")
+	}
+
+	// healthz: counts the degenerate session without failing the probe.
+	var hr HealthResponse
+	if code := c.do("GET", "/healthz", nil, &hr); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if hr.Status != "ok" || hr.DegenerateSessions != 1 {
+		t.Errorf("healthz = %+v, want status ok with 1 degenerate session", hr)
+	}
+
+	// Stats: diagnostics block agrees, and the trace block reports ring
+	// occupancy.
+	var st StatsResponse
+	if code := c.do("GET", "/v1/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st.Diagnostics.DegenerateSessions != 1 || st.Diagnostics.SeriesMemBytes <= 0 {
+		t.Errorf("stats diagnostics block = %+v", st.Diagnostics)
+	}
+	if st.Trace == nil || st.Trace.Recorded == 0 || st.Trace.RecentCapacity == 0 {
+		t.Errorf("stats trace block = %+v", st.Trace)
+	}
+	if st.Trace != nil && st.Trace.RecentHeld <= 0 {
+		t.Errorf("trace ring occupancy not reported: %+v", st.Trace)
+	}
+}
+
+// TestOpenMetricsScrapeCarriesExemplars checks /metrics content negotiation:
+// an OpenMetrics Accept header switches the exposition to 1.0 (with # EOF)
+// and the latency histogram's buckets carry trace_id exemplars from the
+// traced requests that landed in them.
+func TestOpenMetricsScrapeCarriesExemplars(t *testing.T) {
+	ts, _, _, _ := newDiagTestServer(t, session.DiagOptions{})
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	runWorkload(t, c, "om", 5, 4)
+
+	req, err := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("openmetrics scrape: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentTypeOpenMetrics {
+		t.Fatalf("content type %q, want %q", ct, obs.ContentTypeOpenMetrics)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatal("openmetrics exposition does not end with # EOF")
+	}
+	// With SampleRate 1 every request is traced, so at least one latency
+	// bucket holds a trace_id exemplar.
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "oasis_http_request_seconds_bucket") &&
+			strings.Contains(line, ` # {trace_id="`) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no latency bucket carries a trace_id exemplar:\n%s", text)
+	}
+	// Counter samples keep _total while their TYPE lines drop it.
+	if !strings.Contains(text, "# TYPE oasis_http_requests counter") {
+		t.Error("counter TYPE line not stripped of _total in OpenMetrics exposition")
+	}
+
+	// A plain scrape still serves 0.0.4 without exemplars.
+	plain := scrape(t, ts)
+	if strings.Contains(plain, "# EOF") || strings.Contains(plain, "trace_id=") {
+		t.Error("plain scrape leaked OpenMetrics constructs")
+	}
+}
+
+// TestAccessLogProtoAndShedMarks checks every access-log line carries the
+// negotiated wire protocol and shed rejections carry the reason.
+func TestAccessLogProtoAndShedMarks(t *testing.T) {
+	ts, srv, logBuf, _ := newDiagTestServer(t, session.DiagOptions{})
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	runWorkload(t, c, "marks", 1, 2)
+
+	if !strings.Contains(logBuf.String(), "proto=json") {
+		t.Errorf("access log missing proto=json:\n%s", logBuf.String())
+	}
+
+	// A binary-negotiated request logs proto=obp1.
+	req, err := http.NewRequest("GET", ts.URL+"/v1/sessions/marks", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", ContentTypeBinary)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary get: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(logBuf.String(), "proto=obp1") {
+		t.Errorf("access log missing proto=obp1:\n%s", logBuf.String())
+	}
+
+	// Exhaust a one-token global bucket: the second request sheds and its
+	// log line carries the reason.
+	srv.SetAdmission(AdmissionConfig{RatePerSec: 0.001, Burst: 1})
+	sawShed := false
+	for i := 0; i < 3; i++ {
+		resp, err := ts.Client().Get(ts.URL + "/v1/sessions/marks")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			sawShed = true
+		}
+	}
+	if !sawShed {
+		t.Fatal("admission never shed with a one-token bucket")
+	}
+	if !strings.Contains(logBuf.String(), "shed=global_rate") {
+		t.Errorf("access log missing shed=global_rate:\n%s", logBuf.String())
+	}
+}

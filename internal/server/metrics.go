@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -166,7 +167,16 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 		slow := s.slowReq > 0 && d >= s.slowReq
 		if s.met != nil {
 			s.met.inflight.Add(-1)
-			rm.seconds.Observe(d.Seconds())
+			if tr != nil {
+				// A traced request stamps its bucket's exemplar, linking the
+				// latency histogram back to the trace (OpenMetrics only).
+				rm.seconds.ObserveExemplar(d.Seconds(), obs.Exemplar{
+					Labels: []obs.Label{{Name: "trace_id", Value: tr.ID().String()}},
+					TS:     float64(start.UnixNano()) / 1e9,
+				})
+			} else {
+				rm.seconds.Observe(d.Seconds())
+			}
 			if sw.status() == StatusClientClosedRequest {
 				rm.disconnects.Inc()
 			} else if cls := sw.status()/100 - 1; cls >= 0 && cls < len(rm.classes) {
@@ -191,14 +201,31 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 			if tr != nil {
 				marks += " trace=" + tr.ID().String()
 			}
+			// The wire protocol the request negotiated (binary body or
+			// Accept), and the shed reason when admission rejected it.
+			if wantsBinary(r) || isBinaryBody(r) {
+				marks += " proto=obp1"
+			} else {
+				marks += " proto=json"
+			}
+			if reason := sw.Header().Get("X-Shed-Reason"); reason != "" {
+				marks += " shed=" + reason
+			}
 			s.accessLog.Printf("http id=%s method=%s route=%q path=%q status=%d bytes=%d dur=%s remote=%s%s",
 				reqID, r.Method, pattern, r.URL.Path, sw.status(), sw.bytes, d.Round(time.Microsecond), r.RemoteAddr, marks)
 		}
 	}
 }
 
-// metricsHandler serves the Prometheus text exposition.
+// metricsHandler serves the metrics exposition: OpenMetrics 1.0 (with
+// histogram exemplars) when the scraper's Accept header asks for it,
+// Prometheus text 0.0.4 otherwise.
 func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", obs.ContentTypeOpenMetrics)
+		_, _ = s.met.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", obs.ContentType)
 	_, _ = s.met.reg.WriteTo(w)
 }
@@ -225,6 +252,8 @@ func (s *Server) registerCollectors(reg *obs.Registry) {
 	reg.DeclareGauge("oasis_sampler_labels_committed", "Distinct labels committed per session.")
 	reg.DeclareGauge("oasis_sampler_label_budget", "Session label budget (0 = unlimited).")
 	reg.DeclareGauge("oasis_sampler_pending_proposals", "Live leases per session.")
+	reg.DeclareGauge("oasis_sampler_health_state", "Degeneracy alarm state per session: 0 ok, 1 degraded, 2 degenerate.")
+	reg.DeclareGauge("oasis_diag_series_mem_bytes", "Fixed memory held by all diagnostics series rings together.")
 
 	reg.DeclareGauge("oasis_wal_segments", "Live segment files per journal lane.")
 	reg.DeclareGauge("oasis_wal_active_segment", "Segment index the lane is appending to.")
@@ -281,6 +310,7 @@ func (s *Server) collect(emit obs.Emit) {
 	emit("go_gc_cycles_total", float64(ms.NumGC))
 	emit("go_gc_pause_seconds_total", float64(ms.PauseTotalNs)/1e9)
 
+	diagMem := 0
 	for shard := 0; shard < s.mgr.Shards(); shard++ {
 		sessions := s.mgr.Sessions(shard)
 		emit("oasis_sessions", float64(len(sessions)), obs.Label{Name: "shard", Value: strconv.Itoa(shard)})
@@ -296,8 +326,11 @@ func (s *Server) collect(emit obs.Emit) {
 			emit("oasis_sampler_labels_committed", float64(h.LabelsCommitted), sl, ml)
 			emit("oasis_sampler_label_budget", float64(h.Budget), sl, ml)
 			emit("oasis_sampler_pending_proposals", float64(h.PendingProposals), sl, ml)
+			emit("oasis_sampler_health_state", float64(h.State), sl, ml)
+			diagMem += sess.DiagMemBytes()
 		}
 	}
+	emit("oasis_diag_series_mem_bytes", float64(diagMem))
 
 	if s.jrn != nil {
 		st := s.jrn.Stats()

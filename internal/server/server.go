@@ -5,6 +5,8 @@
 //	GET    /v1/sessions                  list session statuses
 //	GET    /v1/sessions/{id}             one session's status
 //	GET    /v1/sessions/{id}/estimate    current F̂ and accounting
+//	GET    /v1/sessions/{id}/diagnostics convergence diagnostics: downsampled series,
+//	                                     per-stratum health, degeneracy alarm state
 //	GET    /v1/sessions/{id}/propose?n=  lease a batch of pairs to label
 //	POST   /v1/sessions/{id}/labels      commit labels (body: {labels: [...]})
 //	DELETE /v1/sessions/{id}             drop the session
@@ -18,6 +20,8 @@
 //	GET    /v1/stats                     service totals + WAL and pool-store counters for ops
 //	GET    /debug/traces                 retained request traces, newest first (with tracing enabled)
 //	GET    /debug/traces/{id}            one trace's full span timeline, by 32-hex trace ID
+//	GET    /debug/dashboard              zero-dependency HTML convergence dashboard with
+//	                                     inline SVG sparklines per live session
 //
 // Pools uploaded through /v1/pools are shared: any number of sessions may be
 // created with {"poolId": ...} instead of inline scores, and they all sample
@@ -50,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"oasis/internal/diag"
 	"oasis/internal/poolstore"
 	"oasis/internal/session"
 	"oasis/internal/trace"
@@ -182,6 +187,7 @@ func (s *Server) Handler() http.Handler {
 	// pools, ops probes — is never shed.
 	handle("GET /v1/sessions/{id}", s.admit(s.getSession))
 	handle("GET /v1/sessions/{id}/estimate", s.admit(s.getSession))
+	handle("GET /v1/sessions/{id}/diagnostics", s.getDiagnostics)
 	handle("GET /v1/sessions/{id}/propose", s.admit(s.propose))
 	handle("POST /v1/sessions/{id}/labels", s.admit(s.commitLabels))
 	handle("DELETE /v1/sessions/{id}", s.deleteSession)
@@ -191,6 +197,7 @@ func (s *Server) Handler() http.Handler {
 	handle("DELETE /v1/pools/{id}", s.deletePool)
 	handle("GET /healthz", s.healthz)
 	handle("GET /v1/stats", s.stats)
+	handle("GET /debug/dashboard", s.dashboard)
 	if s.met != nil {
 		handle("GET /metrics", s.metricsHandler)
 	}
@@ -255,6 +262,25 @@ type HealthResponse struct {
 	Status       string `json:"status"` // "ok" or "degraded"
 	Error        string `json:"error,omitempty"`
 	DamagedPools int    `json:"damagedPools,omitempty"`
+	// DegenerateSessions counts sessions whose degeneracy alarm is in the
+	// degenerate state. Informational, like DamagedPools: a degenerate
+	// sampler needs operator attention but does not fail the liveness probe
+	// (the service can still acknowledge writes).
+	DegenerateSessions int `json:"degenerateSessions,omitempty"`
+}
+
+// degenerateSessions counts live sessions in the degenerate alarm state,
+// shard by shard.
+func (s *Server) degenerateSessions() int {
+	n := 0
+	for shard := 0; shard < s.mgr.Shards(); shard++ {
+		for _, sess := range s.mgr.Sessions(shard) {
+			if sess.SamplerHealth().State == diag.StateDegenerate {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // healthz answers load-balancer probes: 200 while the service can
@@ -264,13 +290,14 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	if s.pools != nil {
 		damaged = len(s.pools.Damaged())
 	}
+	degen := s.degenerateSessions()
 	if s.jrn != nil {
 		if err := s.jrn.Err(); err != nil {
-			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "degraded", Error: err.Error(), DamagedPools: damaged})
+			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "degraded", Error: err.Error(), DamagedPools: damaged, DegenerateSessions: degen})
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", DamagedPools: damaged})
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", DamagedPools: damaged, DegenerateSessions: degen})
 }
 
 // ShardStats is one session-manager shard's slice of the totals. With a WAL
@@ -296,7 +323,23 @@ type StatsResponse struct {
 	Shards           []ShardStats     `json:"shards"`
 	WAL              *wal.Stats       `json:"wal,omitempty"`
 	Pools            *poolstore.Stats `json:"pools,omitempty"`
-	Runtime          RuntimeStats     `json:"runtime"`
+	// Trace reports the trace collector's lifetime counters and ring
+	// occupancy when tracing is enabled.
+	Trace *trace.CollectorStats `json:"trace,omitempty"`
+	// Diagnostics summarises the convergence-diagnostics footprint across
+	// all live sessions.
+	Diagnostics DiagnosticsStats `json:"diagnostics"`
+	Runtime     RuntimeStats     `json:"runtime"`
+}
+
+// DiagnosticsStats is the convergence-diagnostics block of /v1/stats.
+type DiagnosticsStats struct {
+	// SeriesMemBytes is the fixed memory held by all sessions' diagnostics
+	// rings together.
+	SeriesMemBytes int `json:"seriesMemBytes"`
+	// DegenerateSessions counts sessions whose degeneracy alarm currently
+	// reads degenerate.
+	DegenerateSessions int `json:"degenerateSessions"`
 }
 
 // RuntimeStats is the Go runtime block of /v1/stats.
@@ -329,6 +372,12 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 		resp.Sessions += ss.Sessions
 		resp.LabelsCommitted += ss.LabelsCommitted
 		resp.PendingProposals += ss.PendingProposals
+		for _, sess := range s.mgr.Sessions(shard) {
+			resp.Diagnostics.SeriesMemBytes += sess.DiagMemBytes()
+			if sess.SamplerHealth().State == diag.StateDegenerate {
+				resp.Diagnostics.DegenerateSessions++
+			}
+		}
 	}
 	if s.jrn != nil {
 		st := s.jrn.Stats()
@@ -337,6 +386,10 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	if s.pools != nil {
 		st := s.pools.Stats()
 		resp.Pools = &st
+	}
+	if s.trc != nil {
+		ts := s.trc.Stats()
+		resp.Trace = &ts
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

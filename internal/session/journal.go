@@ -67,6 +67,14 @@ type Event struct {
 	Pairs   []int          `json:"pairs,omitempty"`   // EventPropose results / EventRelease pairs
 	Commits []CommitRecord `json:"commits,omitempty"` // EventCommit
 
+	// TS is the wall clock of the event in Unix nanoseconds, currently
+	// recorded for EventCommit only: replay stamps the re-recorded
+	// diagnostics points with it, so a recovered convergence series is
+	// byte-identical to the one the live server held. Omitempty keeps the
+	// record format backward compatible — events journaled before the field
+	// existed replay with TS zero ("wall time unknown").
+	TS int64 `json:"ts,omitempty"`
+
 	// Trace is the request trace the event belongs to, when the request is
 	// sampled (nil otherwise, and always nil on replay). It never reaches
 	// the log — the WAL reads it to record append/fsync spans and nothing
@@ -191,6 +199,10 @@ func (s *Session) replayEvent(ev *Event) (bool, error) {
 			}
 			delete(s.leases, cr.Pair)
 		}
+		// One diagnostics point per commit event, mirroring the live path
+		// (which records one per batch with at least one fresh label — the
+		// only batches that journal an EventCommit).
+		s.recordDiagLocked(nil, ev.TS, true)
 	case EventRelease:
 		for _, pair := range ev.Pairs {
 			delete(s.leases, pair)

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"oasis"
+	"oasis/internal/diag"
 	"oasis/internal/poolstore"
 	"oasis/internal/trace"
 )
@@ -89,6 +91,23 @@ type ManagerOptions struct {
 	// (see NewMetrics — it must be built for the same shard count). Nil
 	// disables instrumentation with zero hot-path cost.
 	Metrics *Metrics
+	// Diag configures the per-session convergence diagnostics (series ring
+	// capacity, degeneracy alarm thresholds, transition logging). The zero
+	// value enables diagnostics with the defaults.
+	Diag DiagOptions
+}
+
+// DiagOptions configures the convergence diagnostics every session records.
+type DiagOptions struct {
+	// SeriesCapacity is the per-session diagnostics ring capacity in
+	// points; 0 selects diag.DefaultCapacity.
+	SeriesCapacity int
+	// Thresholds are the degeneracy alarm thresholds; zero fields take
+	// diag.DefaultThresholds.
+	Thresholds diag.Thresholds
+	// Logf receives the one-line health transition messages ("session X:
+	// sampler health ok -> degraded ..."); nil means log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // shard is one lock domain of the manager: a slice of the session map with
@@ -135,6 +154,9 @@ func NewManager(opts ManagerOptions) *Manager {
 	}
 	if opts.Now == nil {
 		opts.Now = time.Now
+	}
+	if opts.Diag.Logf == nil {
+		opts.Diag.Logf = log.Printf
 	}
 	opts.Shards = NormalizeShards(opts.Shards)
 	opts.Metrics.checkShards(opts.Shards)
@@ -219,7 +241,7 @@ func (m *Manager) CreateCtx(ctx context.Context, cfg Config) (*Session, error) {
 		cfg.Scores, cfg.Preds = nil, nil
 	}
 	bs := tr.Start("session", "session.build")
-	s, err := newSession(ctx, cfg, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools)
+	s, err := newSession(ctx, cfg, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools, m.opts.Diag)
 	bs.End()
 	if err != nil {
 		return nil, err
@@ -424,6 +446,11 @@ type sessionSnapshot struct {
 	Leases  []int               `json:"leases,omitempty"`
 	Sampler *oasis.SamplerState `json:"sampler,omitempty"`
 	Passive *passiveState       `json:"passive,omitempty"`
+	// Diag is the convergence-diagnostics series and alarm state, present
+	// once the session has recorded at least one commit batch (omitempty
+	// keeps pre-diagnostics snapshots decodable — they restore with an
+	// empty series).
+	Diag *diag.TrackerState `json:"diag,omitempty"`
 }
 
 // snapshotFile is the on-disk format of Manager.Snapshot.
@@ -452,6 +479,9 @@ func (s *Session) snapshot() sessionSnapshot {
 		snap.Sampler = p.State()
 	case *passiveProposer:
 		snap.Passive = p.state()
+	}
+	if s.diag != nil && s.diag.Series().Seen() > 0 {
+		snap.Diag = s.diag.Snapshot()
 	}
 	return snap
 }
@@ -557,7 +587,7 @@ func (m *Manager) restore(data []byte, parkUnavailable bool) (err error) {
 		}
 	}
 	for _, snap := range file.Sessions {
-		s, err := newSession(context.Background(), snap.Config, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools)
+		s, err := newSession(context.Background(), snap.Config, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools, m.opts.Diag)
 		if parkUnavailable && errors.Is(err, ErrPoolUnavailable) {
 			// Park instead of aborting: tail replay may delete this session,
 			// absolving the missing pool; wal.Open checks for leftovers.
@@ -596,6 +626,16 @@ func (m *Manager) restore(data []byte, parkUnavailable bool) (err error) {
 			if err := passive.restore(snap.Passive); err != nil {
 				return fmt.Errorf("session: restore %q: %w", s.id, err)
 			}
+		}
+		if snap.Diag != nil {
+			// The ring capacity rides the snapshot (byte-stable series even
+			// across a capacity reconfiguration); the thresholds are live
+			// configuration and come from the manager.
+			tracker, derr := diag.RestoreTracker(snap.Diag, m.opts.Diag.Thresholds)
+			if derr != nil {
+				return fmt.Errorf("session: restore %q: %w", s.id, derr)
+			}
+			s.diag = tracker
 		}
 		labelled := func(pair int) bool {
 			switch {
@@ -673,7 +713,7 @@ func (m *Manager) ReplayEvent(ev *Event) (bool, error) {
 		}
 		cfg := *ev.Config
 		cfg.ID = ev.Session
-		s, err := newSession(context.Background(), cfg, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools)
+		s, err := newSession(context.Background(), cfg, m.opts.DefaultLeaseTTL, m.opts.Now, m.opts.Pools, m.opts.Diag)
 		if errors.Is(err, ErrPoolUnavailable) {
 			// The pool may have been legitimately removed after this session
 			// was deleted — with the delete record still in the un-compacted

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"oasis"
+	"oasis/internal/diag"
 	"oasis/internal/pool"
 	"oasis/internal/poolstore"
 	"oasis/internal/trace"
@@ -166,13 +167,20 @@ type Session struct {
 	// met points at the per-shard metrics of the owning manager's shard,
 	// nil when metrics are disabled.
 	met *ShardMetrics
+
+	// diag tracks the session's convergence trajectory and degeneracy alarm
+	// state, recorded on every commit batch (fresh and replayed alike, so
+	// the series survives WAL recovery bit-for-bit). diagLog receives the
+	// one-line health transition messages; nil means no logging.
+	diag    *diag.Tracker
+	diagLog func(format string, args ...any)
 }
 
 // newSession builds a session from a validated config, resolving the pool
 // either from the content-addressed store (Config.PoolID — the session takes
 // one reference on the shared pool, returned by releasePool) or from the
 // inline columns.
-func newSession(ctx context.Context, cfg Config, defaultTTL time.Duration, now func() time.Time, pools *poolstore.Store) (_ *Session, err error) {
+func newSession(ctx context.Context, cfg Config, defaultTTL time.Duration, now func() time.Time, pools *poolstore.Store, dg DiagOptions) (_ *Session, err error) {
 	if cfg.Method == "" {
 		cfg.Method = MethodOASIS
 	}
@@ -221,6 +229,8 @@ func newSession(ctx context.Context, cfg Config, defaultTTL time.Duration, now f
 		now:         now,
 		poolSize:    poolSize,
 		poolRelease: release,
+		diag:        diag.NewTracker(dg.SeriesCapacity, dg.Thresholds),
+		diagLog:     dg.Logf,
 	}, nil
 }
 
@@ -576,22 +586,63 @@ func (s *Session) CommitBatchCtx(ctx context.Context, pairs []int, labels []bool
 		}
 	}
 	endSampler()
+	var committed uint64
+	for _, r := range results {
+		if r == Committed {
+			committed++
+		}
+	}
+	// The diagnostics point's wall clock is journaled with the commit event,
+	// so a WAL tail replay re-records the series byte-for-byte.
+	wall := s.now().UnixNano()
 	if len(fresh) > 0 {
-		if err := s.journalLocked(&Event{Type: EventCommit, Commits: fresh, Trace: tr}); err != nil {
+		if err := s.journalLocked(&Event{Type: EventCommit, Commits: fresh, TS: wall, Trace: tr}); err != nil {
 			return nil, err
 		}
 	}
+	if committed > 0 {
+		s.recordDiagLocked(tr, wall, false)
+	}
 	if s.met != nil {
-		var committed uint64
-		for _, r := range results {
-			if r == Committed {
-				committed++
-			}
-		}
 		s.met.LabelsCommitted.Add(committed)
 		s.met.CommitSeconds.Observe(time.Since(start).Seconds())
 	}
 	return results, nil
+}
+
+// recordDiagLocked folds one commit batch into the convergence diagnostics:
+// a series point sampled from the estimator's health, and a re-evaluation
+// of the degeneracy alarm. A state transition is logged once and, on a
+// sampled request, stamped as a span attribute — except under replay, where
+// the transition already happened (and was reported) in the original run.
+// Callers hold s.mu.
+func (s *Session) recordDiagLocked(tr *trace.Trace, wallNanos int64, replay bool) {
+	if s.diag == nil {
+		return
+	}
+	h := s.prop.Health()
+	labels := s.prop.LabelsCommitted()
+	prev := s.diag.State()
+	state, changed := s.diag.Record(diag.Point{
+		Labels:    labels,
+		WallNanos: wallNanos,
+		Estimate:  diag.Float(h.Estimate),
+		Variance:  diag.Float(h.AsymptoticVariance),
+		ESSRatio:  diag.Float(h.ESSRatio),
+		Terms:     h.Terms,
+	})
+	if !changed || replay {
+		return
+	}
+	if s.diagLog != nil {
+		s.diagLog("session %s: sampler health %s -> %s (ess_ratio=%.4f, variance=%.4g, labels=%d)",
+			s.id, prev, state, h.ESSRatio, h.AsymptoticVariance, labels)
+	}
+	if tr != nil {
+		tr.AddSpan("session", "health.transition", 0).
+			Attr("state", state.String()).
+			Attr("from", prev.String())
+	}
 }
 
 // Estimate returns the current F̂ (NaN while undefined).
@@ -640,6 +691,8 @@ type SamplerHealth struct {
 	PendingProposals   int
 	Budget             int
 	PoolSize           int
+	// State is the degeneracy alarm state (ok/degraded/degenerate).
+	State diag.HealthState
 }
 
 // SamplerHealth reports the session's estimator health. Unlike Status it
@@ -649,7 +702,7 @@ func (s *Session) SamplerHealth() SamplerHealth {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	h := s.prop.Health()
-	return SamplerHealth{
+	sh := SamplerHealth{
 		ID:                 s.id,
 		Method:             s.cfg.Method,
 		Estimate:           h.Estimate,
@@ -662,4 +715,84 @@ func (s *Session) SamplerHealth() SamplerHealth {
 		Budget:             s.cfg.Budget,
 		PoolSize:           s.poolSize,
 	}
+	if s.diag != nil {
+		sh.State = s.diag.State()
+	}
+	return sh
+}
+
+// stratumDiagnoser is implemented by proposers that expose per-stratum
+// weight diagnostics (oasis.Sampler). Passive sessions have no strata and
+// simply omit the block.
+type stratumDiagnoser interface {
+	StratumDiagnostics() []diag.StratumHealth
+}
+
+// Diagnostics is the full convergence-diagnostics payload of one session,
+// served at GET /v1/sessions/{id}/diagnostics.
+type Diagnostics struct {
+	ID     string     `json:"id"`
+	Method MethodKind `json:"method"`
+	// State is the degeneracy alarm state: ok, degraded or degenerate.
+	State string `json:"state"`
+	// Thresholds are the effective alarm thresholds.
+	Thresholds diag.Thresholds `json:"thresholds"`
+	// LabelsCommitted and Terms mirror the newest estimator state.
+	LabelsCommitted int        `json:"labelsCommitted"`
+	Terms           int        `json:"terms"`
+	Estimate        diag.Float `json:"estimate"`
+	Variance        diag.Float `json:"variance"`
+	ESSRatio        diag.Float `json:"essRatio"`
+	// Series is the downsampled trajectory; SeriesSeen counts commit
+	// batches offered to it and SeriesStride the current downsampling
+	// stride (a power of two). MemBytes is the ring's fixed footprint.
+	Series       []diag.Point `json:"series"`
+	SeriesSeen   uint64       `json:"seriesSeen"`
+	SeriesStride uint64       `json:"seriesStride"`
+	MemBytes     int          `json:"memBytes"`
+	// Strata carries the per-stratum weight diagnostics (OASIS sessions
+	// only; omitted for methods without strata).
+	Strata []diag.StratumHealth `json:"strata,omitempty"`
+}
+
+// Diagnostics reports the session's convergence diagnostics. Like
+// SamplerHealth it never expires leases or journals, so scrapers and the
+// dashboard may call it at any rate while commits are in flight.
+func (s *Session) Diagnostics() Diagnostics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.prop.Health()
+	d := Diagnostics{
+		ID:              s.id,
+		Method:          s.cfg.Method,
+		State:           diag.StateOK.String(),
+		LabelsCommitted: s.prop.LabelsCommitted(),
+		Terms:           h.Terms,
+		Estimate:        diag.Float(h.Estimate),
+		Variance:        diag.Float(h.AsymptoticVariance),
+		ESSRatio:        diag.Float(h.ESSRatio),
+	}
+	if s.diag != nil {
+		d.State = s.diag.State().String()
+		d.Thresholds = s.diag.Thresholds()
+		d.Series = s.diag.Series().Points()
+		d.SeriesSeen = s.diag.Series().Seen()
+		d.SeriesStride = s.diag.Series().Stride()
+		d.MemBytes = s.diag.MemBytes()
+	}
+	if sd, ok := s.prop.(stratumDiagnoser); ok {
+		d.Strata = sd.StratumDiagnostics()
+	}
+	return d
+}
+
+// DiagMemBytes returns the fixed memory footprint of the session's
+// diagnostics ring (0 when diagnostics are disabled).
+func (s *Session) DiagMemBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.diag == nil {
+		return 0
+	}
+	return s.diag.MemBytes()
 }

@@ -33,13 +33,19 @@ type Options struct {
 	MaxSpans int
 }
 
-// CollectorStats are the collector's lifetime counters, exported through
-// /metrics.
+// CollectorStats are the collector's lifetime counters plus the current
+// ring occupancy, exported through /metrics and /v1/stats.
 type CollectorStats struct {
 	Recorded     uint64 `json:"recorded"`
 	RetainedSlow uint64 `json:"retainedSlow"`
 	RetainedErr  uint64 `json:"retainedErrored"`
 	SpanDrops    uint64 `json:"spanDrops"`
+	// Ring occupancy: slots currently holding a trace vs capacity, for the
+	// recent ring and the slow-or-errored keeper ring.
+	RecentHeld       int `json:"recentHeld"`
+	RecentCapacity   int `json:"recentCapacity"`
+	RetainedHeld     int `json:"retainedHeld"`
+	RetainedCapacity int `json:"retainedCapacity"`
 }
 
 // ring is a lock-free overwrite-oldest buffer of published traces.
@@ -58,6 +64,18 @@ func newRing(n int) *ring {
 func (r *ring) add(t *Trace) {
 	i := r.next.Add(1) - 1
 	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+// held counts slots currently holding a trace (monotone until the ring
+// wraps, then pinned at capacity).
+func (r *ring) held() int {
+	n := 0
+	for i := range r.slots {
+		if r.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
 }
 
 func (r *ring) snapshot(out []*Trace) []*Trace {
@@ -209,9 +227,13 @@ func (c *Collector) Stats() CollectorStats {
 		return CollectorStats{}
 	}
 	return CollectorStats{
-		Recorded:     c.recorded.Load(),
-		RetainedSlow: c.retainedSlow.Load(),
-		RetainedErr:  c.retainedErr.Load(),
-		SpanDrops:    c.spanDrops.Load(),
+		Recorded:         c.recorded.Load(),
+		RetainedSlow:     c.retainedSlow.Load(),
+		RetainedErr:      c.retainedErr.Load(),
+		SpanDrops:        c.spanDrops.Load(),
+		RecentHeld:       c.recent.held(),
+		RecentCapacity:   len(c.recent.slots),
+		RetainedHeld:     c.retained.held(),
+		RetainedCapacity: len(c.retained.slots),
 	}
 }

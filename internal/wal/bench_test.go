@@ -53,7 +53,7 @@ func BenchmarkSessionCreate(b *testing.B) {
 	}
 	opts := oasis.Options{Strata: 30, Seed: 9}
 	b.Run("inline", func(b *testing.B) {
-		mgr := session.NewManager(session.ManagerOptions{})
+		mgr := session.NewManager(session.ManagerOptions{Diag: quietDiag})
 		j, err := Open(b.TempDir(), mgr, Options{Fsync: "off"})
 		if err != nil {
 			b.Fatal(err)
@@ -71,7 +71,7 @@ func BenchmarkSessionCreate(b *testing.B) {
 			b.Fatal(err)
 		}
 		id := putInfo.ID
-		mgr := session.NewManager(session.ManagerOptions{Pools: store})
+		mgr := session.NewManager(session.ManagerOptions{Pools: store, Diag: quietDiag})
 		j, err := Open(b.TempDir(), mgr, Options{Fsync: "off"})
 		if err != nil {
 			b.Fatal(err)
@@ -94,7 +94,7 @@ func BenchmarkSessionCreate(b *testing.B) {
 			b.Fatal(err)
 		}
 		id := putInfo.ID
-		mgr := session.NewManager(session.ManagerOptions{Pools: store})
+		mgr := session.NewManager(session.ManagerOptions{Pools: store, Diag: quietDiag})
 		j, err := Open(b.TempDir(), mgr, Options{Fsync: "off"})
 		if err != nil {
 			b.Fatal(err)
@@ -132,7 +132,7 @@ func BenchmarkManagerParallel(b *testing.B) {
 	scores, preds, truth := walPool(50_000, 5)
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			mgr := session.NewManager(session.ManagerOptions{Shards: shards})
+			mgr := session.NewManager(session.ManagerOptions{Shards: shards, Diag: quietDiag})
 			j, err := Open(b.TempDir(), mgr, Options{Fsync: "always"})
 			if err != nil {
 				b.Fatal(err)
@@ -195,7 +195,7 @@ func BenchmarkCommitDurable(b *testing.B) {
 				if j != nil {
 					j.Close()
 				}
-				mgr := session.NewManager(session.ManagerOptions{})
+				mgr := session.NewManager(session.ManagerOptions{Diag: quietDiag})
 				var err error
 				j, err = Open(b.TempDir(), mgr, Options{Fsync: policy})
 				if err != nil {
@@ -233,3 +233,8 @@ func BenchmarkCommitDurable(b *testing.B) {
 		})
 	}
 }
+
+// quietDiag silences health-transition logging in benchmarks: the default
+// logger writes into the benchmark output stream and corrupts the
+// machine-parsed result lines.
+var quietDiag = session.DiagOptions{Logf: func(string, ...any) {}}

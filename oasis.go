@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"oasis/internal/core"
+	"oasis/internal/diag"
 	"oasis/internal/oracle"
 	"oasis/internal/pool"
 	"oasis/internal/rng"
@@ -479,6 +480,18 @@ func (s *Sampler) Health() Health {
 		ESSRatio:           est.ESSRatio(),
 		Terms:              est.N(),
 	}
+}
+
+// StratumDiagnostics reports the per-stratum convergence diagnostics: for
+// every stratum, how many labelled draws landed there, the Σw/Σw² weight
+// moments and local ESS those draws contributed, and the realised draw
+// share against the cached instrumental allocation v(t) (Skew = 1 when
+// sampling matches the current adaptive optimum). Like every other sampler
+// method it must be serialised with draws and commits by the caller.
+func (s *Sampler) StratumDiagnostics() []diag.StratumHealth {
+	draws, sumW, sumW2 := s.inner.StratumStats(nil, nil, nil)
+	instr := append([]float64(nil), s.inner.InstrumentalCached()...)
+	return diag.StrataHealth(draws, sumW, sumW2, instr)
 }
 
 // Run performs adaptive sampling until `budget` distinct pairs have been
